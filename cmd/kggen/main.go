@@ -1,0 +1,60 @@
+// Command kggen emits a synthetic knowledge graph as an N-Triples-style
+// stream on stdout.
+//
+// Usage:
+//
+//	kggen -kind lubm -scale 2 > lubm2.nt     # LUBM-style, 2 universities
+//	kggen -kind yago -entities 50000 > y.nt  # YAGO-style scale-free KG
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lscr/internal/graph"
+	"lscr/internal/lubm"
+	"lscr/internal/rdf"
+	"lscr/internal/yagogen"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "lubm", "generator: lubm or yago")
+		scale    = flag.Int("scale", 1, "lubm: number of universities")
+		entities = flag.Int("entities", 10000, "yago: number of entities")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		format   = flag.String("format", "triples", "output format: triples or snapshot")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *format, *scale, *entities, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "kggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, format string, scale, entities int, seed int64) error {
+	var g *graph.Graph
+	switch kind {
+	case "lubm":
+		cfg := lubm.DefaultConfig(scale)
+		cfg.Seed = seed
+		g = lubm.Generate(cfg)
+	case "yago":
+		cfg := yagogen.DefaultConfig(entities)
+		cfg.Seed = seed
+		g = yagogen.Generate(cfg)
+	default:
+		return fmt.Errorf("unknown generator kind %q", kind)
+	}
+	switch format {
+	case "triples":
+		return rdf.Dump(g, w)
+	case "snapshot":
+		_, err := g.WriteTo(w)
+		return err
+	default:
+		return fmt.Errorf("unknown output format %q", format)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"lscr/internal/graph"
+	"lscr/internal/rdf"
+)
+
+func TestRunLUBM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "lubm", "triples", 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := rdf.Load(&buf)
+	if err != nil {
+		t.Fatalf("output is not loadable: %v", err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRunYago(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "yago", "triples", 0, 500, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := rdf.Load(&buf)
+	if err != nil {
+		t.Fatalf("output is not loadable: %v", err)
+	}
+	if g.NumVertices() < 500 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+}
+
+func TestRunSnapshotFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "lubm", "snapshot", 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("snapshot output not loadable: %v", err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "lubm", "xml", 1, 1, 1); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", "triples", 1, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lscr/internal/lubm"
+)
+
+func TestRunOnTriples(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString("<a> <p> <b> .\n<b> <p> <a> .\n<b> <q> <c> .\n")
+	var out bytes.Buffer
+	if err := run(&out, &in, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"vertices  3", "edges     3", "labels    2",
+		"top labels", "SCCs: 2 total, 1 non-trivial, largest 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunOnSnapshot(t *testing.T) {
+	cfg := lubm.DefaultConfig(1)
+	cfg.DeptsPerUniversity = 1 // keep the SCC closure small for test speed
+	g := lubm.Generate(cfg)
+	var snap bytes.Buffer
+	if _, err := g.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, &snap, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "density") {
+		t.Errorf("output missing density:\n%s", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader("junk"), 3); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Command lscr answers label- and substructure-constrained reachability
+// queries over a knowledge graph stored as an N-Triples-style file or a
+// binary snapshot (auto-detected).
+//
+// Usage:
+//
+//	lscr -kg graph.nt -from SuspectC -to SuspectP \
+//	     -labels transfer2019-04,married-to \
+//	     -constraint "SELECT ?x WHERE { ?x <married-to> <Amy>. }" \
+//	     -witness
+//
+// The local index can be persisted across runs with -index-file: the
+// first run builds and saves it, later runs load it. Exit status 0 means
+// reachable, 1 means not reachable, 2 means error.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lscr"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.kgPath, "kg", "", "path to the KG (triples or snapshot; required)")
+	flag.StringVar(&opts.from, "from", "", "source vertex name (required)")
+	flag.StringVar(&opts.to, "to", "", "target vertex name (required)")
+	flag.StringVar(&opts.labels, "labels", "", "comma-separated label constraint (empty = all labels)")
+	flag.StringVar(&opts.constraint, "constraint", "", "SPARQL substructure constraint (required)")
+	flag.StringVar(&opts.algoName, "algo", "ins", "algorithm: ins, uis or uisstar")
+	flag.StringVar(&opts.indexFile, "index-file", "", "load the local index from this file, or build and save it there")
+	flag.BoolVar(&opts.noIndex, "no-index", false, "skip local-index construction (forbids -algo ins)")
+	flag.BoolVar(&opts.witness, "witness", false, "print the evidence path on a true answer")
+	flag.StringVar(&opts.searchTree, "search-tree", "", "write the search tree as Graphviz DOT to this file")
+	flag.BoolVar(&opts.verbose, "v", false, "print statistics")
+	flag.Parse()
+	code, err := run(os.Stdout, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lscr:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+type options struct {
+	kgPath, from, to, labels, constraint, algoName, indexFile string
+	searchTree                                                string
+	noIndex, witness, verbose                                 bool
+}
+
+func run(w io.Writer, o options) (int, error) {
+	if o.kgPath == "" || o.from == "" || o.to == "" || o.constraint == "" {
+		return 2, errors.New("-kg, -from, -to and -constraint are required")
+	}
+	var algo lscr.Algorithm
+	switch strings.ToLower(o.algoName) {
+	case "ins":
+		algo = lscr.INS
+	case "uis":
+		algo = lscr.UIS
+	case "uisstar", "uis*":
+		algo = lscr.UISStar
+	default:
+		return 2, fmt.Errorf("unknown algorithm %q", o.algoName)
+	}
+	kg, err := loadKG(o.kgPath)
+	if err != nil {
+		return 2, err
+	}
+	eng, err := buildEngine(kg, o)
+	if err != nil {
+		return 2, err
+	}
+	q := lscr.Query{
+		Source: o.from, Target: o.to,
+		Constraint: o.constraint, Algorithm: algo,
+	}
+	if o.labels != "" {
+		q.Labels = strings.Split(o.labels, ",")
+	}
+	res, path, err := eng.ReachWithWitness(q)
+	if err != nil {
+		return 2, err
+	}
+	if o.searchTree != "" {
+		f, err := os.Create(o.searchTree)
+		if err != nil {
+			return 2, err
+		}
+		if _, err := eng.ReachTraced(q, f); err != nil {
+			f.Close()
+			return 2, err
+		}
+		if err := f.Close(); err != nil {
+			return 2, err
+		}
+	}
+	if o.verbose {
+		fmt.Fprintf(os.Stderr, "algorithm=%v elapsed=%v passed=%d treeNodes=%d |V(S,G)|=%d\n",
+			algo, res.Elapsed, res.Stats.PassedVertices, res.Stats.SearchTreeNodes,
+			res.SatisfyingVertices)
+	}
+	if !res.Reachable {
+		fmt.Fprintln(w, "not reachable")
+		return 1, nil
+	}
+	fmt.Fprintln(w, "reachable")
+	if o.witness && path != nil {
+		fmt.Fprintf(w, "witness: %s\n", path)
+		fmt.Fprintf(w, "satisfying vertex: %s\n", path.Satisfying)
+	}
+	return 0, nil
+}
+
+// loadKG sniffs the file format: binary snapshots start with "LSCRKG01",
+// anything else is parsed as triples.
+func loadKG(path string) (*lscr.KG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(8)
+	if err == nil && string(head) == "LSCRKG01" {
+		return lscr.LoadSnapshot(br)
+	}
+	return lscr.Load(br)
+}
+
+// buildEngine loads the index from -index-file when present, otherwise
+// builds it (and saves it when -index-file names a new file).
+func buildEngine(kg *lscr.KG, o options) (*lscr.Engine, error) {
+	if o.noIndex {
+		return lscr.NewEngine(kg, lscr.Options{SkipIndex: true}), nil
+	}
+	if o.indexFile != "" {
+		if f, err := os.Open(o.indexFile); err == nil {
+			defer f.Close()
+			eng, err := lscr.NewEngineFromIndex(kg, bufio.NewReader(f))
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", o.indexFile, err)
+			}
+			return eng, nil
+		}
+	}
+	eng := lscr.NewEngine(kg, lscr.Options{})
+	if o.indexFile != "" {
+		f, err := os.Create(o.indexFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := eng.SaveIndex(f); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lscr"
+)
+
+const testKG = `
+<C> <apr> <X> .
+<X> <apr> <P> .
+<X> <married> <Amy> .
+<C> <may> <P> .
+`
+
+const marriedToAmy = `SELECT ?x WHERE { ?x <married> <Amy>. }`
+
+func writeKG(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "kg.nt")
+	if err := os.WriteFile(p, []byte(testKG), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func baseOpts(p string) options {
+	return options{
+		kgPath: p, from: "C", to: "P",
+		labels: "apr,married", constraint: marriedToAmy, algoName: "ins",
+	}
+}
+
+func TestRunReachable(t *testing.T) {
+	p := writeKG(t)
+	for _, algo := range []string{"ins", "uis", "uisstar"} {
+		o := baseOpts(p)
+		o.algoName = algo
+		o.verbose = true
+		var buf bytes.Buffer
+		code, err := run(&buf, o)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if code != 0 || !strings.Contains(buf.String(), "reachable") {
+			t.Errorf("%s: code=%d out=%q", algo, code, buf.String())
+		}
+	}
+}
+
+func TestRunWitness(t *testing.T) {
+	p := writeKG(t)
+	o := baseOpts(p)
+	o.witness = true
+	var buf bytes.Buffer
+	code, err := run(&buf, o)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "witness: C -[apr]-> X") {
+		t.Errorf("witness missing: %q", out)
+	}
+	if !strings.Contains(out, "satisfying vertex: X") {
+		t.Errorf("satisfying vertex missing: %q", out)
+	}
+}
+
+func TestRunSearchTree(t *testing.T) {
+	p := writeKG(t)
+	dotPath := filepath.Join(t.TempDir(), "tree.dot")
+	o := baseOpts(p)
+	o.searchTree = dotPath
+	var buf bytes.Buffer
+	if code, err := run(&buf, o); err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatalf("DOT output malformed: %q", data)
+	}
+}
+
+func TestRunNotReachable(t *testing.T) {
+	p := writeKG(t)
+	o := baseOpts(p)
+	o.labels = "may"
+	var buf bytes.Buffer
+	code, err := run(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(buf.String(), "not reachable") {
+		t.Errorf("code=%d out=%q", code, buf.String())
+	}
+}
+
+func TestRunIndexFileRoundTrip(t *testing.T) {
+	p := writeKG(t)
+	idxPath := filepath.Join(t.TempDir(), "kg.idx")
+	o := baseOpts(p)
+	o.indexFile = idxPath
+	var buf bytes.Buffer
+	if code, err := run(&buf, o); err != nil || code != 0 {
+		t.Fatalf("first run (build+save): code=%d err=%v", code, err)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index not saved: %v", err)
+	}
+	// Second run loads the saved index.
+	if code, err := run(&buf, o); err != nil || code != 0 {
+		t.Fatalf("second run (load): code=%d err=%v", code, err)
+	}
+}
+
+func TestRunSnapshotInput(t *testing.T) {
+	p := writeKG(t)
+	// Convert the triple file into a snapshot and query it.
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := lscr.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "kg.snap")
+	out, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.WriteSnapshot(out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	o := baseOpts(snapPath)
+	var buf bytes.Buffer
+	if code, err := run(&buf, o); err != nil || code != 0 {
+		t.Fatalf("snapshot query: code=%d err=%v", code, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeKG(t)
+	cases := []struct {
+		name string
+		mod  func(*options)
+	}{
+		{"missing flags", func(o *options) { o.kgPath = "" }},
+		{"bad algorithm", func(o *options) { o.algoName = "astar" }},
+		{"missing file", func(o *options) { o.kgPath = p + ".nope" }},
+		{"ins without index", func(o *options) { o.noIndex = true }},
+		{"unknown vertex", func(o *options) { o.from = "nobody" }},
+		{"bad index file", func(o *options) { o.indexFile = p }}, // triples are not an index
+	}
+	for _, tc := range cases {
+		o := baseOpts(p)
+		tc.mod(&o)
+		var buf bytes.Buffer
+		if _, err := run(&buf, o); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunNoIndexUIS(t *testing.T) {
+	p := writeKG(t)
+	o := baseOpts(p)
+	o.noIndex = true
+	o.algoName = "uis"
+	var buf bytes.Buffer
+	code, err := run(&buf, o)
+	if err != nil || code != 0 {
+		t.Fatalf("uis without index: code=%d err=%v", code, err)
+	}
+}

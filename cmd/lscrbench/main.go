@@ -1,0 +1,81 @@
+// Command lscrbench regenerates the paper's tables and figures (§6) at
+// laptop scale.
+//
+// Usage:
+//
+//	lscrbench -exp fig10            # Figure 10 (constraint S1)
+//	lscrbench -exp table2 -scale 2  # Table 2 at double scale
+//	lscrbench -exp all -queries 50  # everything, 50 queries per group
+//
+// Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
+// fig15, ablation-rho, ablation-landmarks, ablation-queue, ablation-vsorder, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lscr/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, all)")
+		scale   = flag.Int("scale", 1, "dataset scale multiplier")
+		queries = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
+		seed    = flag.Int64("seed", 1, "workload and generator seed")
+	)
+	flag.Parse()
+	cfg := bench.Config{Scale: *scale, QueriesPerGroup: *queries, Seed: *seed}
+	if err := run(os.Stdout, *exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lscrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, cfg bench.Config) error {
+	runners := map[string]func(io.Writer, bench.Config) error{
+		"table2":             bench.RunTable2,
+		"fig5a":              bench.RunFig5Density,
+		"fig5b":              bench.RunFig5Scale,
+		"fig10":              figure("S1"),
+		"fig11":              figure("S2"),
+		"fig12":              figure("S3"),
+		"fig13":              figure("S4"),
+		"fig14":              figure("S5"),
+		"fig15":              bench.RunFig15,
+		"ablation-rho":       bench.RunAblationRho,
+		"ablation-vsorder":   bench.RunAblationVSOrder,
+		"ablation-landmarks": bench.RunAblationLandmarks,
+		"ablation-queue":     bench.RunAblationQueue,
+	}
+	if exp == "all" {
+		order := []string{
+			"table2", "fig5a", "fig5b",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+			"ablation-rho", "ablation-landmarks", "ablation-queue",
+			"ablation-vsorder",
+		}
+		for _, id := range order {
+			fmt.Fprintf(w, "==== %s ====\n", id)
+			if err := runners[id](w, cfg); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r(w, cfg)
+}
+
+func figure(s string) func(io.Writer, bench.Config) error {
+	return func(w io.Writer, cfg bench.Config) error {
+		return bench.RunFigure(w, s, cfg)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lscr/internal/bench"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", bench.Config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) experiment")
+	}
+	var buf bytes.Buffer
+	cfg := bench.Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}
+	if err := run(&buf, "ablation-queue", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UIS*") {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}

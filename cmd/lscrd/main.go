@@ -1,0 +1,217 @@
+// Command lscrd serves LSCR queries over HTTP.
+//
+//	lscrd -kg graph.nt -addr :8080
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz           — liveness + KG stats
+//	POST /reach             — {"source","target","labels":[],"constraint","algorithm","witness"}
+//	POST /reachall          — {"source","target","labels":[],"constraints":[]}
+//	POST /select            — {"query"}
+//
+// The server is read-only: the KG and index are built once at startup and
+// shared by concurrent requests.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lscr"
+)
+
+func main() {
+	var (
+		kgPath = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *kgPath == "" {
+		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
+		os.Exit(2)
+	}
+	eng, kg, err := load(*kgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lscrd:", err)
+		os.Exit(2)
+	}
+	log.Printf("serving %d vertices / %d edges on %s", kg.NumVertices(), kg.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newHandler(eng, kg)))
+}
+
+func load(path string) (*lscr.Engine, *lscr.KG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var kg *lscr.KG
+	if head, err := br.Peek(8); err == nil && string(head) == "LSCRKG01" {
+		kg, err = lscr.LoadSnapshot(br)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		kg, err = lscr.Load(br)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return lscr.NewEngine(kg, lscr.Options{}), kg, nil
+}
+
+// reachRequest is the /reach body.
+type reachRequest struct {
+	Source     string   `json:"source"`
+	Target     string   `json:"target"`
+	Labels     []string `json:"labels,omitempty"`
+	Constraint string   `json:"constraint"`
+	Algorithm  string   `json:"algorithm,omitempty"`
+	Witness    bool     `json:"witness,omitempty"`
+}
+
+// reachResponse is the /reach reply.
+type reachResponse struct {
+	Reachable bool       `json:"reachable"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Passed    int        `json:"passed_vertices"`
+	Witness   *lscr.Path `json:"witness,omitempty"`
+	Algorithm string     `json:"algorithm"`
+}
+
+// reachAllRequest is the /reachall body.
+type reachAllRequest struct {
+	Source      string   `json:"source"`
+	Target      string   `json:"target"`
+	Labels      []string `json:"labels,omitempty"`
+	Constraints []string `json:"constraints"`
+}
+
+// newHandler wires the endpoints.
+func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"vertices": kg.NumVertices(),
+			"edges":    kg.NumEdges(),
+			"labels":   kg.NumLabels(),
+		})
+	})
+	mux.HandleFunc("POST /reach", func(w http.ResponseWriter, r *http.Request) {
+		var req reachRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		algo, err := parseAlgo(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q := lscr.Query{
+			Source: req.Source, Target: req.Target,
+			Labels: req.Labels, Constraint: req.Constraint, Algorithm: algo,
+		}
+		start := time.Now()
+		var (
+			res  lscr.Result
+			path *lscr.Path
+		)
+		if req.Witness {
+			res, path, err = eng.ReachWithWitness(q)
+		} else {
+			res, err = eng.Reach(q)
+		}
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reachResponse{
+			Reachable: res.Reachable,
+			ElapsedUS: time.Since(start).Microseconds(),
+			Passed:    res.Stats.PassedVertices,
+			Witness:   path,
+			Algorithm: algo.String(),
+		})
+	})
+	mux.HandleFunc("POST /reachall", func(w http.ResponseWriter, r *http.Request) {
+		var req reachAllRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, mp, err := eng.ReachAllWithWitness(lscr.MultiQuery{
+			Source: req.Source, Target: req.Target,
+			Labels: req.Labels, Constraints: req.Constraints,
+		})
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"reachable":       res.Reachable,
+			"passed_vertices": res.Stats.PassedVertices,
+			"witness":         mp,
+		})
+	})
+	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rows, err := eng.SelectAll(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rows": rows, "count": len(rows)})
+	})
+	return mux
+}
+
+func parseAlgo(s string) (lscr.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "ins":
+		return lscr.INS, nil
+	case "uis":
+		return lscr.UIS, nil
+	case "uisstar", "uis*":
+		return lscr.UISStar, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+// statusFor maps engine errors to HTTP statuses: bad names are client
+// errors, everything else is a 500.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "unknown vertex") || strings.Contains(msg, "unknown label") ||
+		strings.Contains(msg, "syntax error") || strings.Contains(msg, "constraint") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("lscrd: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lscr"
+)
+
+const testKG = `
+<C> <apr> <X> .
+<X> <apr> <P> .
+<X> <married> <Amy> .
+<C> <may> <P> .
+`
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	kg, err := lscr.Load(strings.NewReader(testKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := lscr.NewEngine(kg, lscr.Options{})
+	srv := httptest.NewServer(newHandler(eng, kg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" || out["vertices"].(float64) != 4 {
+		t.Fatalf("healthz = %v", out)
+	}
+}
+
+func TestReachEndpoint(t *testing.T) {
+	srv := testServer(t)
+	for _, algo := range []string{"", "ins", "uis", "uisstar"} {
+		resp, out := postJSON(t, srv.URL+"/reach", reachRequest{
+			Source: "C", Target: "P",
+			Labels:     []string{"apr", "married"},
+			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`,
+			Algorithm:  algo,
+			Witness:    true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d: %v", algo, resp.StatusCode, out)
+		}
+		if out["reachable"] != true {
+			t.Fatalf("%q: %v", algo, out)
+		}
+		w, ok := out["witness"].(map[string]any)
+		if !ok || w["Satisfying"] != "X" {
+			t.Fatalf("%q: witness = %v", algo, out["witness"])
+		}
+	}
+}
+
+func TestReachEndpointFalse(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/reach", reachRequest{
+		Source: "C", Target: "P",
+		Labels:     []string{"may"},
+		Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`,
+	})
+	if resp.StatusCode != http.StatusOK || out["reachable"] != false {
+		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
+	}
+	if _, present := out["witness"]; present {
+		t.Fatalf("false answer carries witness: %v", out)
+	}
+}
+
+func TestReachEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown vertex", reachRequest{Source: "nope", Target: "P",
+			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`}},
+		{"bad algorithm", reachRequest{Source: "C", Target: "P",
+			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`, Algorithm: "dijkstra"}},
+		{"bad constraint", reachRequest{Source: "C", Target: "P", Constraint: "garbage"}},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, srv.URL+"/reach", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v)", tc.name, resp.StatusCode, out)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/reach", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+}
+
+func TestReachAllEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/reachall", reachAllRequest{
+		Source: "C", Target: "P",
+		Labels: []string{"apr"},
+		Constraints: []string{
+			`SELECT ?x WHERE { ?x <married> <Amy>. }`,
+		},
+	})
+	if resp.StatusCode != http.StatusOK || out["reachable"] != true {
+		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/select", map[string]string{
+		"query": `SELECT ?x ?y WHERE { ?x <married> ?y. }`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
+	}
+	if out["count"].(float64) != 1 {
+		t.Fatalf("select = %v", out)
+	}
+	resp, _ = postJSON(t, srv.URL+"/select", map[string]string{"query": "junk"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query: status %d", resp.StatusCode)
+	}
+}
+
+func TestLoadHelper(t *testing.T) {
+	dir := t.TempDir()
+	triples := filepath.Join(dir, "kg.nt")
+	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, kg, err := load(triples)
+	if err != nil || eng == nil || kg.NumVertices() != 4 {
+		t.Fatalf("triples load: %v", err)
+	}
+	// Snapshot path.
+	snap := filepath.Join(dir, "kg.snap")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, kg2, err := load(snap); err != nil || kg2.NumVertices() != kg.NumVertices() {
+		t.Fatalf("snapshot load: %v", err)
+	}
+	if _, _, err := load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

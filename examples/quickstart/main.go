@@ -1,0 +1,67 @@
+// Quickstart: build a tiny knowledge graph in memory and answer one LSCR
+// query with each algorithm.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lscr"
+)
+
+// The running example of the paper (Figure 3): five vertices, five edge
+// labels, and the substructure constraint S0 = "?x is a friend of v3, and
+// v3 likes something".
+const kgText = `
+<v0> <friendOf> <v1> .
+<v0> <advisorOf> <v2> .
+<v0> <likes> <v2> .
+<v1> <friendOf> <v3> .
+<v2> <friendOf> <v3> .
+<v1> <likes> <v4> .
+<v3> <likes> <v4> .
+<v2> <follows> <v4> .
+<v4> <hates> <v1> .
+`
+
+func main() {
+	kg, err := lscr.Load(strings.NewReader(kgText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d vertices, %d edges, %d labels\n",
+		kg.NumVertices(), kg.NumEdges(), kg.NumLabels())
+
+	eng := lscr.NewEngine(kg, lscr.Options{})
+	query := lscr.Query{
+		Source: "v0",
+		Target: "v4",
+		Labels: []string{"likes", "follows"},
+		// A vertex on the path must be a friend of v3, where v3 likes
+		// something — the S0 of the paper's Figure 3(b).
+		Constraint: `SELECT ?x WHERE { ?x <friendOf> <v3>. <v3> <likes> ?y. }`,
+	}
+	for _, algo := range []lscr.Algorithm{lscr.UIS, lscr.UISStar, lscr.INS} {
+		query.Algorithm = algo
+		res, err := eng.Reach(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v reachable=%v elapsed=%v passed=%d\n",
+			algo, res.Reachable, res.Elapsed, res.Stats.PassedVertices)
+	}
+
+	// Tightening the label constraint to {likes, follows} still works
+	// (v0 -likes-> v2 -follows-> v4, and v2 satisfies S0), but excluding
+	// "follows" breaks the only valid path:
+	query.Labels = []string{"likes"}
+	query.Algorithm = lscr.INS
+	res, err := eng.Reach(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with labels {likes} only: reachable=%v\n", res.Reachable)
+}

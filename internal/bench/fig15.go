@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lscr/internal/lscr"
+	"lscr/internal/workload"
+	"lscr/internal/yagogen"
+)
+
+// RunFig15 regenerates Figure 15: the YAGO experiment. Random
+// substructure constraints are generated per order of magnitude m so that
+// |V(S,G)| ∈ [0.8m, 1.2m] (§6.2), then true and false query groups run
+// under UIS, UIS* and INS. Four panels: average running time and average
+// passed-vertex number for true and false groups.
+//
+// The paper sweeps m = 10^1..10^5 on the 4M-vertex YAGO; at laptop scale
+// the KG is smaller, so the sweep stops at the largest magnitude the KG
+// supports (~|V|/10).
+func RunFig15(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	entities := 20000 * cfg.Scale
+	ycfg := yagogen.DefaultConfig(entities)
+	ycfg.Seed = cfg.Seed
+	g := yagogen.Generate(ycfg)
+	idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed})
+	r := rng(cfg.Seed, "fig15")
+
+	magnitudes := []int{10, 100, 1000}
+	if entities >= 100000 {
+		magnitudes = append(magnitudes, 10000)
+	}
+	algos := []string{"UIS", "UIS*", "INS"}
+	type row struct {
+		m            int
+		vs           int
+		nTrue, nFals int
+		res          map[string]map[bool]algoResult
+	}
+	var rows []row
+	for _, m := range magnitudes {
+		cons, vs, err := workload.RandomConstraintSized(r, g, m)
+		if err != nil {
+			return fmt.Errorf("bench: magnitude %d: %w", m, err)
+		}
+		trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+			Count: cfg.QueriesPerGroup,
+			Seed:  cfg.Seed + int64(m),
+		})
+		if err != nil {
+			return fmt.Errorf("bench: magnitude %d: %w", m, err)
+		}
+		rw := row{m: m, vs: len(vs), nTrue: len(trueQ), nFals: len(falseQ),
+			res: map[string]map[bool]algoResult{}}
+		if len(trueQ) == 0 || len(falseQ) == 0 {
+			return fmt.Errorf("bench: magnitude %d produced empty group (true=%d false=%d)",
+				m, len(trueQ), len(falseQ))
+		}
+		for _, algo := range algos {
+			rw.res[algo] = map[bool]algoResult{}
+			tr, err := runGroup(g, idx, vs, trueQ, algo)
+			if err != nil {
+				return err
+			}
+			fa, err := runGroup(g, idx, vs, falseQ, algo)
+			if err != nil {
+				return err
+			}
+			rw.res[algo][true] = tr
+			rw.res[algo][false] = fa
+		}
+		rows = append(rows, rw)
+	}
+
+	fmt.Fprintf(w, "Figure 15 — YAGO-style KG (|V|=%d, |E|=%d), random constraints by |V(S,G)| magnitude\n",
+		g.NumVertices(), g.NumEdges())
+	panel := func(title string, f func(algoResult) string, trueGroup bool) {
+		fmt.Fprintf(w, "\n%s\n", title)
+		tw := newTab(w)
+		fmt.Fprintf(tw, "magnitude\t|V(S,G)|\tUIS\tUIS*\tINS\n")
+		for _, rw := range rows {
+			fmt.Fprintf(tw, "10^%d\t%d", digits(rw.m), rw.vs)
+			for _, algo := range algos {
+				fmt.Fprintf(tw, "\t%s", f(rw.res[algo][trueGroup]))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	ms := func(a algoResult) string {
+		return fmt.Sprintf("%.3f", float64(a.AvgTime)/float64(time.Millisecond))
+	}
+	pv := func(a algoResult) string { return fmt.Sprintf("%.0f", a.AvgPassed) }
+	panel("(a) avg running time, true queries (ms)", ms, true)
+	panel("(b) avg running time, false queries (ms)", ms, false)
+	panel("(c) avg passed-vertex number, true queries", pv, true)
+	panel("(d) avg passed-vertex number, false queries", pv, false)
+	return nil
+}
+
+func digits(m int) int {
+	d := 0
+	for m >= 10 {
+		m /= 10
+		d++
+	}
+	return d
+}

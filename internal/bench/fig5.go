@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lscr/internal/lcr"
+	"lscr/internal/testkg"
+)
+
+// RunFig5Density regenerates Figure 5(a): spanning-tree ("Sampling-Tree")
+// LCR indexing time as the graph density D = |E|/|V| grows at fixed |V|.
+// The paper reproduces the numbers of [6]; this runner rebuilds the index
+// on random edge-labeled graphs and reports the measured trend (expected:
+// roughly linear in density).
+func RunFig5Density(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	n := 400 * cfg.Scale
+	const labels = 6
+	fmt.Fprintf(w, "Figure 5(a) — Sampling-Tree indexing time vs density (|V|=%d, |L|=%d)\n\n", n, labels)
+	tw := newTab(w)
+	fmt.Fprintf(tw, "D=|E|/|V|\tindexing time(ms)\tindex entries\n")
+	r := rng(cfg.Seed, "fig5a")
+	for d := 2.0; d <= 5.01; d += 0.5 {
+		g := testkg.Random(r, n, int(float64(n)*d), labels)
+		start := time.Now()
+		idx := lcr.NewSpanningTreeIndex(g)
+		el := time.Since(start)
+		fmt.Fprintf(tw, "%.1f\t%.1f\t%d\n", d, float64(el)/float64(time.Millisecond), idx.Entries())
+	}
+	return tw.Flush()
+}
+
+// RunFig5Scale regenerates Figure 5(b): spanning-tree indexing time as
+// |V| grows at fixed density D = 1.5 (expected: super-linear growth —
+// the curve that makes the method unusable at KG scale).
+func RunFig5Scale(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	const labels = 6
+	fmt.Fprintf(w, "Figure 5(b) — Sampling-Tree indexing time vs |V| (D=1.5, |L|=%d)\n\n", labels)
+	tw := newTab(w)
+	fmt.Fprintf(tw, "|V|\tindexing time(ms)\tindex entries\n")
+	r := rng(cfg.Seed, "fig5b")
+	for _, n := range []int{200, 400, 600, 800, 1000} {
+		n *= cfg.Scale
+		g := testkg.Random(r, n, int(float64(n)*1.5), labels)
+		start := time.Now()
+		idx := lcr.NewSpanningTreeIndex(g)
+		el := time.Since(start)
+		fmt.Fprintf(tw, "%d\t%.1f\t%d\n", n, float64(el)/float64(time.Millisecond), idx.Entries())
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lscr/internal/workload"
+)
+
+// RunFigure regenerates one of Figures 10–14: for the Table 3 constraint
+// sName (S1–S5), it sweeps datasets D1–D5, generating a true and a false
+// query group per dataset and reporting the average running time and
+// average passed-vertex number of UIS, UIS* and INS — the four panels
+// (a)–(d) of each figure.
+func RunFigure(w io.Writer, sName string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	figNum := map[string]int{"S1": 10, "S2": 11, "S3": 12, "S4": 13, "S5": 14}[sName]
+	if figNum == 0 {
+		return fmt.Errorf("bench: no figure for constraint %q", sName)
+	}
+	type row struct {
+		dataset  string
+		vertices int
+		vs       int
+		res      map[string]map[bool]algoResult // algo -> isTrueGroup -> result
+	}
+	var rows []row
+	algos := []string{"UIS", "UIS*", "INS"}
+
+	for _, spec := range Datasets(cfg.Scale) {
+		g := buildDataset(spec, cfg.Seed)
+		cons, vs, err := compileConstraint(g, sName)
+		if err != nil {
+			return err
+		}
+		idx := buildIndex(g, spec, cfg.Seed)
+		trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+			Count: cfg.QueriesPerGroup,
+			Seed:  cfg.Seed + int64(figNum),
+		})
+		if err != nil {
+			return fmt.Errorf("bench: %s on %s: %w", sName, spec.Name, err)
+		}
+		if len(trueQ) == 0 || len(falseQ) == 0 {
+			return fmt.Errorf("bench: %s on %s produced empty group (true=%d false=%d)",
+				sName, spec.Name, len(trueQ), len(falseQ))
+		}
+		r := row{dataset: spec.Name, vertices: g.NumVertices(), vs: len(vs),
+			res: map[string]map[bool]algoResult{}}
+		for _, algo := range algos {
+			r.res[algo] = map[bool]algoResult{}
+			tr, err := runGroup(g, idx, vs, trueQ, algo)
+			if err != nil {
+				return err
+			}
+			fa, err := runGroup(g, idx, vs, falseQ, algo)
+			if err != nil {
+				return err
+			}
+			r.res[algo][true] = tr
+			r.res[algo][false] = fa
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Fprintf(w, "Figure %d — substructure constraint %s (scale=%d, %d queries/group)\n",
+		figNum, sName, cfg.Scale, cfg.QueriesPerGroup)
+	panel := func(title string, f func(algoResult) string, trueGroup bool) {
+		fmt.Fprintf(w, "\n%s\n", title)
+		tw := newTab(w)
+		fmt.Fprintf(tw, "dataset\t|V|\t|V(S,G)|\tUIS\tUIS*\tINS\n")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d", r.dataset, r.vertices, r.vs)
+			for _, algo := range algos {
+				fmt.Fprintf(tw, "\t%s", f(r.res[algo][trueGroup]))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	ms := func(a algoResult) string {
+		return fmt.Sprintf("%.3f", float64(a.AvgTime)/float64(time.Millisecond))
+	}
+	pv := func(a algoResult) string { return fmt.Sprintf("%.0f", a.AvgPassed) }
+	panel(fmt.Sprintf("(a) avg running time, true queries (ms)"), ms, true)
+	panel(fmt.Sprintf("(b) avg running time, false queries (ms)"), ms, false)
+	panel(fmt.Sprintf("(c) avg passed-vertex number, true queries"), pv, true)
+	panel(fmt.Sprintf("(d) avg passed-vertex number, false queries"), pv, false)
+	return nil
+}

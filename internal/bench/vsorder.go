@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lscr/internal/graph"
+	"lscr/internal/lcr"
+	"lscr/internal/lscr"
+	"lscr/internal/workload"
+)
+
+// RunAblationVSOrder probes Theorem 4.1's claim that "the order of
+// processing the elements in V(S,G) dominates the efficiency of UIS*":
+// the same UIS* implementation runs the same workload under different
+// V(S,G) orders — the engine's natural ascending order, a shuffled order
+// (the paper's "disordered" assumption), highest-degree-first, and
+// nearest-to-source-first (a poor man's informed ordering, approximating
+// what INS's heap H achieves with the index).
+func RunAblationVSOrder(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := DatasetSpec{Name: "D2", Universities: 2 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return err
+	}
+	trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+		Count: cfg.QueriesPerGroup, Seed: cfg.Seed + 33,
+	})
+	if err != nil {
+		return err
+	}
+	r := rng(cfg.Seed, "vsorder")
+
+	orders := []struct {
+		name string
+		make func(q workload.Query) []graph.VertexID
+	}{
+		{"ascending (engine output)", func(workload.Query) []graph.VertexID {
+			return append([]graph.VertexID(nil), vs...)
+		}},
+		{"shuffled (paper assumption)", func(workload.Query) []graph.VertexID {
+			out := append([]graph.VertexID(nil), vs...)
+			r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		}},
+		{"highest degree first", func(workload.Query) []graph.VertexID {
+			out := append([]graph.VertexID(nil), vs...)
+			sort.Slice(out, func(i, j int) bool {
+				di, dj := g.Degree(out[i]), g.Degree(out[j])
+				if di != dj {
+					return di > dj
+				}
+				return out[i] < out[j]
+			})
+			return out
+		}},
+		{"nearest to source first", func(q workload.Query) []graph.VertexID {
+			// Order by unconstrained BFS depth from the query source —
+			// an informed ordering without any index.
+			depth := make(map[graph.VertexID]int, g.NumVertices())
+			order := lcr.ReachableSet(g, q.Source, g.LabelUniverse())
+			for i, v := range order {
+				depth[v] = i
+			}
+			out := append([]graph.VertexID(nil), vs...)
+			sort.Slice(out, func(i, j int) bool {
+				di, okI := depth[out[i]]
+				dj, okJ := depth[out[j]]
+				if okI != okJ {
+					return okI
+				}
+				if di != dj {
+					return di < dj
+				}
+				return out[i] < out[j]
+			})
+			return out
+		}},
+	}
+
+	fmt.Fprintf(w, "Ablation — V(S,G) processing order for UIS* (dataset %s, |V|=%d, constraint S1)\n\n",
+		spec.Name, g.NumVertices())
+	tw := newTab(w)
+	fmt.Fprintf(tw, "order\ttrue avg(ms)\tfalse avg(ms)\ttrue passed\tfalse passed\n")
+	for _, ord := range orders {
+		run := func(qs []workload.Query) (algoResult, error) {
+			// Re-run with a per-query order (the nearest-to-source
+			// ordering depends on the query).
+			var total time.Duration
+			var passed int
+			for _, q := range qs {
+				order := ord.make(q)
+				start := time.Now()
+				ans, st, err := uisStarWithOrder(g, q, order)
+				total += time.Since(start)
+				if err != nil {
+					return algoResult{}, err
+				}
+				if ans != q.Expected {
+					return algoResult{}, fmt.Errorf("vsorder %q: wrong answer", ord.name)
+				}
+				passed += st.PassedVertices
+			}
+			return algoResult{
+				AvgTime:   total / time.Duration(len(qs)),
+				AvgPassed: float64(passed) / float64(len(qs)),
+			}, nil
+		}
+		tr, err := run(trueQ)
+		if err != nil {
+			return err
+		}
+		fa, err := run(falseQ)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.0f\t%.0f\n", ord.name,
+			float64(tr.AvgTime)/float64(time.Millisecond),
+			float64(fa.AvgTime)/float64(time.Millisecond),
+			tr.AvgPassed, fa.AvgPassed)
+	}
+	return tw.Flush()
+}
+
+// uisStarWithOrder runs UIS* with an explicit V(S,G) order.
+func uisStarWithOrder(g *graph.Graph, q workload.Query, order []graph.VertexID) (bool, lscr.Stats, error) {
+	return lscr.UISStar(g, q.Query, order)
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	gb := NewBuilder()
+	for i := 0; i < n; i++ {
+		gb.Vertex("v" + strconv.Itoa(i))
+	}
+	for i := 0; i < 8; i++ {
+		gb.Label("l" + strconv.Itoa(i))
+	}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(VertexID(rng.Intn(n)), Label(rng.Intn(8)), VertexID(rng.Intn(n)))
+	}
+	return gb.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	type edge struct {
+		s, o VertexID
+		l    Label
+	}
+	const n, m = 10000, 40000
+	edges := make([]edge, m)
+	for i := range edges {
+		edges[i] = edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), Label(rng.Intn(8))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb := NewBuilder()
+		for j := 0; j < n; j++ {
+			gb.Vertex("v" + strconv.Itoa(j))
+		}
+		for j := 0; j < 8; j++ {
+			gb.Label("l" + strconv.Itoa(j))
+		}
+		for _, e := range edges {
+			gb.AddEdge(e.s, e.l, e.o)
+		}
+		g := gb.Build()
+		if g.NumEdges() != m {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b, 10000, 40000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(VertexID(rng.Intn(10000)), Label(rng.Intn(8)), VertexID(rng.Intn(10000)))
+	}
+}
+
+func BenchmarkSnapshotWrite(b *testing.B) {
+	g := benchGraph(b, 10000, 40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	g := benchGraph(b, 10000, 40000)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

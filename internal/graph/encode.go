@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// Binary KG snapshots. Loading a large KG from triples re-parses and
+// re-interns every name; the snapshot format stores the dictionaries and
+// edge list directly and reloads about an order of magnitude faster.
+//
+// Layout (little-endian, CRC32 footer):
+//
+//	magic "LSCRKG01"
+//	|L| | label names (len-prefixed)
+//	|V| | vertex names (len-prefixed)
+//	|E| | edges (subject u32, label u8, object u32)
+//	schema: classes, instances per class, subclass pairs, domains, ranges
+//	crc32 of everything above
+var (
+	// ErrBadSnapshot reports a malformed or corrupt snapshot stream.
+	ErrBadSnapshot = errors.New("graph: bad snapshot")
+)
+
+const snapshotMagic = "LSCRKG01"
+
+// WriteTo serialises the graph (with schema). It implements io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(w)
+	out := &snapWriter{w: io.MultiWriter(bw, crc)}
+
+	out.raw([]byte(snapshotMagic))
+	out.u32(uint32(len(g.labelNames)))
+	for _, name := range g.labelNames {
+		out.str(name)
+	}
+	out.u32(uint32(len(g.names)))
+	for _, name := range g.names {
+		out.str(name)
+	}
+	out.u32(uint32(g.numEdges))
+	g.Triples(func(tr Triple) bool {
+		out.u32(uint32(tr.Subject))
+		out.raw([]byte{byte(tr.Label)})
+		out.u32(uint32(tr.Object))
+		return true
+	})
+
+	s := g.schema
+	classes := s.Classes()
+	out.u32(uint32(len(classes)))
+	for _, c := range classes {
+		out.str(c)
+		inst := s.Instances(c)
+		out.u32(uint32(len(inst)))
+		for _, v := range inst {
+			out.u32(uint32(v))
+		}
+		sup := s.SuperClasses(c)
+		out.u32(uint32(len(sup)))
+		for _, sc := range sup {
+			out.str(sc)
+		}
+	}
+	out.u32(uint32(len(s.domains)))
+	for _, p := range sortedStrings(s.domains) {
+		out.str(p)
+		out.str(s.domains[p])
+	}
+	out.u32(uint32(len(s.ranges)))
+	for _, p := range sortedStrings(s.ranges) {
+		out.str(p)
+		out.str(s.ranges[p])
+	}
+	if out.err != nil {
+		return out.n, out.err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return out.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return out.n, err
+	}
+	return out.n + 4, nil
+}
+
+// ReadSnapshot deserialises a graph written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	in := &snapReader{r: io.TeeReader(br, crc)}
+
+	magic := in.raw(len(snapshotMagic))
+	if in.err != nil || string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	b := NewBuilder()
+	nLabels := int(in.u32())
+	for i := 0; i < nLabels && in.err == nil; i++ {
+		b.Label(in.str())
+	}
+	nVerts := int(in.u32())
+	for i := 0; i < nVerts && in.err == nil; i++ {
+		b.Vertex(in.str())
+	}
+	nEdges := int(in.u32())
+	for i := 0; i < nEdges && in.err == nil; i++ {
+		s := in.u32()
+		l := in.raw(1)
+		o := in.u32()
+		if in.err != nil {
+			break
+		}
+		if int(s) >= nVerts || int(o) >= nVerts || int(l[0]) >= nLabels {
+			return nil, fmt.Errorf("%w: edge out of range", ErrBadSnapshot)
+		}
+		b.AddEdge(VertexID(s), Label(l[0]), VertexID(o))
+	}
+	nClasses := int(in.u32())
+	for i := 0; i < nClasses && in.err == nil; i++ {
+		class := in.str()
+		b.Schema().AddClass(class)
+		nInst := int(in.u32())
+		for j := 0; j < nInst && in.err == nil; j++ {
+			v := in.u32()
+			if int(v) >= nVerts {
+				return nil, fmt.Errorf("%w: instance out of range", ErrBadSnapshot)
+			}
+			b.Schema().AddInstance(class, VertexID(v))
+		}
+		nSup := int(in.u32())
+		for j := 0; j < nSup && in.err == nil; j++ {
+			b.Schema().AddSubClassOf(class, in.str())
+		}
+	}
+	nDom := int(in.u32())
+	for i := 0; i < nDom && in.err == nil; i++ {
+		p := in.str()
+		b.Schema().SetDomain(p, in.str())
+	}
+	nRan := int(in.u32())
+	for i := 0; i < nRan && in.err == nil; i++ {
+		p := in.str()
+		b.Schema().SetRange(p, in.str())
+	}
+	if in.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, in.err)
+	}
+	want := crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing footer", ErrBadSnapshot)
+	}
+	if binary.LittleEndian.Uint32(foot[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	return b.Build(), nil
+}
+
+type snapWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf [4]byte
+}
+
+func (s *snapWriter) raw(p []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := s.w.Write(p)
+	s.n += int64(n)
+	s.err = err
+}
+
+func (s *snapWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(s.buf[:], v)
+	s.raw(s.buf[:])
+}
+
+func (s *snapWriter) str(v string) {
+	s.u32(uint32(len(v)))
+	s.raw([]byte(v))
+}
+
+type snapReader struct {
+	r   io.Reader
+	err error
+	buf [4]byte
+}
+
+func (s *snapReader) raw(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(s.r, p); err != nil {
+		s.err = err
+		return nil
+	}
+	return p
+}
+
+func (s *snapReader) u32() uint32 {
+	if s.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
+		s.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s.buf[:])
+}
+
+func (s *snapReader) str() string {
+	n := s.u32()
+	if s.err != nil || n > 1<<24 {
+		if s.err == nil {
+			s.err = fmt.Errorf("string length %d too large", n)
+		}
+		return ""
+	}
+	return string(s.raw(int(n)))
+}
+
+func sortedStrings(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func snapshotFixture() *Graph {
+	b := NewBuilder()
+	b.AddEdgeNames("Taylor", "eg:workWith", "Walker")
+	b.AddEdgeNames("Walker", "eg:workWith", "Taylor")
+	b.AddEdgeNames("Taylor", "rdf:type", "eg:Researcher")
+	b.Schema().AddInstance("eg:Researcher", b.Vertex("Taylor"))
+	b.Schema().AddInstance("eg:Researcher", b.Vertex("Walker"))
+	b.Schema().AddSubClassOf("eg:Researcher", "eg:Person")
+	b.Schema().SetDomain("eg:workWith", "eg:Researcher")
+	b.Schema().SetRange("eg:workWith", "eg:Researcher")
+	return b.Build()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := snapshotFixture()
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() || got.NumLabels() != g.NumLabels() {
+		t.Fatalf("sizes changed: %v vs %v", got, g)
+	}
+	// Names and edges survive.
+	for v := 0; v < g.NumVertices(); v++ {
+		if got.VertexName(VertexID(v)) != g.VertexName(VertexID(v)) {
+			t.Fatal("vertex dictionary changed")
+		}
+	}
+	w, ok := got.LabelByName("eg:workWith")
+	if !ok || !got.HasEdge(got.Vertex("Taylor"), w, got.Vertex("Walker")) {
+		t.Fatal("edges changed")
+	}
+	// Schema survives.
+	if len(got.Schema().Instances("eg:Researcher")) != 2 {
+		t.Fatal("instances lost")
+	}
+	if sup := got.Schema().SuperClasses("eg:Researcher"); len(sup) != 1 || sup[0] != "eg:Person" {
+		t.Fatal("subclass lost")
+	}
+	if d, ok := got.Schema().Domain("eg:workWith"); !ok || d != "eg:Researcher" {
+		t.Fatal("domain lost")
+	}
+	if r, ok := got.Schema().Range("eg:workWith"); !ok || r != "eg:Researcher" {
+		t.Fatal("range lost")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	g := snapshotFixture()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt a payload byte.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	// Truncate.
+	if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// Property: random graphs survive the snapshot round trip edge-for-edge.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			b.Vertex(vname(i))
+		}
+		nl := rng.Intn(5) + 1
+		for i := 0; i < nl; i++ {
+			b.Label(string(rune('a' + i)))
+		}
+		m := rng.Intn(50)
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), Label(rng.Intn(nl)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		same := true
+		i := 0
+		var edges []Triple
+		g.Triples(func(tr Triple) bool { edges = append(edges, tr); return true })
+		got.Triples(func(tr Triple) bool {
+			if i >= len(edges) || edges[i] != tr {
+				same = false
+				return false
+			}
+			i++
+			return true
+		})
+		return same && i == len(edges)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSnapshot asserts the snapshot reader never panics and never
+// accepts corrupted input as a valid graph (the CRC must catch every
+// mutation this fuzzer makes outside the footer itself).
+func FuzzReadSnapshot(f *testing.F) {
+	g := snapshotFixture()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid, -1, byte(0))
+	f.Add(valid, 10, byte(0xFF))
+	f.Add([]byte("LSCRKG01"), -1, byte(0))
+	f.Add([]byte{}, -1, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, flipAt int, flipBy byte) {
+		mutated := append([]byte(nil), data...)
+		if flipAt >= 0 && flipAt < len(mutated) {
+			mutated[flipAt] ^= flipBy
+		}
+		got, err := ReadSnapshot(bytes.NewReader(mutated))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent.
+		if got.NumVertices() < 0 || got.NumEdges() < 0 {
+			t.Fatal("accepted snapshot inconsistent")
+		}
+		got.Triples(func(tr Triple) bool {
+			if int(tr.Subject) >= got.NumVertices() || int(tr.Object) >= got.NumVertices() {
+				t.Fatal("edge out of range in accepted snapshot")
+			}
+			return true
+		})
+	})
+}

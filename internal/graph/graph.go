@@ -1,0 +1,252 @@
+// Package graph implements the knowledge-graph substrate of the paper: a
+// directed edge-labeled multigraph G = (V, E, ℒ, LS) (Definition 2.1) with
+// vertex and label dictionaries and an RDFS schema store LS.
+//
+// Vertices are dense uint32 IDs assigned by a Builder; adjacency is stored
+// both forward and backward so search algorithms and the SPARQL engine can
+// traverse either direction. A Graph is immutable after Build and safe for
+// concurrent readers.
+package graph
+
+import (
+	"fmt"
+
+	"lscr/internal/labelset"
+)
+
+// VertexID identifies a vertex. IDs are dense: 0..NumVertices-1.
+type VertexID uint32
+
+// NoVertex is a sentinel returned by lookups that find nothing.
+const NoVertex = VertexID(^uint32(0))
+
+// Label identifies an edge label; it is the same numeric space as
+// labelset.Label.
+type Label = labelset.Label
+
+// Edge is one labeled arc endpoint as seen from some vertex's adjacency
+// list. For an out-edge, To is the head; for an in-edge, To is the tail.
+type Edge struct {
+	To    VertexID
+	Label Label
+}
+
+// Triple is a fully specified labeled edge (s, l, t).
+type Triple struct {
+	Subject VertexID
+	Label   Label
+	Object  VertexID
+}
+
+// Graph is an immutable edge-labeled multigraph with dictionaries and an
+// RDFS schema. Build one with a Builder.
+type Graph struct {
+	names      []string            // vertex id -> name
+	vertexIDs  map[string]VertexID // name -> vertex id
+	labelNames []string            // label id -> name
+	labelIDs   map[string]Label    // name -> label id
+
+	out [][]Edge
+	in  [][]Edge
+
+	numEdges int
+	schema   *Schema
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.names) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels returns |ℒ|.
+func (g *Graph) NumLabels() int { return len(g.labelNames) }
+
+// LabelUniverse returns the label set containing every label of the graph.
+func (g *Graph) LabelUniverse() labelset.Set { return labelset.Universe(g.NumLabels()) }
+
+// VertexName returns the dictionary name of v.
+func (g *Graph) VertexName(v VertexID) string { return g.names[v] }
+
+// Vertex looks up a vertex by name, returning NoVertex if absent.
+func (g *Graph) Vertex(name string) VertexID {
+	if id, ok := g.vertexIDs[name]; ok {
+		return id
+	}
+	return NoVertex
+}
+
+// LabelName returns the dictionary name of l.
+func (g *Graph) LabelName(l Label) string { return g.labelNames[l] }
+
+// LabelByName looks up a label by name. The second result reports whether
+// the label exists.
+func (g *Graph) LabelByName(name string) (Label, bool) {
+	l, ok := g.labelIDs[name]
+	return l, ok
+}
+
+// Out returns the out-edges of v. The slice aliases internal storage and
+// must not be mutated.
+func (g *Graph) Out(v VertexID) []Edge { return g.out[v] }
+
+// In returns the in-edges of v (Edge.To is the source vertex). The slice
+// aliases internal storage and must not be mutated.
+func (g *Graph) In(v VertexID) []Edge { return g.in[v] }
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// Degree returns the total degree of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// HasEdge reports whether the edge (s, l, t) exists.
+func (g *Graph) HasEdge(s VertexID, l Label, t VertexID) bool {
+	for _, e := range g.out[s] {
+		if e.To == t && e.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Triples calls fn for every edge of the graph, in subject order. It stops
+// early if fn returns false.
+func (g *Graph) Triples(fn func(Triple) bool) {
+	for s := range g.out {
+		for _, e := range g.out[s] {
+			if !fn(Triple{VertexID(s), e.Label, e.To}) {
+				return
+			}
+		}
+	}
+}
+
+// Schema returns the RDFS schema store LS. It is never nil.
+func (g *Graph) Schema() *Schema { return g.schema }
+
+// Density returns |E|/|V|, the D of Figure 5.
+func (g *Graph) Density() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.numEdges) / float64(g.NumVertices())
+}
+
+// String summarises the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(|V|=%d |E|=%d |L|=%d)", g.NumVertices(), g.numEdges, g.NumLabels())
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	names      []string
+	vertexIDs  map[string]VertexID
+	labelNames []string
+	labelIDs   map[string]Label
+
+	edges  []Triple
+	schema *Schema
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		vertexIDs: make(map[string]VertexID),
+		labelIDs:  make(map[string]Label),
+		schema:    NewSchema(),
+	}
+}
+
+// Vertex interns a vertex by name and returns its ID, creating it on first
+// use.
+func (b *Builder) Vertex(name string) VertexID {
+	if id, ok := b.vertexIDs[name]; ok {
+		return id
+	}
+	id := VertexID(len(b.names))
+	b.names = append(b.names, name)
+	b.vertexIDs[name] = id
+	return id
+}
+
+// Label interns a label by name and returns its ID. It panics if more than
+// labelset.MaxLabels distinct labels are interned; the substrate's label
+// universe is a single machine word by design (see package labelset).
+func (b *Builder) Label(name string) Label {
+	if l, ok := b.labelIDs[name]; ok {
+		return l
+	}
+	if len(b.labelNames) >= labelset.MaxLabels {
+		panic(fmt.Sprintf("graph: label universe exceeds %d (adding %q)", labelset.MaxLabels, name))
+	}
+	l := Label(len(b.labelNames))
+	b.labelNames = append(b.labelNames, name)
+	b.labelIDs[name] = l
+	return l
+}
+
+// AddEdge records the edge (s, l, t). Parallel edges and self-loops are
+// permitted (the graph is a multigraph).
+func (b *Builder) AddEdge(s VertexID, l Label, t VertexID) {
+	b.edges = append(b.edges, Triple{s, l, t})
+}
+
+// AddEdgeNames interns the endpoint and label names and records the edge.
+func (b *Builder) AddEdgeNames(s, label, t string) {
+	b.AddEdge(b.Vertex(s), b.Label(label), b.Vertex(t))
+}
+
+// Schema returns the mutable schema store being built.
+func (b *Builder) Schema() *Schema { return b.schema }
+
+// NumVertices returns the number of vertices interned so far.
+func (b *Builder) NumVertices() int { return len(b.names) }
+
+// NumEdges returns the number of edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the Builder into an immutable Graph. The Builder may not
+// be used afterwards.
+func (b *Builder) Build() *Graph {
+	n := len(b.names)
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range b.edges {
+		outDeg[e.Subject]++
+		inDeg[e.Object]++
+	}
+	out := make([][]Edge, n)
+	in := make([][]Edge, n)
+	// Two backing arrays shared by all adjacency slices keep the graph
+	// cache-friendly and halve allocator pressure on large builds.
+	outBack := make([]Edge, len(b.edges))
+	inBack := make([]Edge, len(b.edges))
+	var op, ip int
+	for v := 0; v < n; v++ {
+		out[v] = outBack[op : op : op+int(outDeg[v])]
+		op += int(outDeg[v])
+		in[v] = inBack[ip : ip : ip+int(inDeg[v])]
+		ip += int(inDeg[v])
+	}
+	for _, e := range b.edges {
+		out[e.Subject] = append(out[e.Subject], Edge{To: e.Object, Label: e.Label})
+		in[e.Object] = append(in[e.Object], Edge{To: e.Subject, Label: e.Label})
+	}
+	g := &Graph{
+		names:      b.names,
+		vertexIDs:  b.vertexIDs,
+		labelNames: b.labelNames,
+		labelIDs:   b.labelIDs,
+		out:        out,
+		in:         in,
+		numEdges:   len(b.edges),
+		schema:     b.schema,
+	}
+	b.edges = nil
+	return g
+}

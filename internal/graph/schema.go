@@ -1,0 +1,105 @@
+package graph
+
+import "sort"
+
+// Schema is the RDFS store LS of Definition 2.1: it records class
+// membership ("rdf:type"), the class hierarchy ("rdfs:subClassOf") and
+// property domains/ranges. INS's landmark selection (Algorithm 3, line 1)
+// consults it to pick instance vertices of randomly chosen classes.
+//
+// A Schema is mutable while the Builder is live and should be treated as
+// read-only once the Graph is built.
+type Schema struct {
+	classes    map[string]bool
+	instances  map[string][]VertexID // class name -> instance vertices
+	classOf    map[VertexID][]string // vertex -> class names
+	subClassOf map[string][]string   // class -> super classes
+	domains    map[string]string     // property -> domain class
+	ranges     map[string]string     // property -> range class
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		classes:    make(map[string]bool),
+		instances:  make(map[string][]VertexID),
+		classOf:    make(map[VertexID][]string),
+		subClassOf: make(map[string][]string),
+		domains:    make(map[string]string),
+		ranges:     make(map[string]string),
+	}
+}
+
+// AddClass declares a class.
+func (s *Schema) AddClass(name string) { s.classes[name] = true }
+
+// AddInstance records that vertex v is an instance of class.
+func (s *Schema) AddInstance(class string, v VertexID) {
+	s.classes[class] = true
+	s.instances[class] = append(s.instances[class], v)
+	s.classOf[v] = append(s.classOf[v], class)
+}
+
+// AddSubClassOf records class ⊑ super.
+func (s *Schema) AddSubClassOf(class, super string) {
+	s.classes[class] = true
+	s.classes[super] = true
+	s.subClassOf[class] = append(s.subClassOf[class], super)
+}
+
+// SetDomain records rdfs:domain of a property.
+func (s *Schema) SetDomain(property, class string) { s.domains[property] = class }
+
+// SetRange records rdfs:range of a property.
+func (s *Schema) SetRange(property, class string) { s.ranges[property] = class }
+
+// Classes returns all declared class names, sorted for determinism.
+func (s *Schema) Classes() []string {
+	out := make([]string, 0, len(s.classes))
+	for c := range s.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instances returns the instance vertices of class. The slice aliases
+// internal storage and must not be mutated.
+func (s *Schema) Instances(class string) []VertexID { return s.instances[class] }
+
+// ClassesOf returns the classes vertex v is an instance of.
+func (s *Schema) ClassesOf(v VertexID) []string { return s.classOf[v] }
+
+// IsInstance reports whether v is a recorded instance of class.
+func (s *Schema) IsInstance(v VertexID, class string) bool {
+	for _, c := range s.classOf[v] {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// SuperClasses returns the direct superclasses of class.
+func (s *Schema) SuperClasses(class string) []string { return s.subClassOf[class] }
+
+// Domain returns the rdfs:domain of property, if recorded.
+func (s *Schema) Domain(property string) (string, bool) {
+	c, ok := s.domains[property]
+	return c, ok
+}
+
+// Range returns the rdfs:range of property, if recorded.
+func (s *Schema) Range(property string) (string, bool) {
+	c, ok := s.ranges[property]
+	return c, ok
+}
+
+// NumInstances returns the total number of (class, instance) records.
+func (s *Schema) NumInstances() int {
+	n := 0
+	for _, vs := range s.instances {
+		n += len(vs)
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+// Package lcr implements label-constrained reachability (LCR) machinery:
+// the online search the paper applies directly to LCR queries (§3), the
+// full-transitive-closure CMS computation of Jin et al. [6], a spanning-
+// tree-compressed index in the style of [6] (the "Sampling-Tree" of
+// Figure 5), and a landmark index in the style of Valstar et al. [19]
+// (the "Traditional" columns of Table 2).
+//
+// These are the baselines the paper argues cannot scale to KGs; they are
+// implemented so the repository can regenerate Figure 5 and Table 2 and
+// so the LSCR algorithms have a correctness oracle.
+package lcr
+
+import (
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+)
+
+// Reach reports whether s can reach t under label constraint L (s -L-> t),
+// using BFS. The label constraint prunes the search space, so the cost is
+// O(|V| + |E|) (§1 of the paper).
+func Reach(g *graph.Graph, s, t graph.VertexID, L labelset.Set) bool {
+	if s == t {
+		return true
+	}
+	visited := make([]bool, g.NumVertices())
+	visited[s] = true
+	queue := []graph.VertexID{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(u) {
+			if !L.Contains(e.Label) || visited[e.To] {
+				continue
+			}
+			if e.To == t {
+				return true
+			}
+			visited[e.To] = true
+			queue = append(queue, e.To)
+		}
+	}
+	return false
+}
+
+// ReachDFS is Reach with depth-first exploration; it exists because the
+// paper discusses both uninformed strategies (§3) and tests compare them.
+func ReachDFS(g *graph.Graph, s, t graph.VertexID, L labelset.Set) bool {
+	if s == t {
+		return true
+	}
+	visited := make([]bool, g.NumVertices())
+	visited[s] = true
+	stack := []graph.VertexID{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out(u) {
+			if !L.Contains(e.Label) || visited[e.To] {
+				continue
+			}
+			if e.To == t {
+				return true
+			}
+			visited[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+	return false
+}
+
+// ReachableSet returns every vertex reachable from s under L, including s.
+func ReachableSet(g *graph.Graph, s graph.VertexID, L labelset.Set) []graph.VertexID {
+	visited := make([]bool, g.NumVertices())
+	visited[s] = true
+	out := []graph.VertexID{s}
+	for i := 0; i < len(out); i++ {
+		for _, e := range g.Out(out[i]) {
+			if L.Contains(e.Label) && !visited[e.To] {
+				visited[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// ReachableSetReverse returns every vertex that can reach t under L,
+// including t (a backward BFS over in-edges).
+func ReachableSetReverse(g *graph.Graph, t graph.VertexID, L labelset.Set) []graph.VertexID {
+	visited := make([]bool, g.NumVertices())
+	visited[t] = true
+	out := []graph.VertexID{t}
+	for i := 0; i < len(out); i++ {
+		for _, e := range g.In(out[i]) {
+			if L.Contains(e.Label) && !visited[e.To] {
+				visited[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// SourceCMS computes M(s, v) — the collection of minimal sufficient path
+// label sets (Definition 2.3) — for every vertex v reachable from s. The
+// result is indexed by vertex ID; unreachable vertices have a nil entry.
+// s itself gets the CMS {∅}.
+//
+// The algorithm is a BFS over (vertex, label-set) states with antichain
+// pruning: a state is expanded only while its label set is still minimal
+// for its vertex. Worst case O(2^|ℒ|) states per vertex — this is the
+// exponential cost that makes full-TC methods unusable on KGs (§3.2), and
+// exactly what Figure 5 and Table 2's "Traditional" columns measure.
+func SourceCMS(g *graph.Graph, s graph.VertexID) []*labelset.CMS {
+	cms := make([]*labelset.CMS, g.NumVertices())
+	return sourceCMSInto(g, s, cms, nil)
+}
+
+// sourceCMSInto is SourceCMS with a caller-supplied result slice and an
+// optional per-state budget (<=0 means unlimited). It returns cms. The
+// budget counts recorded (vertex, set) insertions and lets the landmark
+// index bound non-landmark entries the way [19]'s parameter b does.
+func sourceCMSInto(g *graph.Graph, s graph.VertexID, cms []*labelset.CMS, budget *int) []*labelset.CMS {
+	type state struct {
+		v graph.VertexID
+		l labelset.Set
+	}
+	cms[s] = labelset.NewCMS(labelset.Set(0))
+	queue := []state{{s, 0}}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		if cms[st.v].HasProperSubset(st.l) {
+			continue // superseded since enqueued
+		}
+		for _, e := range g.Out(st.v) {
+			nl := st.l.Add(e.Label)
+			if cms[e.To] == nil {
+				cms[e.To] = labelset.NewCMS()
+			}
+			if cms[e.To].Insert(nl) {
+				if budget != nil {
+					*budget--
+					if *budget < 0 {
+						return cms
+					}
+				}
+				queue = append(queue, state{e.To, nl})
+			}
+		}
+	}
+	return cms
+}
+
+// FullTC is the full transitive closure with per-pair CMS: the
+// precomputation approach of [6] without compression. Only feasible on
+// small graphs; the repository uses it as the ground-truth oracle.
+type FullTC struct {
+	cms [][]*labelset.CMS // [s][t]
+}
+
+// NewFullTC computes the closure of g.
+func NewFullTC(g *graph.Graph) *FullTC {
+	n := g.NumVertices()
+	tc := &FullTC{cms: make([][]*labelset.CMS, n)}
+	for s := 0; s < n; s++ {
+		tc.cms[s] = SourceCMS(g, graph.VertexID(s))
+	}
+	return tc
+}
+
+// Reach answers s -L-> t from the closure.
+func (tc *FullTC) Reach(s, t graph.VertexID, L labelset.Set) bool {
+	return tc.cms[s][t].Covers(L)
+}
+
+// CMS returns M(s,t); nil when t is unreachable from s.
+func (tc *FullTC) CMS(s, t graph.VertexID) *labelset.CMS { return tc.cms[s][t] }
+
+// Entries returns the total number of minimal label sets stored.
+func (tc *FullTC) Entries() int {
+	n := 0
+	for _, row := range tc.cms {
+		for _, c := range row {
+			n += c.Len()
+		}
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package lcr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/testkg"
+)
+
+func TestTarjanOnKnownGraph(t *testing.T) {
+	// Two 2-cycles joined by a one-way bridge plus an isolated vertex.
+	b := graph.NewBuilder()
+	p := b.Label("p")
+	a, bb := b.Vertex("a"), b.Vertex("b")
+	c, d := b.Vertex("c"), b.Vertex("d")
+	iso := b.Vertex("iso")
+	b.AddEdge(a, p, bb)
+	b.AddEdge(bb, p, a)
+	b.AddEdge(bb, p, c)
+	b.AddEdge(c, p, d)
+	b.AddEdge(d, p, c)
+	g := b.Build()
+	sccOf, comps := tarjanSCC(g)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if sccOf[a] != sccOf[bb] || sccOf[c] != sccOf[d] {
+		t.Fatal("cycle members split across components")
+	}
+	if sccOf[a] == sccOf[c] || sccOf[iso] == sccOf[a] || sccOf[iso] == sccOf[c] {
+		t.Fatal("distinct components merged")
+	}
+}
+
+// TestTarjanAgainstMutualReachability: u and v share a component iff
+// they reach each other.
+func TestTarjanAgainstMutualReachability(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 2
+		g := testkg.Random(rng, n, rng.Intn(45), rng.Intn(3)+1)
+		sccOf, _ := tarjanSCC(g)
+		all := g.LabelUniverse()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				mutual := Reach(g, graph.VertexID(u), graph.VertexID(v), all) &&
+					Reach(g, graph.VertexID(v), graph.VertexID(u), all)
+				if (sccOf[u] == sccOf[v]) != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCIndexRunningExample(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	idx := NewSCCIndex(g)
+	cases := []struct {
+		s, t   string
+		labels []string
+		want   bool
+	}{
+		{"v0", "v3", []string{"friendOf"}, true},
+		{"v0", "v3", []string{"likes", "follows"}, false},
+		{"v0", "v4", []string{"likes", "follows"}, true},
+		{"v3", "v4", []string{"likes"}, true},
+		{"v4", "v3", []string{"hates", "friendOf"}, true},
+		{"v4", "v0", []string{"hates", "friendOf", "likes", "follows", "advisorOf"}, false},
+		{"v1", "v1", nil, true},
+	}
+	for _, tc := range cases {
+		if got := idx.Reach(ids[tc.s], ids[tc.t], lset(t, g, tc.labels...)); got != tc.want {
+			t.Errorf("SCC.Reach(%s,%s,%v) = %v, want %v", tc.s, tc.t, tc.labels, got, tc.want)
+		}
+	}
+	// v1, v3, v4 form a cycle (likes/hates/friendOf) — one component.
+	if idx.Component(ids["v1"]) != idx.Component(ids["v4"]) ||
+		idx.Component(ids["v3"]) != idx.Component(ids["v4"]) {
+		t.Error("cycle not recognised as one component")
+	}
+	if idx.Entries() == 0 || idx.SizeBytes() <= 0 {
+		t.Error("index accounting empty")
+	}
+}
+
+// TestSCCIndexAgreesWithReachProperty cross-validates against online BFS
+// on random graphs (which are cyclic often enough to exercise the local
+// closures).
+func TestSCCIndexAgreesWithReachProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(14) + 2
+		g := testkg.Random(rng, n, rng.Intn(45), rng.Intn(4)+1)
+		idx := NewSCCIndex(g)
+		for probe := 0; probe < 25; probe++ {
+			s := graph.VertexID(rng.Intn(n))
+			tt := graph.VertexID(rng.Intn(n))
+			L := labelset.Set(rng.Uint64()) & g.LabelUniverse()
+			if idx.Reach(s, tt, L) != Reach(g, s, tt, L) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCIndexSelfLoop(t *testing.T) {
+	b := graph.NewBuilder()
+	p, q := b.Label("p"), b.Label("q")
+	a := b.Vertex("a")
+	c := b.Vertex("c")
+	b.AddEdge(a, p, a) // self loop: singleton SCC with a non-trivial closure
+	b.AddEdge(a, q, c)
+	g := b.Build()
+	idx := NewSCCIndex(g)
+	if !idx.Reach(a, a, labelset.New(p)) {
+		t.Error("self loop lost")
+	}
+	if !idx.Reach(a, c, labelset.New(q)) {
+		t.Error("cross edge lost")
+	}
+	if idx.Reach(a, c, labelset.New(p)) {
+		t.Error("label constraint ignored")
+	}
+}
+
+func TestSCCIndexAcyclicHasEmptyClosures(t *testing.T) {
+	// On a DAG every component is a singleton without self-loops: the
+	// local closures must be empty and all work happens online.
+	b := graph.NewBuilder()
+	p := b.Label("p")
+	for i := 0; i < 9; i++ {
+		b.AddEdge(b.Vertex(vn(i)), p, b.Vertex(vn(i+1)))
+	}
+	g := b.Build()
+	idx := NewSCCIndex(g)
+	if idx.NumComponents() != g.NumVertices() {
+		t.Fatalf("components = %d, want %d", idx.NumComponents(), g.NumVertices())
+	}
+	if idx.Entries() != 0 {
+		t.Fatalf("DAG closure entries = %d, want 0", idx.Entries())
+	}
+	if !idx.Reach(g.Vertex(vn(0)), g.Vertex(vn(9)), labelset.New(p)) {
+		t.Fatal("chain lost")
+	}
+}

@@ -1,0 +1,301 @@
+package lscr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+)
+
+// Local-index persistence. The paper stores its indexes on disk (§6
+// "Settings"); this file implements a compact little-endian binary format
+// with a CRC32 footer:
+//
+//	magic "LSCRIDX1" | flags | |V| | k
+//	landmarks [k]u32 | af [|V|]u32
+//	per landmark: II count, (vertex u32, cms len u32, sets [..]u64)
+//	              EIT count, (labelset u64, count u32, vertices [..]u32)
+//	dmat [k*k]i32
+//	crc32 of everything above
+//
+// The format is versioned by the magic; readers reject unknown versions,
+// truncated input, corrupt payloads and indexes built for a different
+// graph size.
+
+const indexMagic = "LSCRIDX1"
+
+// Encoding errors.
+var (
+	ErrBadIndexMagic = errors.New("lscr: not a local-index file (bad magic)")
+	ErrIndexChecksum = errors.New("lscr: local-index file corrupt (checksum mismatch)")
+	ErrIndexMismatch = errors.New("lscr: local index was built for a different graph")
+)
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: io.MultiWriter(bw, crc)}
+
+	put32 := func(v uint32) { cw.write(binary.LittleEndian.AppendUint32(cw.buf[:0], v)) }
+	put64 := func(v uint64) { cw.write(binary.LittleEndian.AppendUint64(cw.buf[:0], v)) }
+
+	cw.write([]byte(indexMagic))
+	var flags uint32
+	if idx.literalRho {
+		flags |= 1
+	}
+	put32(flags)
+	put32(uint32(len(idx.af)))
+	put32(uint32(len(idx.landmarks)))
+	for _, u := range idx.landmarks {
+		put32(uint32(u))
+	}
+	for _, a := range idx.af {
+		put32(uint32(a))
+	}
+	for li := range idx.landmarks {
+		ii := idx.ii[li]
+		put32(uint32(len(ii)))
+		for _, v := range sortedVertices(ii) {
+			put32(uint32(v))
+			sets := ii[v].Sorted()
+			put32(uint32(len(sets)))
+			for _, s := range sets {
+				put64(uint64(s))
+			}
+		}
+		eit := idx.eit[li]
+		put32(uint32(len(eit)))
+		for _, key := range sortedKeys(eit) {
+			put64(uint64(key))
+			ws := eit[key]
+			put32(uint32(len(ws)))
+			for _, w := range ws {
+				put32(uint32(w))
+			}
+		}
+	}
+	for _, d := range idx.dmat {
+		put32(uint32(d))
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	// Footer: CRC of everything written so far (not itself CRC'd).
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, nil
+}
+
+// ReadLocalIndex deserialises an index previously written by WriteTo and
+// binds it to g. The graph must have the same vertex count the index was
+// built for.
+func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br, crc: crc}
+
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexMagic, err)
+	}
+	if string(magic) != indexMagic {
+		return nil, ErrBadIndexMagic
+	}
+	get32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	get64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+
+	flags, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("%w: index |V|=%d, graph |V|=%d", ErrIndexMismatch, n, g.NumVertices())
+	}
+	k, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if int(k) > g.NumVertices() {
+		return nil, fmt.Errorf("%w: k=%d exceeds |V|", ErrIndexMismatch, k)
+	}
+	idx := &LocalIndex{
+		g:          g,
+		isLandmark: make([]bool, n),
+		af:         make([]graph.VertexID, n),
+		lmIdx:      make([]int32, n),
+		ii:         make([]map[graph.VertexID]*labelset.CMS, k),
+		eit:        make([]map[labelset.Set][]graph.VertexID, k),
+		literalRho: flags&1 != 0,
+	}
+	for i := range idx.lmIdx {
+		idx.lmIdx[i] = -1
+	}
+	idx.landmarks = make([]graph.VertexID, k)
+	for i := range idx.landmarks {
+		v, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if v >= n {
+			return nil, fmt.Errorf("%w: landmark %d out of range", ErrIndexMismatch, v)
+		}
+		idx.landmarks[i] = graph.VertexID(v)
+		idx.isLandmark[v] = true
+		idx.lmIdx[v] = int32(i)
+	}
+	for i := range idx.af {
+		a, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		idx.af[i] = graph.VertexID(a)
+	}
+	for li := range idx.landmarks {
+		nii, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		ii := make(map[graph.VertexID]*labelset.CMS, nii)
+		for j := uint32(0); j < nii; j++ {
+			v, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			ns, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			c := labelset.NewCMS()
+			for x := uint32(0); x < ns; x++ {
+				s, err := get64()
+				if err != nil {
+					return nil, err
+				}
+				c.Insert(labelset.Set(s))
+			}
+			ii[graph.VertexID(v)] = c
+		}
+		idx.ii[li] = ii
+		neit, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		eit := make(map[labelset.Set][]graph.VertexID, neit)
+		for j := uint32(0); j < neit; j++ {
+			key, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			nw, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			ws := make([]graph.VertexID, nw)
+			for x := range ws {
+				wv, err := get32()
+				if err != nil {
+					return nil, err
+				}
+				ws[x] = graph.VertexID(wv)
+			}
+			eit[labelset.Set(key)] = ws
+		}
+		idx.eit[li] = eit
+	}
+	idx.dmat = make([]int32, int(k)*int(k))
+	for i := range idx.dmat {
+		d, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		idx.dmat[i] = int32(d)
+	}
+	want := crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing footer", ErrIndexChecksum)
+	}
+	if binary.LittleEndian.Uint32(foot[:]) != want {
+		return nil, ErrIndexChecksum
+	}
+	return idx, nil
+}
+
+// countWriter tracks bytes written and the first error.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf [8]byte
+}
+
+func (c *countWriter) write(p []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+}
+
+// crcReader feeds everything read through the checksum.
+type crcReader struct {
+	r   io.Reader
+	crc io.Writer
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func sortedVertices(m map[graph.VertexID]*labelset.CMS) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[labelset.Set][]graph.VertexID) []labelset.Set {
+	out := make([]labelset.Set, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

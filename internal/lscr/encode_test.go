@@ -1,0 +1,160 @@
+package lscr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/testkg"
+	"lscr/internal/testkg/pat"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testkg.Random(rng, 60, 200, 5)
+	idx := NewLocalIndex(g, IndexParams{K: 6, Seed: 9, LiteralRho: true})
+
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadLocalIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Landmarks()) != len(idx.Landmarks()) {
+		t.Fatal("landmark count changed")
+	}
+	for i := range idx.Landmarks() {
+		if got.Landmarks()[i] != idx.Landmarks()[i] {
+			t.Fatal("landmarks changed")
+		}
+	}
+	if got.Entries() != idx.Entries() {
+		t.Fatalf("entries: %d != %d", got.Entries(), idx.Entries())
+	}
+	if !got.literalRho {
+		t.Fatal("flags lost")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if got.Region(graph.VertexID(v)) != idx.Region(graph.VertexID(v)) {
+			t.Fatal("region map changed")
+		}
+	}
+	for _, u := range idx.Landmarks() {
+		for _, x := range idx.Landmarks() {
+			if got.D(u, x) != idx.D(u, x) {
+				t.Fatal("D matrix changed")
+			}
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := idx.II(u, graph.VertexID(v)), got.II(u, graph.VertexID(v))
+			if (a == nil) != (b == nil) || (a != nil && !a.Equal(b)) {
+				t.Fatal("II changed")
+			}
+		}
+	}
+}
+
+// TestIndexRoundTripBehaviour: a loaded index must answer INS queries
+// identically to the index it was saved from.
+func TestIndexRoundTripBehaviour(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		g := testkg.Random(rng, n, rng.Intn(30), rng.Intn(4)+1)
+		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(n) + 1, Seed: seed})
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			return false
+		}
+		loaded, err := ReadLocalIndex(&buf, g)
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 4; probe++ {
+			c := pat.RandomConstraint(rng, g, 3)
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: c,
+			}
+			a, _, err1 := INS(g, idx, q, nil)
+			b, _, err2 := INS(g, loaded, q, nil)
+			if err1 != nil || err2 != nil || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexReadRejectsGarbage(t *testing.T) {
+	g, _ := testkg.RunningExample()
+	if _, err := ReadLocalIndex(bytes.NewReader(nil), g); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadLocalIndex(bytes.NewReader([]byte("NOTANIDX")), g); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestIndexReadRejectsCorruption(t *testing.T) {
+	g, _ := testkg.RunningExample()
+	idx := NewLocalIndex(g, IndexParams{K: 2, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte (not in the magic).
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadLocalIndex(bytes.NewReader(data), g); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	// Truncate.
+	if _, err := ReadLocalIndex(bytes.NewReader(data[:len(data)-8]), g); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestIndexReadRejectsWrongGraph(t *testing.T) {
+	g, _ := testkg.RunningExample()
+	idx := NewLocalIndex(g, IndexParams{K: 2, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	other := testkg.Random(rng, 50, 100, 3)
+	if _, err := ReadLocalIndex(&buf, other); err == nil {
+		t.Error("index bound to a graph of different size")
+	}
+}
+
+func TestIndexWriteDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := testkg.Random(rng, 40, 120, 4)
+	idx := NewLocalIndex(g, IndexParams{K: 4, Seed: 2})
+	var a, b bytes.Buffer
+	if _, err := idx.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialisation is not deterministic")
+	}
+}

@@ -1,0 +1,113 @@
+package lscr
+
+import "lscr/internal/graph"
+
+// frontierQueue is the priority queue Q of Algorithm 4, specialised for
+// the hot path: items are 16 bytes (packed uint64 key + vertex), the heap
+// is hand-rolled, and the paper's "delete the first added element"
+// duplicate rule is a per-vertex sequence stamp checked at pop.
+//
+// Key layout (smaller pops first), from the high bit down:
+//
+//	bit 62     close[v] != T            — rule (i): T-marked first
+//	bits 61-60 region/landmark rank     — rules (ii)+(iii)
+//	bits 59-34 encoded ρ(v, t*)         — rule (iv)
+//	bit 33     region landmark explored — rule (v)
+//	bits 32-0  insertion sequence       — rule (vi): FIFO
+//
+// Keys are snapshots: a vertex whose state changes is re-pushed by the
+// search (its old entry dies by the stamp rule), so no revalidation pass
+// is needed.
+type frontierQueue struct {
+	h     []fqItem
+	stamp *epochArr64 // newest insertion (epoch<<33 | seq) per vertex
+	seq   uint64
+}
+
+type fqItem struct {
+	key uint64
+	v   graph.VertexID
+}
+
+const (
+	fqRhoMax  = 1<<26 - 1
+	fqSeqMask = 1<<33 - 1
+)
+
+// newFrontierQueue builds a queue over the pooled stamp array of s.
+func newFrontierQueue(s *scratch, n int) *frontierQueue {
+	s.stamp.next(n)
+	return &frontierQueue{stamp: &s.stamp}
+}
+
+// push inserts v with the given packed priority prefix (bits 62-33 of the
+// final key; the sequence suffix is appended here).
+func (q *frontierQueue) push(v graph.VertexID, prefix uint64) {
+	q.seq++
+	q.stamp.a[v] = q.stamp.epoch<<33 | q.seq
+	key := prefix | (q.seq & fqSeqMask)
+	q.h = append(q.h, fqItem{key: key, v: v})
+	q.up(len(q.h) - 1)
+}
+
+// peek returns the best live element without removing it, discarding
+// superseded duplicates.
+func (q *frontierQueue) peek() (graph.VertexID, bool) {
+	for len(q.h) > 0 {
+		top := q.h[0]
+		if q.stamp.a[top.v] == q.stamp.epoch<<33|(top.key&fqSeqMask) {
+			return top.v, true
+		}
+		q.popTop()
+	}
+	return 0, false
+}
+
+// pop removes and returns the best live element.
+func (q *frontierQueue) pop() (graph.VertexID, bool) {
+	v, ok := q.peek()
+	if !ok {
+		return 0, false
+	}
+	q.popTop()
+	return v, true
+}
+
+func (q *frontierQueue) popTop() {
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+}
+
+func (q *frontierQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.h[p].key <= q.h[i].key {
+			break
+		}
+		q.h[p], q.h[i] = q.h[i], q.h[p]
+		i = p
+	}
+}
+
+func (q *frontierQueue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.h[r].key < q.h[l].key {
+			m = r
+		}
+		if q.h[i].key <= q.h[m].key {
+			return
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+}

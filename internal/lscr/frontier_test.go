@@ -1,0 +1,171 @@
+package lscr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lscr/internal/graph"
+)
+
+func TestFrontierQueueOrdering(t *testing.T) {
+	sc := getScratch(64)
+	defer putScratch(sc)
+	q := newFrontierQueue(sc, 64)
+	// Push with priority prefixes out of order; pops must come back in
+	// ascending prefix order, FIFO within equal prefixes.
+	q.push(1, 3<<60)
+	q.push(2, 1<<60)
+	q.push(3, 2<<60)
+	q.push(4, 1<<60)
+	// Prefix 1 first (2 then 4, FIFO), then prefix 2 (3), then 3 (1).
+	want := []graph.VertexID{2, 4, 3, 1}
+	for i, w := range want {
+		v, ok := q.pop()
+		if !ok || v != w {
+			t.Fatalf("pop %d = %v (%v), want %v", i, v, ok, w)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestFrontierQueueDedupKeepsLatest(t *testing.T) {
+	sc := getScratch(16)
+	defer putScratch(sc)
+	q := newFrontierQueue(sc, 16)
+	q.push(5, 2<<60)
+	q.push(5, 1<<60) // newer entry with better priority
+	v, ok := q.pop()
+	if !ok || v != 5 {
+		t.Fatalf("pop = %v", v)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("stale duplicate survived")
+	}
+}
+
+func TestFrontierQueuePeek(t *testing.T) {
+	sc := getScratch(8)
+	defer putScratch(sc)
+	q := newFrontierQueue(sc, 8)
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty")
+	}
+	q.push(3, 0)
+	if v, ok := q.peek(); !ok || v != 3 {
+		t.Fatal("peek failed")
+	}
+	if v, ok := q.pop(); !ok || v != 3 {
+		t.Fatal("pop after peek failed")
+	}
+}
+
+func TestFrontierQueueEpochIsolation(t *testing.T) {
+	// Two queues sharing one pooled scratch must not see each other's
+	// stamps.
+	sc := getScratch(8)
+	q1 := newFrontierQueue(sc, 8)
+	q1.push(1, 0)
+	putScratch(sc)
+	sc2 := getScratch(8)
+	defer putScratch(sc2)
+	q2 := newFrontierQueue(sc2, 8)
+	if _, ok := q2.pop(); ok {
+		t.Fatal("fresh queue saw stale entries")
+	}
+	q2.push(1, 0)
+	if v, ok := q2.pop(); !ok || v != 1 {
+		t.Fatal("fresh push lost")
+	}
+}
+
+func TestFrontierQueueRandomizedHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(200) + 1
+		sc := getScratch(n)
+		q := newFrontierQueue(sc, n)
+		type pushRec struct {
+			v      graph.VertexID
+			prefix uint64
+			seq    int
+		}
+		latest := map[graph.VertexID]pushRec{}
+		np := rng.Intn(300)
+		for i := 0; i < np; i++ {
+			v := graph.VertexID(rng.Intn(n))
+			prefix := uint64(rng.Intn(4)) << 60
+			q.push(v, prefix)
+			latest[v] = pushRec{v: v, prefix: prefix, seq: i}
+		}
+		var want []pushRec
+		for _, r := range latest {
+			want = append(want, r)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].prefix != want[j].prefix {
+				return want[i].prefix < want[j].prefix
+			}
+			return want[i].seq < want[j].seq
+		})
+		for i, r := range want {
+			v, ok := q.pop()
+			if !ok || v != r.v {
+				t.Fatalf("trial %d pop %d = %v, want %v", trial, i, v, r.v)
+			}
+		}
+		if _, ok := q.pop(); ok {
+			t.Fatalf("trial %d: queue not drained", trial)
+		}
+		putScratch(sc)
+	}
+}
+
+func TestScratchEpochOverflowResets(t *testing.T) {
+	var e epochArr32
+	e.next(4)
+	e.epoch = maxEpoch32
+	e.a[2] = e.epoch<<2 | 1
+	e.next(4) // must reallocate, not wrap
+	if e.epoch != 1 {
+		t.Fatalf("epoch after overflow = %d", e.epoch)
+	}
+	if e.a[2] != 0 {
+		t.Fatal("stale entry survived overflow reset")
+	}
+	var e64 epochArr64
+	e64.next(4)
+	e64.epoch = maxEpoch64
+	e64.next(4)
+	if e64.epoch != 1 {
+		t.Fatalf("epoch64 after overflow = %d", e64.epoch)
+	}
+}
+
+func TestCloseMapEpochReuse(t *testing.T) {
+	sc := getScratch(8)
+	c1 := newCloseMap(sc)
+	c1.set(3, T)
+	if c1.get(3) != T {
+		t.Fatal("set/get broken")
+	}
+	putScratch(sc)
+	sc2 := getScratch(8)
+	defer putScratch(sc2)
+	c2 := newCloseMap(sc2)
+	if c2.get(3) != N {
+		t.Fatal("stale close state visible across epochs")
+	}
+	// Demotion ignored.
+	c2.set(3, T)
+	c2.set(3, F)
+	if c2.get(3) != T {
+		t.Fatal("demotion applied")
+	}
+	st := c2.stats(0)
+	if st.PassedVertices != 1 || st.SearchTreeNodes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,306 @@
+package lscr
+
+import (
+	"lscr/internal/graph"
+	"lscr/internal/pattern"
+)
+
+// INS answers the LSCR query q on g with the informed search of Algorithm
+// 4, guided by a precomputed LocalIndex. Its two priority structures act
+// as the evaluation function of a classical informed search (§5.2):
+//
+//   - H, a priority heap over V(S,G), decides which satisfying vertex to
+//     verify next (F-marked before N-marked, then closer regions and
+//     landmarks first);
+//   - Q, the global priority queue replacing UIS*'s stack, decides which
+//     frontier vertex to expand next (T before F, the target's region
+//     first, landmarks first, closer regions first, regions whose
+//     landmark is unexplored first, then FIFO) and removes duplicates,
+//     keeping the most recent insertion.
+//
+// When the frontier touches a landmark w, the index prunes the search:
+// Check(II[w], t*) answers within-region reachability immediately,
+// Cut(II[w]) marks everything w reaches in its region, and Push(EIT[w])
+// enqueues the boundary exits (Theorem 5.1).
+//
+// vsOrder optionally supplies a precomputed V(S,G); pass nil to let the
+// engine compute it.
+func INS(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID) (bool, Stats, error) {
+	return insImpl(g, idx, q, vsOrder, nil)
+}
+
+// INSTraced is INS with a Tracer observing close-state transitions
+// (index-driven markings are flagged viaIndex) and LCS boundaries.
+func INSTraced(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID, tr Tracer) (bool, Stats, error) {
+	return insImpl(g, idx, q, vsOrder, tr)
+}
+
+func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID, tr Tracer) (bool, Stats, error) {
+	if err := validate(g, q); err != nil {
+		return false, Stats{}, err
+	}
+	vs := vsOrder
+	if vs == nil {
+		m, err := pattern.NewMatcher(g, q.Constraint)
+		if err != nil {
+			return false, Stats{}, err
+		}
+		vs = m.MatchAll()
+	}
+
+	sc := getScratch(g.NumVertices())
+	defer putScratch(sc)
+	r := &insRun{
+		g:       g,
+		idx:     idx,
+		q:       q,
+		close:   newCloseMap(sc),
+		cutDone: make([]uint8, len(idx.landmarks)),
+		tr:      tr,
+	}
+	// Line 1: H initialized by V(S,G).
+	h := newLazyPQ(r.hKey, false, true, g.NumVertices())
+	for _, v := range vs {
+		h.push(v)
+	}
+	// Line 2: global priority queue with s; line 3: close[s] <- F.
+	r.queue = newFrontierQueue(sc, g.NumVertices())
+	r.enqueue(q.Source)
+	r.close.set(q.Source, F)
+	if tr != nil {
+		tr.Transition(q.Source, F, graph.NoVertex, 0, false)
+	}
+
+	// Lines 4-14.
+	for {
+		v, ok := h.pop()
+		if !ok {
+			break
+		}
+		switch r.close.get(v) {
+		case N:
+			if v == q.Source || v == q.Target {
+				// Lines 7-8: the satisfying vertex coincides with an
+				// endpoint; the query reduces to LCR reachability.
+				if r.lcs(q.Source, q.Target, false) {
+					return true, r.close.statsSat(0, v), nil
+				}
+				return false, r.close.stats(0), nil
+			}
+			if r.lcs(q.Source, v, false) { // Line 9.
+				if v == q.Target || r.lcs(v, q.Target, true) { // Lines 10-11.
+					return true, r.close.statsSat(0, v), nil
+				}
+			}
+		case F:
+			// s -L-> v is known; v satisfies S. A zero-length tail
+			// suffices when v is the target (see DESIGN.md).
+			if v == q.Target {
+				return true, r.close.statsSat(0, v), nil
+			}
+			if r.lcs(v, q.Target, true) { // Lines 12-14.
+				return true, r.close.statsSat(0, v), nil
+			}
+		case T:
+			// s -L,S-> v proved by an earlier exhaustive T-phase that
+			// did not reach t; v cannot help further.
+		}
+	}
+	return false, r.close.stats(0), nil
+}
+
+// insRun carries the global state shared by LCS invocations.
+type insRun struct {
+	g     *graph.Graph
+	idx   *LocalIndex
+	q     Query
+	close *closeMap
+	queue *frontierQueue
+
+	// tStar is the target of the LCS invocation in flight; Q's priority
+	// rules reference it. tStarAF caches its region.
+	tStar   graph.VertexID
+	tStarAF graph.VertexID
+
+	// cutDone records, per landmark index, whether Cut/Push has already
+	// run in the F phase (bit 0) or T phase (bit 1); the marking is
+	// idempotent per (w, L, B).
+	cutDone []uint8
+
+	tr Tracer
+}
+
+// hKey orders H (§5.2): F-marked satisfying vertices before N-marked;
+// within a state, nearer estimated distance ρ first, landmarks before
+// non-landmarks.
+func (r *insRun) hKey(v graph.VertexID, seq int) priorityKey {
+	k := priorityKey{id: v, seq: seq}
+	switch r.close.get(v) {
+	case F:
+		k.r0 = 0
+		k.r1 = r.idx.Rho(v, r.q.Target)
+	case N:
+		k.r0 = 1
+		k.r1 = r.idx.Rho(r.q.Source, v)
+	case T:
+		k.r0 = 2
+	}
+	if !r.idx.IsLandmark(v) {
+		k.r2 = 1
+	}
+	return k
+}
+
+// enqueue pushes v into Q with the packed priority implementing the §5.2
+// rules: (i) close T before F; (ii) the current target's region first;
+// (iii) landmarks first; (iv) smaller ρ(u, t*) first; (v) regions whose
+// landmark is still unexplored first; (vi) FIFO.
+func (r *insRun) enqueue(v graph.VertexID) {
+	var key uint64
+	if r.close.get(v) != T {
+		key |= 1 << 62
+	}
+	af := r.idx.Region(v)
+	var rank uint64
+	if !(af != graph.NoVertex && af == r.tStarAF) {
+		rank = 2 // rule (ii) dominates rule (iii)
+	}
+	if !r.idx.IsLandmark(v) {
+		rank++
+	}
+	key |= rank << 60
+	// Rule (iv): smaller ρ first. ρ is the (possibly negated) boundary
+	// connection count D; encode so that "closer" sorts lower.
+	var d uint32
+	if af != graph.NoVertex && r.tStarAF != graph.NoVertex && af != r.tStarAF {
+		d = uint32(r.idx.D(af, r.tStarAF))
+		if d > fqRhoMax {
+			d = fqRhoMax
+		}
+	}
+	rho := uint64(fqRhoMax) - uint64(d) // negated reading: larger D = closer
+	if r.idx.literalRho {
+		rho = uint64(d)
+	}
+	key |= rho << 34
+	if af == graph.NoVertex || r.close.get(af) != N {
+		key |= 1 << 33
+	}
+	r.queue.push(v, key)
+}
+
+// lcs is the LCS(s*, t*, L, B) of Algorithm 4 (lines 16-30). With fromSat
+// (B = T) the frontier is marked T and may re-explore F vertices.
+func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
+	r.tStar = tStar
+	r.tStarAF = r.idx.Region(tStar)
+	if r.tr != nil {
+		r.tr.Invocation(sStar, tStar, fromSat)
+	}
+	if fromSat {
+		r.close.set(sStar, T) // Lines 17-18.
+		r.enqueue(sStar)
+		if r.tr != nil {
+			r.tr.Transition(sStar, T, graph.NoVertex, 0, false)
+		}
+		if sStar == tStar {
+			return true
+		}
+	} else if sStar == tStar {
+		return true
+	}
+	L := r.q.Labels
+	// Line 19: while (B=F ∧ Q≠φ) or (B = close[Q.first] = T).
+	for {
+		top, ok := r.queue.peek()
+		if !ok {
+			break
+		}
+		if fromSat && r.close.get(top) != T {
+			break
+		}
+		u, _ := r.queue.pop()
+		for _, e := range r.g.Out(u) { // Lines 21-29.
+			if !L.Contains(e.Label) {
+				continue
+			}
+			w := e.To
+			// Line 22-23: t* lives in w's region and w reaches it there.
+			if r.tStarAF == w && r.idx.Check(w, tStar, L) {
+				r.requeue(u)
+				return true
+			}
+			if r.idx.IsLandmark(w) { // Lines 24-25.
+				if r.cutPush(w, tStar, fromSat) {
+					r.requeue(u)
+					return true
+				}
+			} else if r.close.get(w) == N || fromSat && r.close.get(w) == F { // Lines 26-27.
+				if fromSat {
+					r.close.set(w, T)
+				} else {
+					r.close.set(w, F)
+				}
+				r.enqueue(w)
+				if r.tr != nil {
+					r.tr.Transition(w, r.close.get(w), u, e.Label, false)
+				}
+				if w == tStar { // Lines 28-29.
+					r.requeue(u)
+					return true
+				}
+			}
+		}
+	}
+	// Unlike UIS*, INS has no stack cleanup (Theorem 5.6): the priority
+	// rules keep T elements in front and duplicates are removed by Q.
+	return false
+}
+
+// requeue re-inserts a partially scanned vertex so a later invocation
+// rescans its remaining edges (see the matching fix in UIS*).
+func (r *insRun) requeue(u graph.VertexID) { r.enqueue(u) }
+
+// cutPush runs Cut(II[w]) and Push(EIT[w]) for landmark w (line 25),
+// reporting whether it proved s* -L-> t*. Cut marks every vertex w
+// reaches inside F(w) under L; Push enqueues every boundary exit
+// reachable under L (Theorem 5.1). The marking is idempotent per phase,
+// so repeated hits on the same landmark are skipped.
+func (r *insRun) cutPush(w, tStar graph.VertexID, fromSat bool) bool {
+	bit := uint8(1)
+	if fromSat {
+		bit = 2
+	}
+	li := r.idx.lmIdx[w]
+	if r.cutDone[li]&bit != 0 {
+		return false
+	}
+	r.cutDone[li] |= bit
+	L := r.q.Labels
+	found := false
+	mark := func(x graph.VertexID, enq bool) {
+		if fromSat {
+			if r.close.get(x) == T {
+				return
+			}
+			r.close.set(x, T)
+		} else {
+			if r.close.get(x) != N {
+				return
+			}
+			r.close.set(x, F)
+		}
+		if enq {
+			r.enqueue(x)
+		}
+		if r.tr != nil {
+			r.tr.Transition(x, r.close.get(x), w, 0, true)
+		}
+		if x == tStar {
+			found = true
+		}
+	}
+	r.idx.IIEntries(w, L, func(x graph.VertexID) { mark(x, false) })
+	r.idx.EITEntries(w, L, func(x graph.VertexID) { mark(x, true) })
+	return found
+}

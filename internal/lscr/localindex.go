@@ -1,0 +1,439 @@
+package lscr
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+)
+
+// LocalIndex is the paper's lightweight index (Algorithm 3, §5.1). Unlike
+// the traditional landmark index of [19], each landmark u is precomputed
+// only within its own subgraph F(u) of the bijection F: I -> G built by a
+// simultaneous multi-source BFS, which bounds the indexing cost
+// (Theorems 5.3 and 5.4) independently of the number of landmarks.
+//
+// One index entry per landmark u consists of:
+//
+//	II[u]  — (vertex v in F(u)) -> M(u, v | F(u)), the CMS within F(u);
+//	EIT[u] — (label set L) -> boundary vertices w outside F(u) known to be
+//	         reachable from u whenever L ⊆ the query constraint
+//	         (Theorem 5.1); the reversed form of EI[u];
+//	D[u]   — (landmark x) -> number of EI[u] boundary pairs landing in
+//	         F(x), an estimate of how strongly F(u) connects to F(x).
+type LocalIndex struct {
+	g          *graph.Graph
+	landmarks  []graph.VertexID
+	isLandmark []bool
+	af         []graph.VertexID // AF attribute: region landmark, NoVertex if unassigned
+
+	// ii and eit are indexed by landmark index (lmIdx), so parallel
+	// construction writes disjoint slice slots.
+	ii  []map[graph.VertexID]*labelset.CMS
+	eit []map[labelset.Set][]graph.VertexID
+
+	// D as a dense k×k matrix over landmark indices; lmIdx maps a
+	// landmark vertex to its row/column, -1 for non-landmarks. Query-time
+	// ρ lookups are on the hot path of INS's priority queue.
+	dmat  []int32
+	lmIdx []int32
+
+	literalRho bool
+}
+
+// IndexParams configures construction.
+type IndexParams struct {
+	// K is the number of landmarks; 0 means the paper's
+	// k = log2(|V|)·√|V| (§5.1.2), capped at |V|.
+	K int
+	// Seed drives the random class selection of LandmarkSelect; fixed
+	// seeds give reproducible indexes.
+	Seed int64
+	// ClassFraction is the fraction of schema classes randomly selected
+	// to draw landmark instances from; 0 means 0.5. Ignored when the
+	// schema is empty (degree-based fallback).
+	ClassFraction float64
+	// LiteralRho makes Rho return D(s.AF, t.AF) verbatim, the paper's
+	// literal definition, instead of the repository's default negated
+	// reading (see DESIGN.md §3). Exposed for the ρ-sign ablation bench.
+	LiteralRho bool
+	// Workers bounds the goroutines building per-landmark entries
+	// (LocalFullIndex runs are independent). 0 means GOMAXPROCS; 1 means
+	// sequential. The result is identical for any worker count.
+	Workers int
+}
+
+// DefaultK returns the paper's landmark count for |V| = n.
+func DefaultK(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Log2(float64(n)) * math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// NewLocalIndex builds the index for g (Algorithm 3).
+func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
+	n := g.NumVertices()
+	k := p.K
+	if k <= 0 {
+		k = DefaultK(n)
+	}
+	if k > n {
+		k = n
+	}
+	idx := &LocalIndex{
+		g:          g,
+		isLandmark: make([]bool, n),
+		af:         make([]graph.VertexID, n),
+		lmIdx:      make([]int32, n),
+		literalRho: p.LiteralRho,
+	}
+	for i := range idx.af {
+		idx.af[i] = graph.NoVertex
+		idx.lmIdx[i] = -1
+	}
+	idx.landmarkSelect(k, p) // Line 1.
+	for i, u := range idx.landmarks {
+		idx.lmIdx[u] = int32(i)
+	}
+	idx.ii = make([]map[graph.VertexID]*labelset.CMS, len(idx.landmarks))
+	idx.eit = make([]map[labelset.Set][]graph.VertexID, len(idx.landmarks))
+	idx.dmat = make([]int32, len(idx.landmarks)*len(idx.landmarks))
+	idx.bfsTraverse() // Line 2.
+
+	// Lines 3-4: LocalFullIndex per landmark, parallelised. Each worker
+	// writes only its landmark's map slots and D row, so no locking is
+	// needed beyond the work queue.
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idx.landmarks) {
+		workers = len(idx.landmarks)
+	}
+	if workers <= 1 {
+		for _, u := range idx.landmarks {
+			idx.localFullIndex(u)
+		}
+		return idx
+	}
+	var wg sync.WaitGroup
+	work := make(chan graph.VertexID)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				idx.localFullIndex(u)
+			}
+		}()
+	}
+	for _, u := range idx.landmarks {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	return idx
+}
+
+// landmarkSelect implements the schema-driven selection of §5.1.2: pick a
+// random set of classes from LS, then evenly mark k instances of the
+// selected classes as landmarks. Selecting by raw degree would favour
+// vertices whose incident edges carry only RDF vocabulary labels, making
+// the index useless for constraints without those labels (§5.1.2). When
+// the schema records no instances, it falls back to highest-degree
+// selection and, in either case, pads with high-degree vertices if the
+// selected classes provide fewer than k instances.
+func (idx *LocalIndex) landmarkSelect(k int, p IndexParams) {
+	g := idx.g
+	rng := rand.New(rand.NewSource(p.Seed))
+	frac := p.ClassFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	var pool []graph.VertexID
+	classes := g.Schema().Classes()
+	if len(classes) > 0 {
+		nSel := int(float64(len(classes)) * frac)
+		if nSel < 1 {
+			nSel = 1
+		}
+		perm := rng.Perm(len(classes))
+		seen := make(map[graph.VertexID]bool)
+		for _, ci := range perm[:nSel] {
+			for _, v := range g.Schema().Instances(classes[ci]) {
+				if !seen[v] {
+					seen[v] = true
+					pool = append(pool, v)
+				}
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	take := func(v graph.VertexID) {
+		if !idx.isLandmark[v] {
+			idx.isLandmark[v] = true
+			idx.landmarks = append(idx.landmarks, v)
+		}
+	}
+	if len(pool) >= k {
+		// Evenly mark k instances across the pool.
+		step := float64(len(pool)) / float64(k)
+		for i := 0; i < k; i++ {
+			take(pool[int(float64(i)*step)])
+		}
+	} else {
+		for _, v := range pool {
+			take(v)
+		}
+	}
+	if len(idx.landmarks) < k {
+		// Degree-ordered padding (also the schema-free fallback).
+		order := make([]graph.VertexID, g.NumVertices())
+		for i := range order {
+			order[i] = graph.VertexID(i)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := g.Degree(order[i]), g.Degree(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+		for _, v := range order {
+			if len(idx.landmarks) == k {
+				break
+			}
+			take(v)
+		}
+	}
+}
+
+// bfsTraverse implements BFSTraverse (Lines 25-34): a simultaneous BFS
+// from all landmarks, round-robin one step per landmark queue, assigning
+// w.AF = u when landmark u's wave reaches w first. Regions are disjoint
+// and may not cover all of G.
+func (idx *LocalIndex) bfsTraverse() {
+	g := idx.g
+	explored := make([]bool, g.NumVertices())
+	queues := make([][]graph.VertexID, 0, len(idx.landmarks))
+	owners := make([]graph.VertexID, 0, len(idx.landmarks))
+	for _, u := range idx.landmarks {
+		explored[u] = true
+		idx.af[u] = u
+		queues = append(queues, []graph.VertexID{u})
+		owners = append(owners, u)
+	}
+	for len(queues) > 0 {
+		nextQ := queues[:0]
+		nextO := owners[:0]
+		for qi, q := range queues {
+			u := owners[qi]
+			v := q[0]
+			q = q[1:]
+			for _, e := range g.Out(v) {
+				if explored[e.To] {
+					continue
+				}
+				explored[e.To] = true
+				idx.af[e.To] = u
+				q = append(q, e.To)
+			}
+			if len(q) > 0 {
+				nextQ = append(nextQ, q)
+				nextO = append(nextO, u)
+			}
+		}
+		queues = nextQ
+		owners = nextO
+	}
+}
+
+// localFullIndex implements LocalFullIndex(u) (Lines 5-15): a CMS BFS
+// restricted to F(u). Pairs leaving the region feed EI[u], which is then
+// reversed into EIT[u] and aggregated into D[u].
+func (idx *LocalIndex) localFullIndex(u graph.VertexID) {
+	g := idx.g
+	ii := make(map[graph.VertexID]*labelset.CMS)
+	ei := make(map[graph.VertexID]*labelset.CMS)
+	type state struct {
+		v graph.VertexID
+		l labelset.Set
+	}
+	queue := []state{{u, 0}}
+	insert := func(m map[graph.VertexID]*labelset.CMS, v graph.VertexID, l labelset.Set) bool {
+		c := m[v]
+		if c == nil {
+			c = labelset.NewCMS()
+			m[v] = c
+		}
+		return c.Insert(l)
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		if !insert(ii, st.v, st.l) { // Line 10.
+			continue
+		}
+		for _, e := range g.Out(st.v) { // Lines 11-14.
+			nl := st.l.Add(e.Label)
+			if idx.af[e.To] == u {
+				queue = append(queue, state{e.To, nl})
+			} else {
+				insert(ei, e.To, nl)
+			}
+		}
+	}
+	idx.ii[idx.lmIdx[u]] = ii
+
+	// Line 15: EIT[u] and D[u] from EI[u].
+	eit := make(map[labelset.Set][]graph.VertexID)
+	row := int(idx.lmIdx[u]) * len(idx.landmarks)
+	for w, c := range ei {
+		for _, l := range c.Sets() {
+			eit[l] = append(eit[l], w)
+		}
+		if a := idx.af[w]; a != graph.NoVertex {
+			idx.dmat[row+int(idx.lmIdx[a])]++
+		}
+	}
+	for _, ws := range eit {
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	}
+	idx.eit[idx.lmIdx[u]] = eit
+}
+
+// Landmarks returns the chosen landmarks I.
+func (idx *LocalIndex) Landmarks() []graph.VertexID { return idx.landmarks }
+
+// IsLandmark reports whether v ∈ I.
+func (idx *LocalIndex) IsLandmark(v graph.VertexID) bool { return idx.isLandmark[v] }
+
+// Region returns v.AF — the landmark whose subgraph F contains v — or
+// NoVertex when the traversal did not assign v to any region.
+func (idx *LocalIndex) Region(v graph.VertexID) graph.VertexID { return idx.af[v] }
+
+// II returns M(u, v | F(u)) for landmark u, or nil when u is not a
+// landmark or v is outside F(u).
+func (idx *LocalIndex) II(u, v graph.VertexID) *labelset.CMS {
+	li := idx.lmIdx[u]
+	if li < 0 {
+		return nil
+	}
+	return idx.ii[li][v]
+}
+
+// Check implements the Check(II[w], t*) of Algorithm 4 line 22: whether
+// the landmark w reaches t (a vertex of F(w)) within its region under L.
+func (idx *LocalIndex) Check(w, t graph.VertexID, L labelset.Set) bool {
+	li := idx.lmIdx[w]
+	return li >= 0 && idx.ii[li][t].Covers(L)
+}
+
+// IIEntries calls fn for every (vertex, CMS) pair of II[u] whose CMS
+// covers L — the vertices Cut(II[u]) marks.
+func (idx *LocalIndex) IIEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
+	li := idx.lmIdx[u]
+	if li < 0 {
+		return
+	}
+	for v, c := range idx.ii[li] {
+		if c.Covers(L) {
+			fn(v)
+		}
+	}
+}
+
+// EITEntries calls fn for every boundary vertex of EIT[u] whose key label
+// set is a subset of L — the vertices Push(EIT[u]) enqueues (Theorem 5.1).
+func (idx *LocalIndex) EITEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
+	li := idx.lmIdx[u]
+	if li < 0 {
+		return
+	}
+	for key, ws := range idx.eit[li] {
+		if !key.SubsetOf(L) {
+			continue
+		}
+		for _, w := range ws {
+			fn(w)
+		}
+	}
+}
+
+// D returns D(u, x): the boundary-pair count from F(u) into F(x). Zero
+// when unknown or when either vertex is not a landmark.
+func (idx *LocalIndex) D(u, x graph.VertexID) int {
+	iu, ix := idx.lmIdx[u], idx.lmIdx[x]
+	if iu < 0 || ix < 0 {
+		return 0
+	}
+	return int(idx.dmat[int(iu)*len(idx.landmarks)+int(ix)])
+}
+
+// Rho is the estimated closeness used by INS's evaluation function. The
+// paper defines ρ(s,t) = D(s.AF, t.AF) and prefers small ρ; since D counts
+// inter-region connections (more connections = closer), this
+// implementation negates D so that "smaller ρ" means "more strongly
+// connected" (see DESIGN.md §3 and the BenchmarkAblationRho bench).
+// Vertices outside every region get the worst estimate.
+func (idx *LocalIndex) Rho(u, t graph.VertexID) int {
+	au, at := idx.af[u], idx.af[t]
+	if au == graph.NoVertex || at == graph.NoVertex {
+		return 0
+	}
+	if au == at {
+		return -1 << 30 // same region: closest under either reading
+	}
+	d := int(idx.dmat[int(idx.lmIdx[au])*len(idx.landmarks)+int(idx.lmIdx[at])])
+	if idx.literalRho {
+		return d
+	}
+	return -d
+}
+
+// Entries returns the number of stored minimal label sets across II plus
+// boundary slots across EIT.
+func (idx *LocalIndex) Entries() int {
+	n := 0
+	for _, m := range idx.ii {
+		for _, c := range m {
+			n += c.Len()
+		}
+	}
+	for _, m := range idx.eit {
+		for _, ws := range m {
+			n += len(ws)
+		}
+	}
+	return n
+}
+
+// SizeBytes estimates the index footprint: region arrays plus 8 bytes per
+// stored label set, 16 bytes per map slot, 4 bytes per boundary vertex.
+func (idx *LocalIndex) SizeBytes() int64 {
+	sz := int64(len(idx.af)) * 5 // af + isLandmark
+	for _, m := range idx.ii {
+		for _, c := range m {
+			sz += 16 + int64(c.Len())*8
+		}
+	}
+	for _, m := range idx.eit {
+		for _, ws := range m {
+			sz += 8 + int64(len(ws))*4
+		}
+	}
+	sz += int64(len(idx.dmat)) * 4
+	return sz
+}

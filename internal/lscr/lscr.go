@@ -1,0 +1,142 @@
+// Package lscr implements the paper's contribution: answering reachability
+// queries with label and substructure constraints (LSCR, Definition 2.4)
+// on knowledge graphs, via three algorithms:
+//
+//   - UIS (Algorithm 1): an uninformed search with recall that works on
+//     any edge-labeled graph; the paper's baseline.
+//   - UIS* (Algorithm 2): obtains V(S,G) from a SPARQL engine and
+//     verifies s -L-> v and v -L-> t per satisfying vertex v, sharing a
+//     global stack and the close surjection across invocations.
+//   - INS (Algorithm 4): an informed search guided by a precomputed
+//     LocalIndex (Algorithm 3) and two priority structures (a heap H over
+//     V(S,G) and a priority queue Q), which breaks the fixed LIFO/FIFO
+//     search direction of the uninformed algorithms.
+//
+// All three share the close surjection of Definition 3.1 and report the
+// paper's evaluation measures (elapsed work and passed-vertex counts).
+package lscr
+
+import (
+	"errors"
+	"fmt"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/pattern"
+)
+
+// State is the value of the close surjection (Definition 3.1) for one
+// vertex: N (never explored), F (s -L-> v proved), or T (s -L,S-> v
+// proved).
+type State uint8
+
+// close states.
+const (
+	N State = iota
+	F
+	T
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case N:
+		return "N"
+	case F:
+		return "F"
+	case T:
+		return "T"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Query is an LSCR query Q = (s, t, L, S) (Definition 2.4).
+type Query struct {
+	Source, Target graph.VertexID
+	Labels         labelset.Set
+	Constraint     *pattern.Constraint
+}
+
+// Stats reports the paper's evaluation measures for one query run.
+type Stats struct {
+	// PassedVertices is the number of vertices whose close state is not N
+	// when the run ends — the second measure of §6.
+	PassedVertices int
+	// SearchTreeNodes is |T|, the number of nodes of the search tree of
+	// Definition 3.2 (each vertex contributes a node per close state it
+	// takes, so at most two).
+	SearchTreeNodes int
+	// SCckCalls counts substructure-check invocations (UIS only; UIS* and
+	// INS obtain V(S,G) up front).
+	SCckCalls int
+	// Satisfying is, for a true answer, a vertex that satisfies the
+	// substructure constraint with s -L-> Satisfying -L-> t — the anchor
+	// FindWitness turns into a concrete path. NoVertex for false
+	// answers.
+	Satisfying graph.VertexID
+}
+
+// Errors returned by the algorithms.
+var (
+	ErrBadQuery = errors.New("lscr: query vertices out of range")
+)
+
+// closeMap is the close surjection with the bookkeeping Stats needs. It
+// is backed by a pooled epoch-stamped array (see scratch.go): entries
+// whose epoch is stale read as N, so queries reuse arrays with no
+// zeroing.
+type closeMap struct {
+	arr    *epochArr32
+	passed int // vertices with state != N
+	nodes  int // search-tree nodes (state transitions)
+}
+
+func newCloseMap(s *scratch) *closeMap { return &closeMap{arr: &s.close} }
+
+func (c *closeMap) get(v graph.VertexID) State {
+	e := c.arr.a[v]
+	if e>>2 != c.arr.epoch {
+		return N
+	}
+	return State(e & 3)
+}
+
+// set transitions v to st, updating the passed-vertex and search-tree
+// counters. Transitions are monotone (Definition 3.1): N -> F -> T;
+// demotions are ignored.
+func (c *closeMap) set(v graph.VertexID, st State) {
+	old := c.get(v)
+	if old == st || st < old {
+		return
+	}
+	if old == N {
+		c.passed++
+	}
+	c.nodes++
+	c.arr.a[v] = c.arr.epoch<<2 | uint32(st)
+}
+
+func (c *closeMap) stats(scck int) Stats {
+	return Stats{
+		PassedVertices:  c.passed,
+		SearchTreeNodes: c.nodes,
+		SCckCalls:       scck,
+		Satisfying:      graph.NoVertex,
+	}
+}
+
+// statsSat is stats with the witness anchor of a true answer.
+func (c *closeMap) statsSat(scck int, sat graph.VertexID) Stats {
+	st := c.stats(scck)
+	st.Satisfying = sat
+	return st
+}
+
+// validate checks query endpoints against g.
+func validate(g *graph.Graph, q Query) error {
+	n := graph.VertexID(g.NumVertices())
+	if q.Source >= n || q.Target >= n {
+		return ErrBadQuery
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package lscr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/lcr"
+	"lscr/internal/pattern"
+	"lscr/internal/testkg"
+	"lscr/internal/testkg/pat"
+)
+
+// oracle answers an LSCR query by Theorem 2.1 directly: s -L,S-> t iff
+// some v ∈ V(S,G) has s -L-> v and v -L-> t.
+func oracle(g *graph.Graph, q Query) bool {
+	m, err := pattern.NewMatcher(g, q.Constraint)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range m.MatchAll() {
+		if lcr.Reach(g, q.Source, v, q.Labels) && lcr.Reach(g, v, q.Target, q.Labels) {
+			return true
+		}
+	}
+	return false
+}
+
+func lset(t testing.TB, g *graph.Graph, names ...string) labelset.Set {
+	t.Helper()
+	var s labelset.Set
+	for _, n := range names {
+		l, ok := g.LabelByName(n)
+		if !ok {
+			t.Fatalf("label %q not in graph", n)
+		}
+		s = s.Add(l)
+	}
+	return s
+}
+
+// paperCases are the concrete LSCR facts the paper states about the
+// running example (Figure 3 and §2-§3).
+func paperCases(t *testing.T) (*graph.Graph, *pattern.Constraint, []struct {
+	s, t string
+	L    labelset.Set
+	want bool
+}) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	all := g.LabelUniverse()
+	cases := []struct {
+		s, t string
+		L    labelset.Set
+		want bool
+	}{
+		// §2 "Overall": with L={likes,follows}: v0 -L,S0-> v4, not v0 -L,S0-> v3.
+		{"v0", "v4", lset(t, g, "likes", "follows"), true},
+		{"v0", "v3", lset(t, g, "likes", "follows"), false},
+		// §2: v0 -S0-> v4, v0 -S0-> v3, v3 -S0-> v4 (unconstrained labels).
+		{"v0", "v4", all, true},
+		{"v0", "v3", all, true},
+		{"v3", "v4", all, true},
+		// §3: with L={likes,hates,friendOf}, v3 -L,S0-> v4 — requires the
+		// recall walk <v3,likes,v4,hates,v1,friendOf,v3,likes,v4>.
+		{"v3", "v4", lset(t, g, "likes", "hates", "friendOf"), true},
+		// The only {likes}-path v3->v4 passes no vertex satisfying S0.
+		{"v3", "v4", lset(t, g, "likes"), false},
+		// The source itself satisfies S0, so any L-path works:
+		// v2 -{follows}-> v4 (v2 ∈ V(S0,G0) and v2 ∈ V(p)).
+		{"v2", "v4", lset(t, g, "follows"), true},
+	}
+	return g, s0, cases
+}
+
+func TestUISPaperCases(t *testing.T) {
+	g, s0, cases := paperCases(t)
+	ids := map[string]graph.VertexID{}
+	for _, n := range []string{"v0", "v1", "v2", "v3", "v4"} {
+		ids[n] = g.Vertex(n)
+	}
+	for _, tc := range cases {
+		q := Query{Source: ids[tc.s], Target: ids[tc.t], Labels: tc.L, Constraint: s0}
+		got, st, err := UIS(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("UIS(%s,%s,%v) = %v, want %v", tc.s, tc.t, tc.L, got, tc.want)
+		}
+		if st.PassedVertices > g.NumVertices() {
+			t.Errorf("PassedVertices %d > |V|", st.PassedVertices)
+		}
+		if st.SearchTreeNodes > 2*g.NumVertices() {
+			t.Errorf("search tree has %d nodes > 2|V| (Definition 3.2)", st.SearchTreeNodes)
+		}
+	}
+}
+
+func TestUISStarPaperCases(t *testing.T) {
+	g, s0, cases := paperCases(t)
+	ids := map[string]graph.VertexID{}
+	for _, n := range []string{"v0", "v1", "v2", "v3", "v4"} {
+		ids[n] = g.Vertex(n)
+	}
+	for _, tc := range cases {
+		q := Query{Source: ids[tc.s], Target: ids[tc.t], Labels: tc.L, Constraint: s0}
+		got, st, err := UISStar(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("UIS*(%s,%s,%v) = %v, want %v", tc.s, tc.t, tc.L, got, tc.want)
+		}
+		if st.SearchTreeNodes > 2*g.NumVertices() {
+			t.Errorf("search tree has %d nodes > 2|V|", st.SearchTreeNodes)
+		}
+	}
+}
+
+func TestINSPaperCases(t *testing.T) {
+	g, s0, cases := paperCases(t)
+	ids := map[string]graph.VertexID{}
+	for _, n := range []string{"v0", "v1", "v2", "v3", "v4"} {
+		ids[n] = g.Vertex(n)
+	}
+	for _, k := range []int{1, 2, 5} {
+		idx := NewLocalIndex(g, IndexParams{K: k, Seed: 42})
+		for _, tc := range cases {
+			q := Query{Source: ids[tc.s], Target: ids[tc.t], Labels: tc.L, Constraint: s0}
+			got, _, err := INS(g, idx, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("INS[k=%d](%s,%s,%v) = %v, want %v", k, tc.s, tc.t, tc.L, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRecallAbility(t *testing.T) {
+	// The §3 walk: a plain DFS/BFS never revisits v3/v4, so only an
+	// algorithm with recall answers true. This is the paper's motivating
+	// example for UIS.
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	q := Query{
+		Source: ids["v3"], Target: ids["v4"],
+		Labels:     lset(t, g, "likes", "hates", "friendOf"),
+		Constraint: s0,
+	}
+	got, st, err := UIS(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("UIS lacks recall: v3 -L,S0-> v4 not found")
+	}
+	// v4 must appear twice in the search tree (as v4F then v4T).
+	if st.SearchTreeNodes <= st.PassedVertices {
+		t.Errorf("no vertex was revisited: nodes=%d passed=%d", st.SearchTreeNodes, st.PassedVertices)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	all := g.LabelUniverse()
+	idx := NewLocalIndex(g, IndexParams{K: 2, Seed: 1})
+
+	run := func(q Query) (u, us, in bool) {
+		var err error
+		u, _, err = UIS(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us, _, err = UISStar(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _, err = INS(g, idx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	// s == t, s satisfies S0 (v1): trivially true.
+	q := Query{Source: ids["v1"], Target: ids["v1"], Labels: all, Constraint: s0}
+	if u, us, in := run(q); !u || !us || !in {
+		t.Errorf("s=t satisfying: UIS=%v UIS*=%v INS=%v, want all true", u, us, in)
+	}
+	// s == t, s does not satisfy S0 but lies on a cycle through v1.
+	q = Query{Source: ids["v3"], Target: ids["v3"], Labels: all, Constraint: s0}
+	if u, us, in := run(q); !u || !us || !in {
+		t.Errorf("s=t on cycle: UIS=%v UIS*=%v INS=%v, want all true", u, us, in)
+	}
+	// s == t, no cycle: v0 -> v0.
+	q = Query{Source: ids["v0"], Target: ids["v0"], Labels: all, Constraint: s0}
+	if u, us, in := run(q); u || us || in {
+		t.Errorf("s=t no cycle: UIS=%v UIS*=%v INS=%v, want all false", u, us, in)
+	}
+	// Empty label constraint.
+	q = Query{Source: ids["v0"], Target: ids["v4"], Labels: 0, Constraint: s0}
+	if u, us, in := run(q); u || us || in {
+		t.Errorf("empty L: UIS=%v UIS*=%v INS=%v, want all false", u, us, in)
+	}
+	// Unsatisfiable constraint: nothing likes v0.
+	likes, _ := g.LabelByName("likes")
+	bad := &pattern.Constraint{
+		Focus:    "x",
+		Patterns: []pattern.TriplePattern{{Subject: pattern.V("x"), Label: likes, Object: pattern.C(ids["v0"])}},
+	}
+	q = Query{Source: ids["v0"], Target: ids["v4"], Labels: all, Constraint: bad}
+	if u, us, in := run(q); u || us || in {
+		t.Errorf("unsat S: UIS=%v UIS*=%v INS=%v, want all false", u, us, in)
+	}
+	// Out-of-range endpoints.
+	q = Query{Source: 99, Target: ids["v0"], Labels: all, Constraint: s0}
+	if _, _, err := UIS(g, q); err != ErrBadQuery {
+		t.Errorf("UIS out-of-range: %v", err)
+	}
+	if _, _, err := UISStar(g, q, nil); err != ErrBadQuery {
+		t.Errorf("UIS* out-of-range: %v", err)
+	}
+	if _, _, err := INS(g, idx, q, nil); err != ErrBadQuery {
+		t.Errorf("INS out-of-range: %v", err)
+	}
+	// Invalid constraint surfaces as an error.
+	q = Query{Source: ids["v0"], Target: ids["v4"], Labels: all, Constraint: &pattern.Constraint{Focus: "x"}}
+	if _, _, err := UIS(g, q); err == nil {
+		t.Error("UIS accepted invalid constraint")
+	}
+}
+
+// TestAlgorithmsAgreeProperty is the central cross-validation: UIS, UIS*
+// and INS must agree with the Theorem 2.1 oracle on random graphs,
+// constraints, label sets and endpoints.
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(14) + 2
+		g := testkg.Random(rng, n, rng.Intn(40), rng.Intn(5)+1)
+		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(n) + 1, Seed: seed})
+		for probe := 0; probe < 6; probe++ {
+			c := pat.RandomConstraint(rng, g, 3)
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: c,
+			}
+			want := oracle(g, q)
+			u, _, err := UIS(g, q)
+			if err != nil || u != want {
+				return false
+			}
+			us, _, err := UISStar(g, q, nil)
+			if err != nil || us != want {
+				return false
+			}
+			in, _, err := INS(g, idx, q, nil)
+			if err != nil || in != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlgorithmsAgreeShuffledVS checks that UIS* and INS are correct for
+// any processing order of V(S,G) (the paper treats it as disordered, §4).
+func TestAlgorithmsAgreeShuffledVS(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		g := testkg.Random(rng, n, rng.Intn(30), rng.Intn(4)+1)
+		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(n) + 1, Seed: seed})
+		c := pat.RandomConstraint(rng, g, 3)
+		m, err := pattern.NewMatcher(g, c)
+		if err != nil {
+			return false
+		}
+		vs := m.MatchAll()
+		rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+		for probe := 0; probe < 5; probe++ {
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: c,
+			}
+			want := oracle(g, q)
+			us, _, err := UISStar(g, q, vs)
+			if err != nil || us != want {
+				return false
+			}
+			in, _, err := INS(g, idx, q, vs)
+			if err != nil || in != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchTreeInvariant asserts Definition 3.2 across all algorithms:
+// every vertex is explored at most twice.
+func TestSearchTreeInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		g := testkg.Random(rng, n, rng.Intn(30), rng.Intn(4)+1)
+		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(n) + 1, Seed: seed})
+		c := pat.RandomConstraint(rng, g, 3)
+		q := Query{
+			Source:     graph.VertexID(rng.Intn(n)),
+			Target:     graph.VertexID(rng.Intn(n)),
+			Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+			Constraint: c,
+		}
+		_, s1, err := UIS(g, q)
+		if err != nil || s1.SearchTreeNodes > 2*n || s1.PassedVertices > n {
+			return false
+		}
+		_, s2, err := UISStar(g, q, nil)
+		if err != nil || s2.SearchTreeNodes > 2*n || s2.PassedVertices > n {
+			return false
+		}
+		_, s3, err := INS(g, idx, q, nil)
+		if err != nil || s3.SearchTreeNodes > 2*n || s3.PassedVertices > n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if N.String() != "N" || F.String() != "F" || T.String() != "T" {
+		t.Error("State.String broken")
+	}
+	if State(9).String() == "" {
+		t.Error("unknown state renders empty")
+	}
+}

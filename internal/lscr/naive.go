@@ -1,0 +1,96 @@
+package lscr
+
+import (
+	"lscr/internal/graph"
+	"lscr/internal/pattern"
+)
+
+// Naive answers an LSCR query with the direct DFS/BFS adaptation the
+// paper analyses in §3 before introducing UIS: "at least two procedures
+// are required". The first procedure searches the space s reaches under
+// L, evaluating the substructure constraint on every passed vertex; each
+// time it discovers a satisfying vertex v, a second procedure runs from
+// v toward t. Neither procedure can revisit vertices within itself, and
+// the second is restarted per satisfying vertex — up to |V(S,G)| times —
+// which is exactly the O(|V|·(|V|+|E|)) worst case of Theorem 3.1 that
+// motivates UIS's recall mechanism.
+//
+// This function exists as a measurable baseline (see
+// BenchmarkNaiveVsUIS); use UIS for real queries.
+func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
+	if err := validate(g, q); err != nil {
+		return false, Stats{}, err
+	}
+	m, err := pattern.NewMatcher(g, q.Constraint)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	n := g.NumVertices()
+	st := Stats{Satisfying: graph.NoVertex}
+	scck := 0
+
+	// Procedure 2: plain label-constrained DFS from v to t, fresh visited
+	// set per invocation (the "executed up to |V(S,G)| times" part).
+	reach := func(v graph.VertexID) bool {
+		if v == q.Target {
+			return true
+		}
+		visited := make([]bool, n)
+		visited[v] = true
+		stack := []graph.VertexID{v}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Out(u) {
+				if !q.Labels.Contains(e.Label) || visited[e.To] {
+					continue
+				}
+				if e.To == q.Target {
+					return true
+				}
+				visited[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		return false
+	}
+
+	// Procedure 1: DFS over the space s reaches under L, checking S per
+	// vertex and invoking procedure 2 on hits.
+	visited := make([]bool, n)
+	visited[q.Source] = true
+	st.PassedVertices = 1
+	st.SearchTreeNodes = 1
+	stack := []graph.VertexID{q.Source}
+	scck++
+	if m.Check(q.Source) {
+		if reach(q.Source) {
+			st.SCckCalls = scck
+			st.Satisfying = q.Source
+			return true, st, nil
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out(u) {
+			if !q.Labels.Contains(e.Label) || visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			st.PassedVertices++
+			st.SearchTreeNodes++
+			scck++
+			if m.Check(e.To) {
+				if reach(e.To) {
+					st.SCckCalls = scck
+					st.Satisfying = e.To
+					return true, st, nil
+				}
+			}
+			stack = append(stack, e.To)
+		}
+	}
+	st.SCckCalls = scck
+	return false, st, nil
+}

@@ -1,0 +1,158 @@
+package lscr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/lcr"
+	"lscr/internal/pattern"
+	"lscr/internal/testkg"
+	"lscr/internal/testkg/pat"
+)
+
+func TestNaivePaperCases(t *testing.T) {
+	g, s0, cases := paperCases(t)
+	ids := map[string]graph.VertexID{}
+	for _, n := range []string{"v0", "v1", "v2", "v3", "v4"} {
+		ids[n] = g.Vertex(n)
+	}
+	for _, tc := range cases {
+		q := Query{Source: ids[tc.s], Target: ids[tc.t], Labels: tc.L, Constraint: s0}
+		got, st, err := Naive(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Naive(%s,%s,%v) = %v, want %v", tc.s, tc.t, tc.L, got, tc.want)
+		}
+		if got && st.Satisfying == graph.NoVertex {
+			t.Error("true answer without witness anchor")
+		}
+	}
+}
+
+// TestNaiveAgreesWithUISProperty: the naive two-procedure baseline and
+// UIS must agree everywhere (they solve the same problem; Naive is just
+// slower).
+func TestNaiveAgreesWithUISProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(14) + 2
+		g := testkg.Random(rng, n, rng.Intn(40), rng.Intn(5)+1)
+		for probe := 0; probe < 6; probe++ {
+			c := pat.RandomConstraint(rng, g, 3)
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: c,
+			}
+			a, _, err1 := UIS(g, q)
+			b, stB, err2 := Naive(g, q)
+			if err1 != nil || err2 != nil || a != b {
+				return false
+			}
+			if b {
+				// The anchor must be usable for witnesses.
+				m, err := pattern.NewMatcher(g, c)
+				if err != nil || !m.Check(stB.Satisfying) {
+					return false
+				}
+				if !lcr.Reach(g, q.Source, stB.Satisfying, q.Labels) ||
+					!lcr.Reach(g, stB.Satisfying, q.Target, q.Labels) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveErrors(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	if _, _, err := Naive(g, Query{Source: 99, Target: 0, Constraint: s0}); err != ErrBadQuery {
+		t.Errorf("out of range: %v", err)
+	}
+	bad := &pattern.Constraint{Focus: "x"}
+	if _, _, err := Naive(g, Query{Source: 0, Target: 1, Constraint: bad}); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+}
+
+// restartHeavyFixture builds the worst-case shape of Theorem 3.1: s
+// fans out to many satisfying vertices, each of which reaches a large
+// shared component that does NOT contain t, so the naive baseline
+// restarts its second procedure per satisfying vertex while UIS's shared
+// close state explores the component once.
+func restartHeavyFixture(b testing.TB) (*graph.Graph, Query) {
+	gb := graph.NewBuilder()
+	p := gb.Label("p")
+	mark := gb.Label("mark")
+	s := gb.Vertex("s")
+	key := gb.Vertex("key")
+	// The big shared component: a 2000-vertex cycle.
+	first := gb.Vertex("c0")
+	prev := first
+	for i := 1; i < 2000; i++ {
+		nxt := gb.Vertex(vn(i))
+		gb.AddEdge(prev, p, nxt)
+		prev = nxt
+	}
+	gb.AddEdge(prev, p, first)
+	// 200 satisfying vertices off s, all feeding the component.
+	for i := 0; i < 200; i++ {
+		sat := gb.Vertex("sat" + vn(i))
+		gb.AddEdge(s, p, sat)
+		gb.AddEdge(sat, p, first)
+		gb.AddEdge(sat, mark, key)
+	}
+	// t exists but is unreachable: a false query, the exhaustive case.
+	t := gb.Vertex("t")
+	g := gb.Build()
+	cons := &pattern.Constraint{Focus: "x",
+		Patterns: []pattern.TriplePattern{{Subject: pattern.V("x"), Label: mark, Object: pattern.C(key)}}}
+	return g, Query{Source: s, Target: t, Labels: g.LabelUniverse(), Constraint: cons}
+}
+
+// BenchmarkNaiveVsUIS quantifies what UIS's recall mechanism buys over
+// the §3 baseline on Theorem 3.1's worst-case shape.
+func BenchmarkNaiveVsUIS(b *testing.B) {
+	g, q := restartHeavyFixture(b)
+	b.Run("Naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ans, _, err := Naive(g, q); err != nil || ans {
+				b.Fatal(ans, err)
+			}
+		}
+	})
+	b.Run("UIS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ans, _, err := UIS(g, q); err != nil || ans {
+				b.Fatal(ans, err)
+			}
+		}
+	})
+}
+
+// TestNaiveRestartFixtureAnswers pins both answers on the Theorem 3.1
+// fixture (the wall-clock separation itself is what BenchmarkNaiveVsUIS
+// measures: the naive baseline re-traverses the shared component once
+// per satisfying vertex, UIS once in total).
+func TestNaiveRestartFixtureAnswers(t *testing.T) {
+	g, q := restartHeavyFixture(t)
+	a, _, err := Naive(g, q)
+	if err != nil || a {
+		t.Fatalf("Naive = %v %v, want false", a, err)
+	}
+	u, _, err := UIS(g, q)
+	if err != nil || u {
+		t.Fatalf("UIS = %v %v, want false", u, err)
+	}
+}

@@ -1,0 +1,164 @@
+package lscr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lscr/internal/graph"
+)
+
+func TestPriorityKeyLess(t *testing.T) {
+	base := priorityKey{}
+	cases := []struct {
+		a, b priorityKey
+		want bool
+	}{
+		{priorityKey{r0: 0}, priorityKey{r0: 1}, true},
+		{priorityKey{r0: 1}, priorityKey{r0: 0}, false},
+		{priorityKey{r1: 0}, priorityKey{r1: 2}, true},
+		{priorityKey{r2: -5}, priorityKey{r2: 0}, true},
+		{priorityKey{r3: 0}, priorityKey{r3: 1}, true},
+		{priorityKey{seq: 1}, priorityKey{seq: 2}, true},
+		{priorityKey{id: 1}, priorityKey{id: 2}, true},
+		{base, base, false},
+	}
+	for i, tc := range cases {
+		if got := tc.a.less(tc.b); got != tc.want {
+			t.Errorf("case %d: less = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestLazyPQOrdering(t *testing.T) {
+	// Static keys: id order.
+	q := newLazyPQ(func(v graph.VertexID, seq int) priorityKey {
+		return priorityKey{id: v, seq: 0}
+	}, false, true, 1024)
+	for _, v := range []graph.VertexID{5, 1, 9, 3} {
+		q.push(v)
+	}
+	var got []graph.VertexID
+	for {
+		v, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []graph.VertexID{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("pop sequence %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLazyPQDedupKeepsLatest(t *testing.T) {
+	q := newLazyPQ(func(v graph.VertexID, seq int) priorityKey {
+		return priorityKey{id: v, seq: seq}
+	}, true, true, 1024)
+	q.push(7)
+	q.push(7)
+	q.push(7)
+	n := 0
+	for {
+		if _, ok := q.pop(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("popped %d entries for one deduplicated vertex, want 1", n)
+	}
+}
+
+func TestLazyPQRevalidation(t *testing.T) {
+	// Keys depend on a mutable state map; the queue must settle stale
+	// keys on pop.
+	state := map[graph.VertexID]int{1: 1, 2: 1, 3: 1}
+	q := newLazyPQ(func(v graph.VertexID, seq int) priorityKey {
+		return priorityKey{r0: state[v], id: v}
+	}, false, true, 1024)
+	q.push(1)
+	q.push(2)
+	q.push(3)
+	// Promote 3 to the best rank after pushing and re-push it (the
+	// search algorithms re-push on every state change).
+	state[3] = 0
+	q.push(3)
+	if v, ok := q.pop(); !ok || v != 3 {
+		t.Fatalf("pop = %v, want 3 after promotion", v)
+	}
+	// Demote 1 below 2: the top's stale key must be settled without a
+	// re-push.
+	state[1] = 2
+	if v, ok := q.pop(); !ok || v != 2 {
+		t.Fatalf("pop = %v, want 2 after demotion of 1", v)
+	}
+	// The duplicate of 3 remains (dedup is off) and its rank-0 key beats
+	// the demoted 1.
+	if v, ok := q.pop(); !ok || v != 3 {
+		t.Fatalf("pop = %v, want leftover 3", v)
+	}
+	if v, ok := q.pop(); !ok || v != 1 {
+		t.Fatalf("pop = %v, want 1 last", v)
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestLazyPQPeekDoesNotRemove(t *testing.T) {
+	q := newLazyPQ(func(v graph.VertexID, seq int) priorityKey {
+		return priorityKey{id: v}
+	}, false, true, 1024)
+	q.push(4)
+	if v, ok := q.peek(); !ok || v != 4 {
+		t.Fatal("peek failed")
+	}
+	if v, ok := q.pop(); !ok || v != 4 {
+		t.Fatal("pop after peek failed")
+	}
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+}
+
+func TestLazyPQRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) + 1
+		vals := make([]graph.VertexID, n)
+		for i := range vals {
+			vals[i] = graph.VertexID(rng.Intn(1000))
+		}
+		seen := map[graph.VertexID]bool{}
+		var uniq []graph.VertexID
+		for _, v := range vals {
+			if !seen[v] {
+				seen[v] = true
+				uniq = append(uniq, v)
+			}
+		}
+		q := newLazyPQ(func(v graph.VertexID, seq int) priorityKey {
+			return priorityKey{id: v}
+		}, true, true, 1024)
+		for _, v := range vals {
+			q.push(v)
+		}
+		sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+		for _, want := range uniq {
+			got, ok := q.pop()
+			if !ok || got != want {
+				t.Fatalf("trial %d: pop = %v, want %v", trial, got, want)
+			}
+		}
+		if !q.empty() {
+			t.Fatalf("trial %d: queue not drained", trial)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package lscr
+
+import "math/rand"
+
+func randSrc(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,74 @@
+package lscr
+
+import "sync"
+
+// Per-query scratch state (the close surjection and the frontier queue's
+// duplicate stamps) is pooled and epoch-stamped: a query bumps the epoch
+// instead of zeroing the arrays, so repeated queries over large graphs
+// allocate nothing. Entries from older epochs read as zero values.
+
+// epochArr32 is a reusable uint32 array with an epoch in the upper bits
+// of every entry. closeMap packs (epoch<<2 | state) per vertex.
+type epochArr32 struct {
+	a     []uint32
+	epoch uint32
+}
+
+const maxEpoch32 = 1<<30 - 1 // 2 bits reserved for the close state
+
+// next prepares the array for a fresh query of universe size n.
+func (e *epochArr32) next(n int) {
+	if len(e.a) < n || e.epoch >= maxEpoch32 {
+		e.a = make([]uint32, n)
+		e.epoch = 0
+	}
+	e.epoch++
+}
+
+// epochArr64 is a reusable uint64 array; the frontier queue packs
+// (epoch<<33 | seq) per vertex.
+type epochArr64 struct {
+	a     []uint64
+	epoch uint64
+}
+
+const maxEpoch64 = 1<<31 - 1 // 33 bits reserved for the sequence
+
+func (e *epochArr64) next(n int) {
+	if len(e.a) < n || e.epoch >= maxEpoch64 {
+		e.a = make([]uint64, n)
+		e.epoch = 0
+	}
+	e.epoch++
+}
+
+// scratch bundles the pooled per-query state.
+type scratch struct {
+	close epochArr32
+	stamp epochArr64
+	// sat is UIS's satisfying-origin table. It is not epoch-stamped:
+	// entries are only read for vertices whose close state is T in the
+	// current epoch, so stale values are unreachable.
+	sat []uint32
+}
+
+// satTable returns the satisfying-origin table sized for n vertices.
+func (s *scratch) satTable(n int) []uint32 {
+	if len(s.sat) < n {
+		s.sat = make([]uint32, n)
+	}
+	return s.sat
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+// getScratch borrows a scratch sized for n vertices.
+func getScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.close.next(n)
+	return s
+}
+
+// putScratch returns s to the pool. The frontier stamp epoch is bumped
+// lazily by newFrontierQueue only when INS actually uses it.
+func putScratch(s *scratch) { scratchPool.Put(s) }

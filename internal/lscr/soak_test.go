@@ -1,0 +1,142 @@
+package lscr
+
+import (
+	"math/rand"
+	"testing"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/lcr"
+	"lscr/internal/lubm"
+	"lscr/internal/pattern"
+	"lscr/internal/sparql"
+	"lscr/internal/testkg"
+	"lscr/internal/testkg/pat"
+)
+
+// lubmSoakFixture builds a small LUBM KG and compiles all Table 3
+// constraints against it.
+func lubmSoakFixture(t *testing.T) (*graph.Graph, []*pattern.Constraint) {
+	t.Helper()
+	cfg := lubm.DefaultConfig(1)
+	cfg.DeptsPerUniversity = 2
+	g := lubm.Generate(cfg)
+	var out []*pattern.Constraint
+	for _, nc := range lubm.Constraints() {
+		q, err := sparql.Parse(nc.SPARQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, sat, err := q.Compile(g)
+		if err != nil || !sat {
+			t.Fatalf("%s: err=%v sat=%v", nc.Name, err, sat)
+		}
+		out = append(out, cons)
+	}
+	return g, out
+}
+
+// TestSoakLargeRandomGraphs cross-validates the three algorithms on
+// graphs two orders of magnitude larger than the property tests use —
+// large enough for multi-region local indexes, deep searches, recall
+// walks and the index pruning paths to all fire. Skipped under -short.
+func TestSoakLargeRandomGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1500 + rng.Intn(1500)
+		g := testkg.Random(rng, n, n*3, rng.Intn(6)+2)
+		idx := NewLocalIndex(g, IndexParams{Seed: seed})
+		for probe := 0; probe < 25; probe++ {
+			c := pat.RandomConstraint(rng, g, 4)
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: c,
+			}
+			m, err := pattern.NewMatcher(g, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := false
+			for _, v := range m.MatchAll() {
+				if lcr.Reach(g, q.Source, v, q.Labels) && lcr.Reach(g, v, q.Target, q.Labels) {
+					want = true
+					break
+				}
+			}
+			u, stU, err := UIS(g, q)
+			if err != nil || u != want {
+				t.Fatalf("seed %d probe %d: UIS = %v (%v), want %v", seed, probe, u, err, want)
+			}
+			us, stS, err := UISStar(g, q, nil)
+			if err != nil || us != want {
+				t.Fatalf("seed %d probe %d: UIS* = %v (%v), want %v", seed, probe, us, err, want)
+			}
+			in, stI, err := INS(g, idx, q, nil)
+			if err != nil || in != want {
+				t.Fatalf("seed %d probe %d: INS = %v (%v), want %v", seed, probe, in, err, want)
+			}
+			for _, st := range []Stats{stU, stS, stI} {
+				if st.SearchTreeNodes > 2*n {
+					t.Fatalf("seed %d probe %d: search tree %d > 2|V|", seed, probe, st.SearchTreeNodes)
+				}
+			}
+			if want {
+				// Witness anchors must hold at scale too.
+				for _, st := range []Stats{stU, stS, stI} {
+					w, ok := FindWitness(g, q.Source, q.Target, st.Satisfying, q.Labels)
+					if !ok || !w.Valid(g, q) {
+						t.Fatalf("seed %d probe %d: invalid witness", seed, probe)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSoakLUBMAllConstraints runs every Table 3 constraint on a 2-dept
+// LUBM KG end to end through all three algorithms. Skipped under -short.
+func TestSoakLUBMAllConstraints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// Imported lazily to avoid a dependency for the rest of this file.
+	g, constraints := lubmSoakFixture(t)
+	idx := NewLocalIndex(g, IndexParams{Seed: 5})
+	rng := rand.New(rand.NewSource(9))
+	for _, cons := range constraints {
+		m, err := pattern.NewMatcher(g, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := m.MatchAll()
+		for probe := 0; probe < 10; probe++ {
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(g.NumVertices())),
+				Target:     graph.VertexID(rng.Intn(g.NumVertices())),
+				Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+				Constraint: cons,
+			}
+			want := false
+			for _, v := range vs {
+				if lcr.Reach(g, q.Source, v, q.Labels) && lcr.Reach(g, v, q.Target, q.Labels) {
+					want = true
+					break
+				}
+			}
+			if got, _, err := UIS(g, q); err != nil || got != want {
+				t.Fatalf("UIS: %v (%v), want %v", got, err, want)
+			}
+			if got, _, err := UISStar(g, q, vs); err != nil || got != want {
+				t.Fatalf("UIS*: %v (%v), want %v", got, err, want)
+			}
+			if got, _, err := INS(g, idx, q, vs); err != nil || got != want {
+				t.Fatalf("INS: %v (%v), want %v", got, err, want)
+			}
+		}
+	}
+}

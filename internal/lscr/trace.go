@@ -1,0 +1,160 @@
+package lscr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lscr/internal/graph"
+)
+
+// Tracer observes search events. The paper visualises them as search
+// trees (Definition 3.2, Figures 4, 6 and 7): every close-state
+// transition of a vertex is one tree node, attached to the vertex that
+// caused it. Tracers must be fast; the algorithms call them on the hot
+// path when tracing is enabled.
+type Tracer interface {
+	// Transition fires when v enters state st. parent is the vertex
+	// whose expansion caused it (NoVertex for the root), label the edge
+	// label used, and viaIndex reports a local-index marking (INS's
+	// Cut/Push) rather than an edge traversal.
+	Transition(v graph.VertexID, st State, parent graph.VertexID, label graph.Label, viaIndex bool)
+	// Invocation fires when UIS*/INS start an LCS(s*, t*, L, B) call.
+	Invocation(sStar, tStar graph.VertexID, fromSat bool)
+}
+
+// SearchTree records trace events as the paper's search tree. The zero
+// value is ready to use.
+type SearchTree struct {
+	Nodes []TreeNode
+	// Invocations records LCS phase boundaries (UIS*/INS only).
+	Invocations []TreeInvocation
+}
+
+// TreeNode is one search-tree node: vertex v entered state St.
+type TreeNode struct {
+	V        graph.VertexID
+	St       State
+	Parent   graph.VertexID // NoVertex at the root
+	Label    graph.Label
+	ViaIndex bool
+}
+
+// TreeInvocation marks an LCS call boundary.
+type TreeInvocation struct {
+	SStar, TStar graph.VertexID
+	FromSat      bool
+	// FirstNode indexes Nodes; nodes from FirstNode on belong to this
+	// invocation (until the next one).
+	FirstNode int
+}
+
+// Transition implements Tracer.
+func (t *SearchTree) Transition(v graph.VertexID, st State, parent graph.VertexID, label graph.Label, viaIndex bool) {
+	t.Nodes = append(t.Nodes, TreeNode{V: v, St: st, Parent: parent, Label: label, ViaIndex: viaIndex})
+}
+
+// Invocation implements Tracer.
+func (t *SearchTree) Invocation(sStar, tStar graph.VertexID, fromSat bool) {
+	t.Invocations = append(t.Invocations, TreeInvocation{
+		SStar: sStar, TStar: tStar, FromSat: fromSat, FirstNode: len(t.Nodes),
+	})
+}
+
+// NodesPerVertex verifies Definition 3.2's bound: no vertex appears more
+// than twice (once per close state). It returns the worst offender count.
+func (t *SearchTree) NodesPerVertex() int {
+	count := map[graph.VertexID]int{}
+	max := 0
+	for _, n := range t.Nodes {
+		count[n.V]++
+		if count[n.V] > max {
+			max = count[n.V]
+		}
+	}
+	return max
+}
+
+// WriteDOT renders the tree in Graphviz DOT, mirroring Figure 4's
+// colour convention: T nodes red, F nodes blue; index-marked transitions
+// are dashed. name labels the digraph; resolve maps vertex IDs to names
+// (pass nil for numeric labels).
+func (t *SearchTree) WriteDOT(w io.Writer, name string, resolve func(graph.VertexID) string) error {
+	if resolve == nil {
+		resolve = func(v graph.VertexID) string { return fmt.Sprintf("%d", v) }
+	}
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("digraph %q {\n  rankdir=TB;\n", name)
+	// Node declarations: one per (vertex, state).
+	type nk struct {
+		v  graph.VertexID
+		st State
+	}
+	seen := map[nk]bool{}
+	for _, n := range t.Nodes {
+		key := nk{n.V, n.St}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		color := "blue"
+		if n.St == T {
+			color = "red"
+		}
+		pr("  %q [color=%s];\n", nodeID(n.V, n.St, resolve), color)
+	}
+	// Edges: parent's state at the time is unknown post-hoc; attach to
+	// the parent's strongest recorded state at or before this node.
+	strongest := map[graph.VertexID]State{}
+	for _, n := range t.Nodes {
+		if n.Parent != graph.NoVertex {
+			ps, ok := strongest[n.Parent]
+			if !ok {
+				ps = n.St // orphan guard; should not happen
+			}
+			style := "solid"
+			if n.ViaIndex {
+				style = "dashed"
+			}
+			pr("  %q -> %q [style=%s];\n",
+				nodeID(n.Parent, ps, resolve), nodeID(n.V, n.St, resolve), style)
+		}
+		if cur, ok := strongest[n.V]; !ok || n.St > cur {
+			strongest[n.V] = n.St
+		}
+	}
+	pr("}\n")
+	return err
+}
+
+func nodeID(v graph.VertexID, st State, resolve func(graph.VertexID) string) string {
+	return resolve(v) + "_" + st.String()
+}
+
+// Summary returns per-state node counts, for diagnostics.
+func (t *SearchTree) Summary() map[State]int {
+	out := map[State]int{}
+	for _, n := range t.Nodes {
+		out[n.St]++
+	}
+	return out
+}
+
+// Vertices returns the distinct vertices in the tree, sorted.
+func (t *SearchTree) Vertices() []graph.VertexID {
+	seen := map[graph.VertexID]bool{}
+	var out []graph.VertexID
+	for _, n := range t.Nodes {
+		if !seen[n.V] {
+			seen[n.V] = true
+			out = append(out, n.V)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

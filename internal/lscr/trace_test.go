@@ -1,0 +1,167 @@
+package lscr
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/testkg"
+	"lscr/internal/testkg/pat"
+)
+
+func TestSearchTreeUIS(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	q := Query{
+		Source: ids["v3"], Target: ids["v4"],
+		Labels:     lset(t, g, "likes", "hates", "friendOf"),
+		Constraint: s0,
+	}
+	var tree SearchTree
+	ans, st, err := UISTraced(g, q, &tree)
+	if err != nil || !ans {
+		t.Fatalf("%v %v", ans, err)
+	}
+	if len(tree.Nodes) != st.SearchTreeNodes {
+		t.Fatalf("tree has %d nodes, stats say %d", len(tree.Nodes), st.SearchTreeNodes)
+	}
+	if tree.NodesPerVertex() > 2 {
+		t.Fatalf("Definition 3.2 violated: %d nodes for one vertex", tree.NodesPerVertex())
+	}
+	// The recall walk forces both a vF and a vT node for v4.
+	sum := tree.Summary()
+	if sum[T] == 0 || sum[F] == 0 {
+		t.Fatalf("summary = %v, want both F and T nodes", sum)
+	}
+	if len(tree.Vertices()) != st.PassedVertices {
+		t.Fatalf("distinct vertices %d != passed %d", len(tree.Vertices()), st.PassedVertices)
+	}
+}
+
+func TestSearchTreeDOT(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	q := Query{
+		Source: ids["v0"], Target: ids["v4"],
+		Labels: lset(t, g, "likes", "follows"), Constraint: s0,
+	}
+	var tree SearchTree
+	if _, _, err := UISTraced(g, q, &tree); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteDOT(&buf, "uis", func(v graph.VertexID) string { return g.VertexName(v) }); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", "color=red", "color=blue", "v0_F"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Nil resolver uses numeric labels.
+	buf.Reset()
+	if err := tree.WriteDOT(&buf, "uis", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "_F") {
+		t.Error("numeric DOT broken")
+	}
+}
+
+func TestSearchTreeUISStarInvocations(t *testing.T) {
+	g, ids := testkg.RunningExample()
+	s0 := pat.S0(g, ids)
+	q := Query{
+		Source: ids["v0"], Target: ids["v4"],
+		Labels: g.LabelUniverse(), Constraint: s0,
+	}
+	var tree SearchTree
+	ans, _, err := UISStarTraced(g, q, nil, &tree)
+	if err != nil || !ans {
+		t.Fatalf("%v %v", ans, err)
+	}
+	if len(tree.Invocations) == 0 {
+		t.Fatal("no LCS invocations recorded")
+	}
+	// The first invocation must be a B=F run from the source.
+	if tree.Invocations[0].FromSat || tree.Invocations[0].SStar != ids["v0"] {
+		t.Fatalf("first invocation = %+v", tree.Invocations[0])
+	}
+}
+
+func TestSearchTreeINSViaIndex(t *testing.T) {
+	// On a graph with landmarks on the path, INS marking through the
+	// index must appear as viaIndex nodes.
+	rng := rand.New(rand.NewSource(8))
+	g := testkg.Random(rng, 100, 400, 4)
+	idx := NewLocalIndex(g, IndexParams{K: 10, Seed: 2})
+	c := manyMatchConstraint(g)
+	var tree SearchTree
+	found := false
+	for probe := 0; probe < 30 && !found; probe++ {
+		q := Query{
+			Source:     graph.VertexID(rng.Intn(100)),
+			Target:     graph.VertexID(rng.Intn(100)),
+			Labels:     g.LabelUniverse(),
+			Constraint: c,
+		}
+		tree = SearchTree{}
+		if _, _, err := INSTraced(g, idx, q, nil, &tree); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range tree.Nodes {
+			if n.ViaIndex {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no viaIndex transitions observed across 30 queries")
+	}
+}
+
+// Property: traced runs answer identically to untraced runs and the tree
+// respects the 2-nodes-per-vertex bound.
+func TestTracedEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		g := testkg.Random(rng, n, rng.Intn(30), rng.Intn(4)+1)
+		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(n) + 1, Seed: seed})
+		c := pat.RandomConstraint(rng, g, 3)
+		q := Query{
+			Source:     graph.VertexID(rng.Intn(n)),
+			Target:     graph.VertexID(rng.Intn(n)),
+			Labels:     labelset.Set(rng.Uint64()) & g.LabelUniverse(),
+			Constraint: c,
+		}
+		a1, _, _ := UIS(g, q)
+		var t1 SearchTree
+		a2, _, _ := UISTraced(g, q, &t1)
+		if a1 != a2 || t1.NodesPerVertex() > 2 {
+			return false
+		}
+		b1, _, _ := UISStar(g, q, nil)
+		var t2 SearchTree
+		b2, _, _ := UISStarTraced(g, q, nil, &t2)
+		if b1 != b2 || t2.NodesPerVertex() > 2 {
+			return false
+		}
+		c1, _, _ := INS(g, idx, q, nil)
+		var t3 SearchTree
+		c2, _, _ := INSTraced(g, idx, q, nil, &t3)
+		if c1 != c2 || t3.NodesPerVertex() > 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

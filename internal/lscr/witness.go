@@ -1,0 +1,114 @@
+package lscr
+
+import (
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+)
+
+// Hop is one edge of a witness path.
+type Hop struct {
+	From  graph.VertexID
+	Label graph.Label
+	To    graph.VertexID
+}
+
+// Witness is a concrete path certifying a true LSCR answer: every hop
+// label belongs to the query's label constraint and Satisfying — a
+// vertex on the path — satisfies the substructure constraint. For the
+// paper's crime-detection scenario this is the evidence chain itself
+// ("which middleman?").
+type Witness struct {
+	Hops       []Hop
+	Satisfying graph.VertexID
+}
+
+// Vertices returns the path's vertex sequence (length len(Hops)+1; just
+// the endpoint when the path is empty).
+func (w *Witness) Vertices(s graph.VertexID) []graph.VertexID {
+	out := []graph.VertexID{s}
+	for _, h := range w.Hops {
+		out = append(out, h.To)
+	}
+	return out
+}
+
+// FindWitness builds a witness for s -L,S-> t given a vertex vStar that
+// satisfies S with s -L-> vStar and vStar -L-> t (the anchor every
+// algorithm reports in Stats.Satisfying on a true answer). It
+// concatenates two shortest label-constrained paths, s→vStar and
+// vStar→t. The second result is false only if the premise does not hold.
+func FindWitness(g *graph.Graph, s, t, vStar graph.VertexID, L labelset.Set) (*Witness, bool) {
+	first, ok := shortestPath(g, s, vStar, L)
+	if !ok {
+		return nil, false
+	}
+	second, ok := shortestPath(g, vStar, t, L)
+	if !ok {
+		return nil, false
+	}
+	return &Witness{Hops: append(first, second...), Satisfying: vStar}, true
+}
+
+// shortestPath returns the hops of a shortest path from s to t using
+// only labels in L (empty for s == t).
+func shortestPath(g *graph.Graph, s, t graph.VertexID, L labelset.Set) ([]Hop, bool) {
+	if s == t {
+		return nil, true
+	}
+	type parent struct {
+		from  graph.VertexID
+		label graph.Label
+	}
+	par := make(map[graph.VertexID]parent, 64)
+	visited := make([]bool, g.NumVertices())
+	visited[s] = true
+	queue := []graph.VertexID{s}
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(u) {
+			if !L.Contains(e.Label) || visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			par[e.To] = parent{from: u, label: e.Label}
+			if e.To == t {
+				found = true
+				break
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	var rev []Hop
+	for v := t; v != s; {
+		p := par[v]
+		rev = append(rev, Hop{From: p.from, Label: p.label, To: v})
+		v = p.from
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// Valid checks the witness against a query: consecutive hops chain from
+// s to t, every label is in L, and Satisfying lies on the path. It is
+// used by tests and available to paranoid callers.
+func (w *Witness) Valid(g *graph.Graph, q Query) bool {
+	cur := q.Source
+	onPath := cur == w.Satisfying
+	for _, h := range w.Hops {
+		if h.From != cur || !q.Labels.Contains(h.Label) || !g.HasEdge(h.From, h.Label, h.To) {
+			return false
+		}
+		cur = h.To
+		if cur == w.Satisfying {
+			onPath = true
+		}
+	}
+	return cur == q.Target && onPath
+}

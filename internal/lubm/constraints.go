@@ -1,0 +1,59 @@
+package lubm
+
+// NamedConstraint pairs a Table 3 constraint identifier with its SPARQL
+// text.
+type NamedConstraint struct {
+	Name   string
+	SPARQL string
+	// Blurb summarises the paper's characterisation of the constraint.
+	Blurb string
+}
+
+// Constraints returns S1–S5 exactly as Table 3 states them (modulo ASCII
+// angle brackets).
+func Constraints() []NamedConstraint {
+	return []NamedConstraint{
+		{
+			Name:   "S1",
+			SPARQL: `SELECT ?x WHERE { ?x <ub:researchInterest> 'Research12'.}`,
+			Blurb:  "baseline: |V(S1,D)|/|V| ≈ 1‰",
+		},
+		{
+			Name: "S2",
+			SPARQL: `SELECT ?x WHERE { ?x <ub:researchInterest> 'Research12'. ` +
+				`?x <rdf:type> <ub:AssociateProfessor>.}`,
+			Blurb: "normal selectivity: |V(S2,D)|/|V(S1,D)| ≈ 50%",
+		},
+		{
+			Name: "S3",
+			SPARQL: `SELECT ?x WHERE {?x <rdf:type> <ub:UndergraduateStudent>. ` +
+				`?x <ub:takesCourse> ?y. ?y <rdf:type> <ub:Course>.}`,
+			Blurb: "large result: |V(S3,D)|/|V(S1,D)| ≈ 120",
+		},
+		{
+			Name: "S4",
+			SPARQL: `SELECT ?x WHERE {?x <ub:name> 'GraduateStudent4'. ` +
+				`?x <ub:takesCourse> ?y1. ?x <ub:advisor> ?y2. ?x <ub:memberOf> ?y3. ` +
+				`?z1 <ub:takesCourse> ?y1. ?y2 <ub:teacherOf> ?z2. ` +
+				`?y2 <ub:worksFor> ?z3. ?y3 <ub:subOrganizationOf> ?z4.}`,
+			Blurb: "high selectivity: |V(S4,D)|/|V(S1,D)| ≈ 1",
+		},
+		{
+			Name: "S5",
+			SPARQL: `SELECT ?x WHERE {?x <ub:emailAddress> 'FullProfessor0@Department0.University0.edu'. ` +
+				`?x <ub:undergraduateDegreeFrom> ?y1. ?x <ub:mastersDegreeFrom> ?y2. ` +
+				`?x <ub:doctoralDegreeFrom> ?y3.}`,
+			Blurb: "singleton: |V(S5,D)| = 1",
+		},
+	}
+}
+
+// Constraint returns the Table 3 constraint with the given name, or false.
+func Constraint(name string) (NamedConstraint, bool) {
+	for _, c := range Constraints() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return NamedConstraint{}, false
+}

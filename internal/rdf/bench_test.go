@@ -1,0 +1,45 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkParseLine(b *testing.B) {
+	line := `<GraduateStudent4.Department0.University0> <ub:takesCourse> <Course3_1.Department0.University0> .`
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := ParseLine(line); !ok || err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	// A synthetic 30k-triple stream (the lubm generator lives above this
+	// package, so the corpus is built inline).
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(1))
+	w := NewWriter(&buf)
+	for i := 0; i < 30000; i++ {
+		if err := w.Write(Triple{
+			Subject:   fmt.Sprintf("entity%d", rng.Intn(8000)),
+			Predicate: fmt.Sprintf("rel%d", rng.Intn(12)),
+			Object:    fmt.Sprintf("entity%d", rng.Intn(8000)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

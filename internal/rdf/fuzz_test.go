@@ -1,0 +1,39 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine asserts the parser never panics and that accepted lines
+// re-serialise into re-parsable triples (for IRI-safe content).
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		`<a> <p> <b> .`,
+		`<a> <p> "lit" .`,
+		`<a> <p> "esc\"aped" .`,
+		`<a> <p> "x"@en .`,
+		`<a> <p> "42"^^<xsd:int> .`,
+		`# comment`,
+		``,
+		`<a <p> <b> .`,
+		`<a> <p> "A" .`,
+		strings.Repeat("<x> ", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, ok, err := ParseLine(line)
+		if err != nil || !ok {
+			return
+		}
+		// Accepted triples with IRI-safe members must round trip.
+		if strings.ContainsAny(tr.Subject+tr.Predicate+tr.Object, "<>\"\n") {
+			return
+		}
+		got, ok2, err2 := ParseLine(FormatTriple(tr))
+		if err2 != nil || !ok2 || got != tr {
+			t.Fatalf("round trip of %+v failed: %+v ok=%v err=%v", tr, got, ok2, err2)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package sparql
+
+import (
+	"testing"
+
+	"lscr/internal/lubm"
+)
+
+const benchQuery = `SELECT ?x WHERE {?x <rdf:type> <ub:UndergraduateStudent>. ?x <ub:takesCourse> ?y. ?y <rdf:type> <ub:Course>.}`
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectS1(b *testing.B) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+	e := NewEngine(g)
+	c, _ := lubm.Constraint("S1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Select(c.SPARQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectS3(b *testing.B) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+	e := NewEngine(g)
+	c, _ := lubm.Constraint("S3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Select(c.SPARQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectS4EightPatterns(b *testing.B) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+	e := NewEngine(g)
+	c, _ := lubm.Constraint("S4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Select(c.SPARQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

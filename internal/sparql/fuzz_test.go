@@ -1,0 +1,33 @@
+package sparql
+
+import "testing"
+
+// FuzzParse asserts the SPARQL parser never panics, and that accepted
+// queries survive a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`SELECT ?x WHERE { ?x <p> <a>. }`,
+		`SELECT ?x ?y WHERE { ?x <p> ?y. ?y <q> 'lit'. }`,
+		`select ?x where {?x <p> <a>}`,
+		`SELECT ?x WHERE { }`,
+		`SELECT WHERE`,
+		`SELECT ?x WHERE { ?x <p `,
+		`SELECT ?x WHERE { ?x <p> "unterminated }`,
+		"SELECT ?x\nWHERE\t{ ?x <p> <a> . }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("printed form of accepted query does not parse: %q -> %q: %v", src, q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("round trip changed: %q vs %q", q2.String(), q.String())
+		}
+	})
+}

@@ -1,0 +1,65 @@
+// Package pat provides pattern-level test fixtures that packages above
+// the pattern layer (lcr, lscr, workload, bench) share. It lives apart
+// from testkg so that package pattern's own tests can use testkg without
+// an import cycle.
+package pat
+
+import (
+	"math/rand"
+
+	"lscr/internal/graph"
+	"lscr/internal/pattern"
+)
+
+// S0 returns the substructure constraint of Figure 3(b) for the running
+// example graph: (?x, {v3}, {}, {(?x,friendOf,v3), (v3,likes,?y)}).
+func S0(g *graph.Graph, ids map[string]graph.VertexID) *pattern.Constraint {
+	friendOf, _ := g.LabelByName("friendOf")
+	likes, _ := g.LabelByName("likes")
+	return &pattern.Constraint{
+		Focus: "x",
+		Patterns: []pattern.TriplePattern{
+			{Subject: pattern.V("x"), Label: friendOf, Object: pattern.C(ids["v3"])},
+			{Subject: pattern.C(ids["v3"]), Label: likes, Object: pattern.V("y")},
+		},
+	}
+}
+
+// RandomConstraint generates a random substructure constraint with
+// 1..maxPatterns triple patterns over g. The focus variable always occurs
+// (Definition 2.2). Constants are random vertices; non-focus variables
+// come from a pool of two names.
+func RandomConstraint(rng *rand.Rand, g *graph.Graph, maxPatterns int) *pattern.Constraint {
+	n := g.NumVertices()
+	nl := g.NumLabels()
+	if n == 0 || nl == 0 {
+		panic("pat: empty graph")
+	}
+	vars := []string{"y", "z"}
+	term := func() pattern.Term {
+		switch rng.Intn(3) {
+		case 0:
+			return pattern.C(graph.VertexID(rng.Intn(n)))
+		case 1:
+			return pattern.V("x")
+		default:
+			return pattern.V(vars[rng.Intn(len(vars))])
+		}
+	}
+	np := rng.Intn(maxPatterns) + 1
+	c := &pattern.Constraint{Focus: "x"}
+	for i := 0; i < np; i++ {
+		c.Patterns = append(c.Patterns, pattern.TriplePattern{
+			Subject: term(),
+			Label:   graph.Label(rng.Intn(nl)),
+			Object:  term(),
+		})
+	}
+	// Guarantee the focus appears.
+	if rng.Intn(2) == 0 {
+		c.Patterns[0].Subject = pattern.V("x")
+	} else {
+		c.Patterns[0].Object = pattern.V("x")
+	}
+	return c
+}

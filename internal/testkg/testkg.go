@@ -1,0 +1,75 @@
+// Package testkg provides shared test fixtures: the paper's running
+// example (Figure 3) reconstructed to satisfy every fact the text states
+// about it, and a random KG generator for cross-validation tests.
+package testkg
+
+import (
+	"math/rand"
+	"strconv"
+
+	"lscr/internal/graph"
+)
+
+// RunningExample builds G0 of Figure 3(a). The figure itself is not
+// machine-readable, so the edge list is reconstructed from the facts the
+// paper states about G0:
+//
+//   - M(v0,v3) = {{friendOf}} and
+//     M(v0,v4) = {{friendOf,likes},{advisorOf,follows},{likes,follows}} (§2);
+//   - S0 = (?x, {v3}, {}, {(?x,friendOf,v3),(v3,likes,?y)}) and only v1
+//     and v2 satisfy S0 (§3: "only v1 and v2 could satisfy S0");
+//   - with L={likes,hates,friendOf}, proving v3 -L,S0-> v4 requires the
+//     path <v3,likes,v4,hates,v1,friendOf,v3,likes,v4> (§3), which pins
+//     the edges v3-likes->v4, v4-hates->v1, v1-friendOf->v3;
+//   - with L={likes,follows}: v0 -L,S0-> v4 holds and v0 -L,S0-> v3 does
+//     not (§2 "Overall").
+//
+// The returned map names v0..v4.
+func RunningExample() (*graph.Graph, map[string]graph.VertexID) {
+	b := graph.NewBuilder()
+	edges := [][3]string{
+		{"v0", "friendOf", "v1"},
+		{"v0", "advisorOf", "v2"},
+		{"v0", "likes", "v2"},
+		{"v1", "friendOf", "v3"},
+		{"v2", "friendOf", "v3"},
+		{"v1", "likes", "v4"},
+		{"v3", "likes", "v4"},
+		{"v2", "follows", "v4"},
+		{"v4", "hates", "v1"},
+	}
+	for _, e := range edges {
+		b.AddEdgeNames(e[0], e[1], e[2])
+	}
+	g := b.Build()
+	ids := map[string]graph.VertexID{}
+	for _, n := range []string{"v0", "v1", "v2", "v3", "v4"} {
+		ids[n] = g.Vertex(n)
+	}
+	return g, ids
+}
+
+// Random generates a random edge-labeled multigraph with n vertices,
+// m edges and nLabels labels, using rng. Vertex names are "u<i>"; label
+// names are "l<i>".
+func Random(rng *rand.Rand, n, m, nLabels int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Vertex(vname(i))
+	}
+	for i := 0; i < nLabels; i++ {
+		b.Label(lname(i))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(
+			graph.VertexID(rng.Intn(n)),
+			graph.Label(rng.Intn(nLabels)),
+			graph.VertexID(rng.Intn(n)),
+		)
+	}
+	return b.Build()
+}
+
+func vname(i int) string { return "u" + strconv.Itoa(i) }
+
+func lname(i int) string { return "l" + strconv.Itoa(i) }

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+
+	"lscr/internal/graph"
+	"lscr/internal/pattern"
+)
+
+// RandomConstraintSized generates a random substructure constraint whose
+// result-set size |V(S,G)| lies in [0.8m, 1.2m], the §6.2 procedure for
+// the YAGO experiment: start from a random instance vertex with a
+// low-selectivity constraint containing it, then gradually and randomly
+// adjust (generalise or specialise) until the size lands in the window.
+//
+// It returns the constraint and its V(S,G). An error means no constraint
+// hit the window within the attempt budget; callers usually retry with a
+// different seed or accept a neighbouring magnitude.
+func RandomConstraintSized(rng *rand.Rand, g *graph.Graph, m int) (*pattern.Constraint, []graph.VertexID, error) {
+	if m < 1 {
+		return nil, nil, errors.New("workload: magnitude must be ≥ 1")
+	}
+	lo, hi := int(0.8*float64(m)), int(1.2*float64(m))
+	if lo < 1 {
+		lo = 1
+	}
+
+	for attempt := 0; attempt < 120; attempt++ {
+		c := seedConstraint(rng, g)
+		if c == nil {
+			continue
+		}
+		for step := 0; step < 20; step++ {
+			mt, err := pattern.NewMatcher(g, c)
+			if err != nil {
+				break
+			}
+			vs := mt.MatchAll()
+			switch {
+			case len(vs) >= lo && len(vs) <= hi:
+				return c, vs, nil
+			case len(vs) < lo:
+				c = generalize(rng, g, c)
+			default:
+				c2 := specialize(rng, g, c, vs)
+				if c2 == nil {
+					break
+				}
+				c = c2
+			}
+			if c == nil {
+				break
+			}
+		}
+	}
+	return nil, nil, errors.New("workload: could not hit size window")
+}
+
+// seedConstraint builds a one-pattern constraint anchored at a random
+// vertex's random edge, guaranteed to match at least that vertex.
+func seedConstraint(rng *rand.Rand, g *graph.Graph) *pattern.Constraint {
+	n := g.NumVertices()
+	for try := 0; try < 20; try++ {
+		v := graph.VertexID(rng.Intn(n))
+		out, in := g.Out(v), g.In(v)
+		if len(out) == 0 && len(in) == 0 {
+			continue
+		}
+		var tp pattern.TriplePattern
+		if len(out) > 0 && (len(in) == 0 || rng.Intn(2) == 0) {
+			e := out[rng.Intn(len(out))]
+			tp = pattern.TriplePattern{Subject: pattern.V("x"), Label: e.Label, Object: pattern.C(e.To)}
+		} else {
+			e := in[rng.Intn(len(in))]
+			tp = pattern.TriplePattern{Subject: pattern.C(e.To), Label: e.Label, Object: pattern.V("x")}
+		}
+		return &pattern.Constraint{Focus: "x", Patterns: []pattern.TriplePattern{tp}}
+	}
+	return nil
+}
+
+// generalize widens the constraint: drop a non-essential pattern,
+// replace a constant endpoint with a fresh variable, or switch a
+// pattern's label to a more common one.
+func generalize(rng *rand.Rand, g *graph.Graph, c *pattern.Constraint) *pattern.Constraint {
+	out := &pattern.Constraint{Focus: c.Focus, Patterns: append([]pattern.TriplePattern(nil), c.Patterns...)}
+	switch {
+	case len(out.Patterns) > 1 && rng.Intn(2) == 0:
+		i := rng.Intn(len(out.Patterns))
+		out.Patterns = append(out.Patterns[:i], out.Patterns[i+1:]...)
+		if out.Validate() == nil {
+			return out
+		}
+		return nil
+	case rng.Intn(3) == 0 && g.NumLabels() > 1:
+		// Re-label a random pattern: different labels have wildly
+		// different frequencies under Zipfian mixes.
+		i := rng.Intn(len(out.Patterns))
+		out.Patterns[i].Label = graph.Label(rng.Intn(g.NumLabels()))
+		return out
+	}
+	// Replace a constant with a variable.
+	for _, i := range rng.Perm(len(out.Patterns)) {
+		p := out.Patterns[i]
+		if p.Object.Kind == pattern.Const {
+			p.Object = pattern.V("g0")
+			out.Patterns[i] = p
+			return out
+		}
+		if p.Subject.Kind == pattern.Const {
+			p.Subject = pattern.V("g1")
+			out.Patterns[i] = p
+			return out
+		}
+	}
+	return out
+}
+
+// specialize narrows the constraint by adding a pattern drawn from the
+// edges of a random currently-matching vertex, so the result set stays
+// non-empty.
+func specialize(rng *rand.Rand, g *graph.Graph, c *pattern.Constraint, vs []graph.VertexID) *pattern.Constraint {
+	if len(c.Patterns) >= 6 || len(vs) == 0 {
+		return nil
+	}
+	v := vs[rng.Intn(len(vs))]
+	out, in := g.Out(v), g.In(v)
+	if len(out) == 0 && len(in) == 0 {
+		return nil
+	}
+	nc := &pattern.Constraint{Focus: c.Focus, Patterns: append([]pattern.TriplePattern(nil), c.Patterns...)}
+	if len(out) > 0 && (len(in) == 0 || rng.Intn(2) == 0) {
+		e := out[rng.Intn(len(out))]
+		nc.Patterns = append(nc.Patterns, pattern.TriplePattern{
+			Subject: pattern.V("x"), Label: e.Label, Object: pattern.C(e.To),
+		})
+	} else {
+		e := in[rng.Intn(len(in))]
+		nc.Patterns = append(nc.Patterns, pattern.TriplePattern{
+			Subject: pattern.C(e.To), Label: e.Label, Object: pattern.V("x"),
+		})
+	}
+	return nc
+}

@@ -1,0 +1,599 @@
+// Package lscr answers reachability queries with label and substructure
+// constraints (LSCR) on knowledge graphs, implementing the algorithms of
+// Wan & Wang, "Reachability Queries with Label and Substructure
+// Constraints on Knowledge Graphs" (TKDE / ICDE 2023 extended abstract).
+//
+// An LSCR query asks: can vertex s reach vertex t along a path whose edge
+// labels all belong to a label set L, such that some vertex on the path
+// satisfies a substructure constraint S (expressed as a SPARQL SELECT over
+// one projected variable)?
+//
+//	kg, _ := lscr.Load(file)                     // N-Triples-style input
+//	eng := lscr.NewEngine(kg, lscr.Options{})    // builds the local index
+//	res, _ := eng.Reach(lscr.Query{
+//		Source: "SuspectC", Target: "SuspectP",
+//		Labels: []string{"transfer2019-04", "married-to"},
+//		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+//	})
+//	fmt.Println(res.Reachable)
+//
+// Three algorithms are available: UIS (uninformed search with recall,
+// works on any edge-labeled graph), UISStar (SPARQL-assisted uninformed
+// search), and INS (informed search over a precomputed local index — the
+// default and the paper's headline contribution).
+package lscr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	core "lscr/internal/lscr"
+	"lscr/internal/pattern"
+	"lscr/internal/rdf"
+	"lscr/internal/sparql"
+)
+
+// KG is an immutable knowledge graph.
+type KG struct {
+	g *graph.Graph
+}
+
+// Load reads an N-Triples-style stream (see package documentation for the
+// format: `<s> <p> <o> .` per line, quoted literals allowed) into a KG.
+func Load(r io.Reader) (*KG, error) {
+	g, err := rdf.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &KG{g: g}, nil
+}
+
+// FromGraph wraps an already-built substrate graph. It is the hook the
+// generator CLIs and the benchmark harness use.
+func FromGraph(g *graph.Graph) *KG { return &KG{g: g} }
+
+// Graph exposes the substrate for advanced callers (generators, harness).
+func (kg *KG) Graph() *graph.Graph { return kg.g }
+
+// NumVertices returns |V|.
+func (kg *KG) NumVertices() int { return kg.g.NumVertices() }
+
+// NumEdges returns |E|.
+func (kg *KG) NumEdges() int { return kg.g.NumEdges() }
+
+// NumLabels returns |ℒ|.
+func (kg *KG) NumLabels() int { return kg.g.NumLabels() }
+
+// Dump writes the KG back out as triples.
+func (kg *KG) Dump(w io.Writer) error { return rdf.Dump(kg.g, w) }
+
+// WriteSnapshot serialises the KG (dictionaries, edges, schema) in the
+// binary snapshot format, which reloads much faster than triples.
+func (kg *KG) WriteSnapshot(w io.Writer) error {
+	_, err := kg.g.WriteTo(w)
+	return err
+}
+
+// LoadSnapshot reads a KG written by WriteSnapshot.
+func LoadSnapshot(r io.Reader) (*KG, error) {
+	g, err := graph.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &KG{g: g}, nil
+}
+
+// Algorithm selects the query strategy.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// INS is the informed, local-index-guided search (Algorithm 4) — the
+	// default.
+	INS Algorithm = iota
+	// UIS is the uninformed baseline (Algorithm 1).
+	UIS
+	// UISStar is the SPARQL-assisted uninformed search (Algorithm 2).
+	UISStar
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case INS:
+		return "INS"
+	case UIS:
+		return "UIS"
+	case UISStar:
+		return "UIS*"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// SkipIndex disables local-index construction; INS queries then
+	// return an error, but UIS/UISStar remain available.
+	SkipIndex bool
+	// Landmarks overrides the paper's k = log2(|V|)·√|V| landmark count.
+	Landmarks int
+	// IndexSeed drives the random schema-class selection of the landmark
+	// selector; fixed seeds give reproducible indexes.
+	IndexSeed int64
+}
+
+// Engine answers LSCR queries over one KG.
+type Engine struct {
+	kg  *KG
+	idx *core.LocalIndex
+	eng *sparql.Engine
+}
+
+// NewEngine prepares an engine, building the local index unless opts
+// disables it.
+func NewEngine(kg *KG, opts Options) *Engine {
+	e := &Engine{kg: kg, eng: sparql.NewEngine(kg.g)}
+	if !opts.SkipIndex {
+		e.idx = core.NewLocalIndex(kg.g, core.IndexParams{K: opts.Landmarks, Seed: opts.IndexSeed})
+	}
+	return e
+}
+
+// IndexStats describes the built local index.
+type IndexStats struct {
+	Landmarks int
+	Entries   int
+	SizeBytes int64
+}
+
+// Index returns statistics about the local index, or false when the
+// engine was built with SkipIndex.
+func (e *Engine) Index() (IndexStats, bool) {
+	if e.idx == nil {
+		return IndexStats{}, false
+	}
+	return IndexStats{
+		Landmarks: len(e.idx.Landmarks()),
+		Entries:   e.idx.Entries(),
+		SizeBytes: e.idx.SizeBytes(),
+	}, true
+}
+
+// Query is one LSCR query in terms of names.
+type Query struct {
+	// Source and Target are vertex names.
+	Source, Target string
+	// Labels is the label constraint; empty means "all labels".
+	Labels []string
+	// Constraint is a SPARQL SELECT with one projected variable; it must
+	// be non-empty.
+	Constraint string
+	// Algorithm selects the strategy; the zero value is INS.
+	Algorithm Algorithm
+}
+
+// Stats re-exports the per-query measures.
+type Stats = core.Stats
+
+// Result is a query answer.
+type Result struct {
+	Reachable bool
+	Stats     Stats
+	Elapsed   time.Duration
+	// SatisfyingVertices is |V(S,G)| as computed by the engine (UIS
+	// evaluates the constraint lazily and reports -1).
+	SatisfyingVertices int
+}
+
+// Errors returned by Reach.
+var (
+	ErrUnknownVertex = errors.New("lscr: unknown vertex name")
+	ErrUnknownLabel  = errors.New("lscr: unknown label name")
+	ErrNoIndex       = errors.New("lscr: engine built without index; INS unavailable")
+)
+
+// Reach answers q.
+func (e *Engine) Reach(q Query) (Result, error) {
+	g := e.kg.g
+	s := g.Vertex(q.Source)
+	if s == graph.NoVertex {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
+	}
+	t := g.Vertex(q.Target)
+	if t == graph.NoVertex {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
+	}
+	var L labelset.Set
+	if len(q.Labels) == 0 {
+		L = g.LabelUniverse()
+	} else {
+		for _, name := range q.Labels {
+			l, ok := g.LabelByName(name)
+			if !ok {
+				return Result{}, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
+			}
+			L = L.Add(l)
+		}
+	}
+	parsed, err := sparql.Parse(q.Constraint)
+	if err != nil {
+		return Result{}, err
+	}
+	cons, sat, err := parsed.Compile(g)
+	if err != nil {
+		return Result{}, err
+	}
+	cq := core.Query{Source: s, Target: t, Labels: L}
+	start := time.Now()
+	if !sat {
+		// The constraint references entities absent from the KG: V(S,G)
+		// is empty and the answer is false for every algorithm.
+		return Result{Elapsed: time.Since(start)}, nil
+	}
+	cq.Constraint = cons
+
+	var (
+		ans Result
+		st  Stats
+		ok  bool
+	)
+	switch q.Algorithm {
+	case UIS:
+		ok, st, err = core.UIS(g, cq)
+		ans.SatisfyingVertices = -1
+	case UISStar:
+		m, merr := pattern.NewMatcher(g, cons)
+		if merr != nil {
+			return Result{}, merr
+		}
+		vs := m.MatchAll()
+		ans.SatisfyingVertices = len(vs)
+		ok, st, err = core.UISStar(g, cq, vs)
+	case INS:
+		if e.idx == nil {
+			return Result{}, ErrNoIndex
+		}
+		m, merr := pattern.NewMatcher(g, cons)
+		if merr != nil {
+			return Result{}, merr
+		}
+		vs := m.MatchAll()
+		ans.SatisfyingVertices = len(vs)
+		ok, st, err = core.INS(g, e.idx, cq, vs)
+	default:
+		return Result{}, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	ans.Reachable = ok
+	ans.Stats = st
+	ans.Elapsed = time.Since(start)
+	return ans, nil
+}
+
+// MultiQuery is a conjunctive LSCR query: the path must pass, for every
+// listed constraint, some vertex satisfying it (possibly different
+// vertices, in any order). See Engine.ReachAll.
+type MultiQuery struct {
+	Source, Target string
+	Labels         []string
+	// Constraints are SPARQL SELECTs, each with one projected variable.
+	// At most 16.
+	Constraints []string
+}
+
+// ReachAll answers a conjunctive LSCR query with the generalised
+// uninformed search (UIS over satisfied-set states). A constraint that
+// references entities absent from the KG is unsatisfiable and makes the
+// answer false.
+func (e *Engine) ReachAll(q MultiQuery) (Result, error) {
+	mq, res, earlyFalse, err := e.compileMulti(q)
+	if err != nil {
+		return Result{}, err
+	}
+	if earlyFalse {
+		return res, nil
+	}
+	start := time.Now()
+	ok, st, err := core.UISMulti(e.kg.g, mq)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Reachable:          ok,
+		Stats:              st,
+		Elapsed:            time.Since(start),
+		SatisfyingVertices: -1,
+	}, nil
+}
+
+// MultiPath is the witness of a true conjunctive answer: the walk plus,
+// per constraint (in query order), the walk vertex satisfying it.
+type MultiPath struct {
+	Hops        []PathHop
+	SatisfiedBy []string
+}
+
+// ReachAllWithWitness answers a conjunctive query and, when true, also
+// returns the witness walk with one satisfying vertex per constraint.
+func (e *Engine) ReachAllWithWitness(q MultiQuery) (Result, *MultiPath, error) {
+	g := e.kg.g
+	mq, res, earlyFalse, err := e.compileMulti(q)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if earlyFalse {
+		return res, nil, nil
+	}
+	start := time.Now()
+	ok, w, st, err := core.UISMultiWitness(g, mq)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res = Result{Reachable: ok, Stats: st, Elapsed: time.Since(start), SatisfyingVertices: -1}
+	if !ok {
+		return res, nil, nil
+	}
+	mp := &MultiPath{}
+	for _, h := range w.Hops {
+		mp.Hops = append(mp.Hops, PathHop{
+			From:  g.VertexName(h.From),
+			Label: g.LabelName(h.Label),
+			To:    g.VertexName(h.To),
+		})
+	}
+	for _, v := range w.SatisfiedBy {
+		mp.SatisfiedBy = append(mp.SatisfiedBy, g.VertexName(v))
+	}
+	return res, mp, nil
+}
+
+// compileMulti resolves a MultiQuery's names; earlyFalse reports an
+// unsatisfiable conjunct (V(S_i, G) empty by construction).
+func (e *Engine) compileMulti(q MultiQuery) (core.MultiQuery, Result, bool, error) {
+	g := e.kg.g
+	s := g.Vertex(q.Source)
+	if s == graph.NoVertex {
+		return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
+	}
+	t := g.Vertex(q.Target)
+	if t == graph.NoVertex {
+		return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
+	}
+	var L labelset.Set
+	if len(q.Labels) == 0 {
+		L = g.LabelUniverse()
+	} else {
+		for _, name := range q.Labels {
+			l, ok := g.LabelByName(name)
+			if !ok {
+				return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
+			}
+			L = L.Add(l)
+		}
+	}
+	mq := core.MultiQuery{Source: s, Target: t, Labels: L}
+	for _, text := range q.Constraints {
+		parsed, err := sparql.Parse(text)
+		if err != nil {
+			return core.MultiQuery{}, Result{}, false, err
+		}
+		cons, sat, err := parsed.Compile(g)
+		if err != nil {
+			return core.MultiQuery{}, Result{}, false, err
+		}
+		if !sat {
+			return core.MultiQuery{}, Result{SatisfyingVertices: -1}, true, nil
+		}
+		mq.Constraints = append(mq.Constraints, cons)
+	}
+	return mq, Result{}, false, nil
+}
+
+// PathHop is one edge of a witness path, in vertex/label names.
+type PathHop struct {
+	From, Label, To string
+}
+
+// Path is a witness for a true LSCR answer: a concrete s→t walk whose
+// labels all satisfy the label constraint and whose Satisfying vertex
+// satisfies the substructure constraint. For the paper's crime-detection
+// scenario this is the evidence chain itself.
+type Path struct {
+	Hops       []PathHop
+	Satisfying string
+}
+
+// String renders the path as "a -[l]-> b -[m]-> c".
+func (p *Path) String() string {
+	if len(p.Hops) == 0 {
+		return p.Satisfying
+	}
+	var b strings.Builder
+	b.WriteString(p.Hops[0].From)
+	for _, h := range p.Hops {
+		fmt.Fprintf(&b, " -[%s]-> %s", h.Label, h.To)
+	}
+	return b.String()
+}
+
+// ReachWithWitness answers q and, when the answer is true, also returns a
+// witness path. The witness is nil for false answers.
+func (e *Engine) ReachWithWitness(q Query) (Result, *Path, error) {
+	res, err := e.Reach(q)
+	if err != nil || !res.Reachable {
+		return res, nil, err
+	}
+	g := e.kg.g
+	var L labelset.Set
+	if len(q.Labels) == 0 {
+		L = g.LabelUniverse()
+	} else {
+		for _, name := range q.Labels {
+			l, _ := g.LabelByName(name) // validated by Reach already
+			L = L.Add(l)
+		}
+	}
+	w, ok := core.FindWitness(g, g.Vertex(q.Source), g.Vertex(q.Target), res.Stats.Satisfying, L)
+	if !ok {
+		// Cannot happen for a sound algorithm; fail loudly rather than
+		// fabricate evidence.
+		return res, nil, fmt.Errorf("lscr: internal error: no witness for a true answer")
+	}
+	p := &Path{Satisfying: g.VertexName(w.Satisfying)}
+	for _, h := range w.Hops {
+		p.Hops = append(p.Hops, PathHop{
+			From:  g.VertexName(h.From),
+			Label: g.LabelName(h.Label),
+			To:    g.VertexName(h.To),
+		})
+	}
+	return res, p, nil
+}
+
+// ReachTraced answers q while recording the search tree of Definition
+// 3.2 (the paper's Figures 4, 6, 7) and writes it to dot as a Graphviz
+// digraph: F-state nodes blue, T-state nodes red, index-driven markings
+// dashed. Pass a nil dot writer to skip rendering (the Result still
+// reflects the traced run).
+func (e *Engine) ReachTraced(q Query, dot io.Writer) (Result, error) {
+	g := e.kg.g
+	s := g.Vertex(q.Source)
+	if s == graph.NoVertex {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
+	}
+	t := g.Vertex(q.Target)
+	if t == graph.NoVertex {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
+	}
+	var L labelset.Set
+	if len(q.Labels) == 0 {
+		L = g.LabelUniverse()
+	} else {
+		for _, name := range q.Labels {
+			l, ok := g.LabelByName(name)
+			if !ok {
+				return Result{}, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
+			}
+			L = L.Add(l)
+		}
+	}
+	parsed, err := sparql.Parse(q.Constraint)
+	if err != nil {
+		return Result{}, err
+	}
+	cons, sat, err := parsed.Compile(g)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	if !sat {
+		return Result{Elapsed: time.Since(start)}, nil
+	}
+	cq := core.Query{Source: s, Target: t, Labels: L, Constraint: cons}
+
+	var tree core.SearchTree
+	var (
+		ok  bool
+		st  Stats
+		nVS int
+	)
+	switch q.Algorithm {
+	case UIS:
+		ok, st, err = core.UISTraced(g, cq, &tree)
+		nVS = -1
+	case UISStar:
+		m, merr := pattern.NewMatcher(g, cons)
+		if merr != nil {
+			return Result{}, merr
+		}
+		vs := m.MatchAll()
+		nVS = len(vs)
+		ok, st, err = core.UISStarTraced(g, cq, vs, &tree)
+	case INS:
+		if e.idx == nil {
+			return Result{}, ErrNoIndex
+		}
+		m, merr := pattern.NewMatcher(g, cons)
+		if merr != nil {
+			return Result{}, merr
+		}
+		vs := m.MatchAll()
+		nVS = len(vs)
+		ok, st, err = core.INSTraced(g, e.idx, cq, vs, &tree)
+	default:
+		return Result{}, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Reachable: ok, Stats: st, Elapsed: time.Since(start), SatisfyingVertices: nVS}
+	if dot != nil {
+		if err := tree.WriteDOT(dot, q.Algorithm.String(), g.VertexName); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// SaveIndex serialises the engine's local index (format documented in the
+// internal encoder: versioned magic + CRC32 footer). It fails when the
+// engine was built with SkipIndex.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	if e.idx == nil {
+		return ErrNoIndex
+	}
+	_, err := e.idx.WriteTo(w)
+	return err
+}
+
+// NewEngineFromIndex builds an engine whose local index is loaded from r
+// (written earlier by SaveIndex against the same KG) instead of being
+// recomputed.
+func NewEngineFromIndex(kg *KG, r io.Reader) (*Engine, error) {
+	idx, err := core.ReadLocalIndex(r, kg.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{kg: kg, idx: idx, eng: sparql.NewEngine(kg.g)}, nil
+}
+
+// Select evaluates a SPARQL SELECT and returns the matching vertex names
+// (V(S,G) by name) — the substructure-constraint half of the system,
+// usable standalone. Multi-variable queries project their first variable;
+// use SelectAll for full rows.
+func (e *Engine) Select(query string) ([]string, error) {
+	ids, err := e.eng.Select(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ids))
+	for i, v := range ids {
+		out[i] = e.kg.g.VertexName(v)
+	}
+	return out, nil
+}
+
+// SelectAll evaluates a (possibly multi-variable) SPARQL SELECT and
+// returns one map per distinct result row, keyed by variable name.
+func (e *Engine) SelectAll(query string) ([]map[string]string, error) {
+	vars, rows, err := e.eng.SelectTuples(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]string, 0, len(rows))
+	for _, r := range rows {
+		m := make(map[string]string, len(vars))
+		for i, v := range vars {
+			m[v] = e.kg.g.VertexName(r[i])
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package lscr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fincrimeKG is the paper's §1 scenario as a triple stream: an indirect
+// transaction chain from SuspectC to SuspectP where middleman X is
+// married to Amy.
+const fincrimeKG = `
+<SuspectC> <transfer2019-04> <MiddlemanX> .
+<MiddlemanX> <transfer2019-04> <AccountA> .
+<AccountA> <transfer2019-04> <SuspectP> .
+<MiddlemanX> <married-to> <Amy> .
+<SuspectC> <transfer2019-05> <SuspectP> .
+<Decoy> <married-to> <Beth> .
+<SuspectC> <friend-of> <Decoy> .
+`
+
+func loadFincrime(t *testing.T) *KG {
+	t.Helper()
+	kg, err := Load(strings.NewReader(fincrimeKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kg
+}
+
+func TestPublicAPIScenario(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	if st, ok := eng.Index(); !ok || st.Landmarks == 0 {
+		t.Fatalf("index stats: %+v ok=%v", st, ok)
+	}
+	q := Query{
+		Source: "SuspectC", Target: "SuspectP",
+		Labels:     []string{"transfer2019-04", "married-to"},
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	}
+	for _, algo := range []Algorithm{INS, UIS, UISStar} {
+		q.Algorithm = algo
+		res, err := eng.Reach(q)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !res.Reachable {
+			t.Errorf("%v: the April 2019 chain through MiddlemanX exists", algo)
+		}
+	}
+	// Restricting to May transfers breaks the substructure condition:
+	// the direct May edge passes no married-to-Amy vertex.
+	q.Labels = []string{"transfer2019-05"}
+	q.Algorithm = INS
+	res, err := eng.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Error("May-only transfer should not satisfy the constraint")
+	}
+}
+
+func TestPublicAPIEmptyLabelsMeansUniverse(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	res, err := eng.Reach(Query{
+		Source: "SuspectC", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Error("universe label constraint should find the chain")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	c := `SELECT ?x WHERE { ?x <married-to> <Amy>. }`
+	if _, err := eng.Reach(Query{Source: "nope", Target: "SuspectP", Constraint: c}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := eng.Reach(Query{Source: "SuspectC", Target: "nope", Constraint: c}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := eng.Reach(Query{Source: "SuspectC", Target: "SuspectP", Labels: []string{"bogus"}, Constraint: c}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := eng.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: "garbage"}); err == nil {
+		t.Error("malformed constraint accepted")
+	}
+	if _, err := eng.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: c, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Unknown entities in the constraint are a valid empty result.
+	res, err := eng.Reach(Query{Source: "SuspectC", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Nobody>. }`})
+	if err != nil || res.Reachable {
+		t.Errorf("unknown constraint entity: res=%+v err=%v", res, err)
+	}
+	// SkipIndex forbids INS but not the others.
+	noIdx := NewEngine(kg, Options{SkipIndex: true})
+	if _, ok := noIdx.Index(); ok {
+		t.Error("Index() reported stats without an index")
+	}
+	if _, err := noIdx.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: c}); err != ErrNoIndex {
+		t.Errorf("INS without index: %v", err)
+	}
+	if _, err := noIdx.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: c, Algorithm: UIS}); err != nil {
+		t.Errorf("UIS without index: %v", err)
+	}
+}
+
+func TestPublicSelect(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	names, err := eng.Select(`SELECT ?x WHERE { ?x <married-to> ?y. }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("Select = %v", names)
+	}
+}
+
+func TestPublicSelectAll(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	rows, err := eng.SelectAll(`SELECT ?x ?y WHERE { ?x <married-to> ?y. }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	found := false
+	for _, r := range rows {
+		if r["x"] == "MiddlemanX" && r["y"] == "Amy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing MiddlemanX/Amy row: %v", rows)
+	}
+	if _, err := eng.SelectAll("garbage"); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	kg := loadFincrime(t)
+	var buf bytes.Buffer
+	if err := kg.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	kg2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg2.NumVertices() != kg.NumVertices() || kg2.NumEdges() != kg.NumEdges() || kg2.NumLabels() != kg.NumLabels() {
+		t.Fatal("round trip changed the KG")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if INS.String() != "INS" || UIS.String() != "UIS" || UISStar.String() != "UIS*" {
+		t.Error("Algorithm.String broken")
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm renders empty")
+	}
+}
+
+func TestLoadError(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a triple")); err == nil {
+		t.Error("malformed input accepted")
+	}
+}

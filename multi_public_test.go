@@ -1,0 +1,119 @@
+package lscr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReachAll(t *testing.T) {
+	kg, err := Load(strings.NewReader(`
+<C> <apr> <X> .
+<X> <apr> <A> .
+<A> <apr> <P> .
+<X> <married> <Amy> .
+<A> <flag> <Offshore> .
+<C> <apr> <Clean> .
+<Clean> <apr> <P> .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	q := MultiQuery{
+		Source: "C", Target: "P",
+		Labels: []string{"apr"},
+		Constraints: []string{
+			`SELECT ?x WHERE { ?x <married> <Amy>. }`,
+			`SELECT ?x WHERE { ?x <flag> <Offshore>. }`,
+		},
+	}
+	res, err := eng.ReachAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("C->X->A->P satisfies both conjuncts")
+	}
+	// Adding an unsatisfiable conjunct flips the answer.
+	q.Constraints = append(q.Constraints, `SELECT ?x WHERE { ?x <flag> <Nonexistent>. }`)
+	res, err = eng.ReachAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Fatal("unsatisfiable conjunct answered true")
+	}
+	// Restricting labels so the only path avoids the flagged account.
+	q.Constraints = q.Constraints[:2]
+	q.Labels = []string{"apr", "married"}
+	res, err = eng.ReachAll(q)
+	if err != nil || !res.Reachable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestReachAllWithWitness(t *testing.T) {
+	kg, err := Load(strings.NewReader(`
+<C> <apr> <X> .
+<X> <apr> <A> .
+<A> <apr> <P> .
+<X> <married> <Amy> .
+<A> <flag> <Offshore> .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	q := MultiQuery{
+		Source: "C", Target: "P",
+		Labels: []string{"apr"},
+		Constraints: []string{
+			`SELECT ?x WHERE { ?x <married> <Amy>. }`,
+			`SELECT ?x WHERE { ?x <flag> <Offshore>. }`,
+		},
+	}
+	res, mp, err := eng.ReachAllWithWitness(q)
+	if err != nil || !res.Reachable || mp == nil {
+		t.Fatalf("res=%+v mp=%v err=%v", res, mp, err)
+	}
+	if len(mp.SatisfiedBy) != 2 || mp.SatisfiedBy[0] != "X" || mp.SatisfiedBy[1] != "A" {
+		t.Fatalf("SatisfiedBy = %v, want [X A]", mp.SatisfiedBy)
+	}
+	if len(mp.Hops) != 3 || mp.Hops[0].From != "C" || mp.Hops[2].To != "P" {
+		t.Fatalf("Hops = %v", mp.Hops)
+	}
+	// False: no witness.
+	q.Constraints = append(q.Constraints, `SELECT ?x WHERE { ?x <flag> <Nothing>. }`)
+	res, mp, err = eng.ReachAllWithWitness(q)
+	if err != nil || res.Reachable || mp != nil {
+		t.Fatalf("unsat conjunct: res=%+v mp=%v err=%v", res, mp, err)
+	}
+	// Errors propagate.
+	q.Source = "nobody"
+	if _, _, err := eng.ReachAllWithWitness(q); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestReachAllErrors(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	c := `SELECT ?x WHERE { ?x <married-to> <Amy>. }`
+	if _, err := eng.ReachAll(MultiQuery{Source: "nope", Target: "SuspectP", Constraints: []string{c}}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := eng.ReachAll(MultiQuery{Source: "SuspectC", Target: "nope", Constraints: []string{c}}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := eng.ReachAll(MultiQuery{Source: "SuspectC", Target: "SuspectP",
+		Labels: []string{"bogus"}, Constraints: []string{c}}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := eng.ReachAll(MultiQuery{Source: "SuspectC", Target: "SuspectP",
+		Constraints: []string{"garbage"}}); err == nil {
+		t.Error("malformed constraint accepted")
+	}
+	if _, err := eng.ReachAll(MultiQuery{Source: "SuspectC", Target: "SuspectP"}); err == nil {
+		t.Error("empty conjunction accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package lscr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReachTraced(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	q := Query{
+		Source: "SuspectC", Target: "SuspectP",
+		Labels:     []string{"transfer2019-04", "married-to"},
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	}
+	for _, algo := range []Algorithm{UIS, UISStar, INS} {
+		q.Algorithm = algo
+		var dot bytes.Buffer
+		res, err := eng.ReachTraced(q, &dot)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !res.Reachable {
+			t.Fatalf("%v: unreachable", algo)
+		}
+		out := dot.String()
+		if !strings.Contains(out, "digraph") || !strings.Contains(out, "SuspectC_F") {
+			t.Errorf("%v: DOT output malformed:\n%s", algo, out)
+		}
+	}
+	// Nil writer skips rendering but still answers.
+	q.Algorithm = INS
+	res, err := eng.ReachTraced(q, nil)
+	if err != nil || !res.Reachable {
+		t.Fatalf("nil writer: %+v %v", res, err)
+	}
+	// Errors propagate.
+	q.Source = "nobody"
+	if _, err := eng.ReachTraced(q, nil); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	q.Source = "SuspectC"
+	q.Constraint = "garbage"
+	if _, err := eng.ReachTraced(q, nil); err == nil {
+		t.Fatal("malformed constraint accepted")
+	}
+	q.Constraint = `SELECT ?x WHERE { ?x <married-to> <Nobody>. }`
+	res, err = eng.ReachTraced(q, nil)
+	if err != nil || res.Reachable {
+		t.Fatalf("unsatisfiable constraint: %+v %v", res, err)
+	}
+	noIdx := NewEngine(kg, Options{SkipIndex: true})
+	q.Constraint = `SELECT ?x WHERE { ?x <married-to> <Amy>. }`
+	q.Algorithm = INS
+	if _, err := noIdx.ReachTraced(q, nil); err != ErrNoIndex {
+		t.Fatalf("INS without index: %v", err)
+	}
+	q.Algorithm = Algorithm(77)
+	if _, err := eng.ReachTraced(q, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

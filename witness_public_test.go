@@ -1,0 +1,115 @@
+package lscr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReachWithWitness(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	q := Query{
+		Source: "SuspectC", Target: "SuspectP",
+		Labels:     []string{"transfer2019-04", "married-to"},
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	}
+	for _, algo := range []Algorithm{INS, UIS, UISStar} {
+		q.Algorithm = algo
+		res, path, err := eng.ReachWithWitness(q)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !res.Reachable || path == nil {
+			t.Fatalf("%v: no witness for reachable query", algo)
+		}
+		if path.Satisfying != "MiddlemanX" {
+			t.Errorf("%v: satisfying = %q, want MiddlemanX", algo, path.Satisfying)
+		}
+		s := path.String()
+		if !strings.HasPrefix(s, "SuspectC ") || !strings.HasSuffix(s, " SuspectP") {
+			t.Errorf("%v: path = %q", algo, s)
+		}
+	}
+	// False answers carry no witness.
+	q.Labels = []string{"transfer2019-05"}
+	q.Algorithm = INS
+	res, path, err := eng.ReachWithWitness(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable || path != nil {
+		t.Fatal("witness fabricated for false answer")
+	}
+	// Errors propagate.
+	q.Source = "nobody"
+	if _, _, err := eng.ReachWithWitness(q); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestWitnessZeroLengthPathString(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	// MiddlemanX -> MiddlemanX with MiddlemanX satisfying: empty path.
+	res, path, err := eng.ReachWithWitness(Query{
+		Source: "MiddlemanX", Target: "MiddlemanX",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	})
+	if err != nil || !res.Reachable || path == nil {
+		t.Fatalf("res=%+v path=%v err=%v", res, path, err)
+	}
+	if len(path.Hops) != 0 || path.String() != "MiddlemanX" {
+		t.Fatalf("path = %+v (%q)", path.Hops, path.String())
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	var buf bytes.Buffer
+	if err := eng.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewEngineFromIndex(kg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Source: "SuspectC", Target: "SuspectP",
+		Labels:     []string{"transfer2019-04", "married-to"},
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+	}
+	a, err := eng.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reachable != b.Reachable {
+		t.Fatal("loaded index answers differently")
+	}
+	st1, _ := eng.Index()
+	st2, ok := loaded.Index()
+	if !ok || st1.Entries != st2.Entries || st1.Landmarks != st2.Landmarks {
+		t.Fatalf("index stats differ: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestSaveIndexWithoutIndex(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{SkipIndex: true})
+	var buf bytes.Buffer
+	if err := eng.SaveIndex(&buf); err != ErrNoIndex {
+		t.Fatalf("err = %v, want ErrNoIndex", err)
+	}
+}
+
+func TestNewEngineFromIndexRejectsGarbage(t *testing.T) {
+	kg := loadFincrime(t)
+	if _, err := NewEngineFromIndex(kg, strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage index accepted")
+	}
+}
