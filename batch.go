@@ -1,0 +1,60 @@
+package lscr
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult pairs one query of a ReachBatch call with its outcome.
+// Exactly one of Err or a meaningful Result is set per entry.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// ReachBatch answers every query of qs, fanning the work out over at
+// most concurrency goroutines (GOMAXPROCS when concurrency <= 0).
+// Results are returned in query order, one BatchResult per query; a
+// failing query (unknown vertex, malformed constraint, ...) records its
+// error in its own slot without affecting the others.
+//
+// The batch runs entirely on the receiver: answers are identical to
+// calling Reach once per query serially. It is itself safe to call
+// concurrently, and is the throughput-oriented entry point — the server
+// and benchmark CLIs use it to keep every core busy.
+func (e *Engine) ReachBatch(qs []Query, concurrency int) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > len(qs) {
+		concurrency = len(qs)
+	}
+	if concurrency == 1 {
+		for i := range qs {
+			out[i].Result, out[i].Err = e.Reach(qs[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i].Result, out[i].Err = e.Reach(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,4 +1,7 @@
-package lscr
+// The external test package breaks the cycle that would otherwise run
+// through internal/bench, which imports the public lscr package for its
+// throughput harness.
+package lscr_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // section (§6), each delegating to the internal/bench harness. The first

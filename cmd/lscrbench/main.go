@@ -1,14 +1,21 @@
 // Command lscrbench regenerates the paper's tables and figures (§6) at
-// laptop scale.
+// laptop scale, and measures this implementation's parallel scaling.
 //
 // Usage:
 //
 //	lscrbench -exp fig10            # Figure 10 (constraint S1)
 //	lscrbench -exp table2 -scale 2  # Table 2 at double scale
-//	lscrbench -exp all -queries 50  # everything, 50 queries per group
+//	lscrbench -exp all -queries 50  # every paper experiment
+//	lscrbench -exp parallel         # index-build + query-fanout speedup
+//	lscrbench -exp parallel-json    # same, as BENCH_parallel.json
+//	lscrbench -exp throughput -concurrency 8
+//	                                # end-to-end QPS through Engine.ReachBatch
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
-// fig15, ablation-rho, ablation-landmarks, ablation-queue, ablation-vsorder, all.
+// fig15, ablation-rho, ablation-landmarks, ablation-queue,
+// ablation-vsorder, parallel, parallel-json, throughput, all. "all" runs
+// the paper experiments only — the machine-dependent scaling sweeps
+// (parallel*, throughput) are invoked explicitly.
 package main
 
 import (
@@ -22,20 +29,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, all)")
-		scale   = flag.Int("scale", 1, "dataset scale multiplier")
-		queries = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
-		seed    = flag.Int64("seed", 1, "workload and generator seed")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, all)")
+		scale       = flag.Int("scale", 1, "dataset scale multiplier")
+		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
+		seed        = flag.Int64("seed", 1, "workload and generator seed")
+		concurrency = flag.Int("concurrency", 0, "throughput mode: ReachBatch fan-out (0 = all cores)")
 	)
 	flag.Parse()
 	cfg := bench.Config{Scale: *scale, QueriesPerGroup: *queries, Seed: *seed}
-	if err := run(os.Stdout, *exp, cfg); err != nil {
+	if err := run(os.Stdout, *exp, cfg, *concurrency); err != nil {
 		fmt.Fprintln(os.Stderr, "lscrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, cfg bench.Config) error {
+func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 	runners := map[string]func(io.Writer, bench.Config) error{
 		"table2":             bench.RunTable2,
 		"fig5a":              bench.RunFig5Density,
@@ -50,6 +58,11 @@ func run(w io.Writer, exp string, cfg bench.Config) error {
 		"ablation-vsorder":   bench.RunAblationVSOrder,
 		"ablation-landmarks": bench.RunAblationLandmarks,
 		"ablation-queue":     bench.RunAblationQueue,
+		"parallel":           bench.RunParallel,
+		"parallel-json":      bench.RunParallelJSON,
+		"throughput": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunThroughput(w, cfg, concurrency)
+		},
 	}
 	if exp == "all" {
 		order := []string{

@@ -10,8 +10,22 @@ import (
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", bench.Config{}); err == nil {
+	if err := run(&buf, "fig99", bench.Config{}, 0); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index")
+	}
+	var buf bytes.Buffer
+	cfg := bench.Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}
+	if err := run(&buf, "throughput", cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "answers identical and correct") {
+		t.Errorf("unexpected output:\n%s", buf.String())
 	}
 }
 
@@ -21,7 +35,7 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	cfg := bench.Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}
-	if err := run(&buf, "ablation-queue", cfg); err != nil {
+	if err := run(&buf, "ablation-queue", cfg, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "UIS*") {

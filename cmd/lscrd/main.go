@@ -6,11 +6,15 @@
 //
 //	GET  /healthz           — liveness + KG stats
 //	POST /reach             — {"source","target","labels":[],"constraint","algorithm","witness"}
+//	POST /reachbatch        — {"queries":[<reach bodies>],"concurrency":N}
 //	POST /reachall          — {"source","target","labels":[],"constraints":[]}
 //	POST /select            — {"query"}
 //
-// The server is read-only: the KG and index are built once at startup and
-// shared by concurrent requests.
+// The server is read-only: the KG and index are built once at startup
+// (across -workers goroutines) and shared by concurrent requests — the
+// Engine's concurrency contract is what lets net/http fan requests out
+// without any locking here. /reachbatch additionally parallelises inside
+// a single request via Engine.ReachBatch.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,15 +34,16 @@ import (
 
 func main() {
 	var (
-		kgPath = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
-		addr   = flag.String("addr", ":8080", "listen address")
+		kgPath  = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
 	)
 	flag.Parse()
 	if *kgPath == "" {
 		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
 		os.Exit(2)
 	}
-	eng, kg, err := load(*kgPath)
+	eng, kg, err := load(*kgPath, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
 		os.Exit(2)
@@ -46,7 +52,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, newHandler(eng, kg)))
 }
 
-func load(path string) (*lscr.Engine, *lscr.KG, error) {
+func load(path string, workers int) (*lscr.Engine, *lscr.KG, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -65,7 +71,7 @@ func load(path string) (*lscr.Engine, *lscr.KG, error) {
 			return nil, nil, err
 		}
 	}
-	return lscr.NewEngine(kg, lscr.Options{}), kg, nil
+	return lscr.NewEngine(kg, lscr.Options{IndexWorkers: workers}), kg, nil
 }
 
 // reachRequest is the /reach body.
@@ -93,6 +99,26 @@ type reachAllRequest struct {
 	Target      string   `json:"target"`
 	Labels      []string `json:"labels,omitempty"`
 	Constraints []string `json:"constraints"`
+}
+
+// maxBatchBody bounds a /reachbatch request body (32 MiB ≈ hundreds of
+// thousands of queries — far above any sane batch, far below OOM).
+const maxBatchBody = 32 << 20
+
+// batchRequest is the /reachbatch body. Concurrency 0 means all cores.
+type batchRequest struct {
+	Queries     []reachRequest `json:"queries"`
+	Concurrency int            `json:"concurrency,omitempty"`
+}
+
+// batchItem is one /reachbatch result: either the reach fields or a
+// per-query error (bad names in one query do not fail the batch).
+type batchItem struct {
+	Reachable bool   `json:"reachable"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Passed    int    `json:"passed_vertices"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // newHandler wires the endpoints.
@@ -142,6 +168,51 @@ func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
 			Witness:   path,
 			Algorithm: algo.String(),
 		})
+	})
+	mux.HandleFunc("POST /reachbatch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		// Bound what one request can cost: the body is capped before
+		// decoding, and the client's fan-out wish is clamped to the
+		// cores actually available (ReachBatch itself only clamps to
+		// the batch length).
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+			return
+		}
+		if req.Concurrency < 0 || req.Concurrency > runtime.GOMAXPROCS(0) {
+			req.Concurrency = runtime.GOMAXPROCS(0)
+		}
+		items := make([]batchItem, len(req.Queries))
+		queries := make([]lscr.Query, 0, len(req.Queries))
+		slots := make([]int, 0, len(req.Queries)) // queries[j] answers items[slots[j]]
+		for i, rq := range req.Queries {
+			algo, err := parseAlgo(rq.Algorithm)
+			if err != nil {
+				items[i].Error = err.Error()
+				continue
+			}
+			items[i].Algorithm = algo.String()
+			queries = append(queries, lscr.Query{
+				Source: rq.Source, Target: rq.Target,
+				Labels: rq.Labels, Constraint: rq.Constraint, Algorithm: algo,
+			})
+			slots = append(slots, i)
+		}
+		for j, br := range eng.ReachBatch(queries, req.Concurrency) {
+			it := &items[slots[j]]
+			if br.Err != nil {
+				it.Error = br.Err.Error()
+				continue
+			}
+			it.Reachable = br.Result.Reachable
+			it.ElapsedUS = br.Result.Elapsed.Microseconds()
+			it.Passed = br.Result.Stats.PassedVertices
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": items, "count": len(items)})
 	})
 	mux.HandleFunc("POST /reachall", func(w http.ResponseWriter, r *http.Request) {
 		var req reachAllRequest

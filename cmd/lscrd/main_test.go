@@ -133,6 +133,63 @@ func TestReachEndpointErrors(t *testing.T) {
 	}
 }
 
+func TestReachBatchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
+	req := batchRequest{
+		Concurrency: 4,
+		Queries: []reachRequest{
+			{Source: "C", Target: "P", Labels: []string{"apr", "married"}, Constraint: cons},
+			{Source: "C", Target: "P", Labels: []string{"may"}, Constraint: cons},
+			{Source: "nope", Target: "P", Constraint: cons},
+			{Source: "C", Target: "P", Constraint: cons, Algorithm: "dijkstra"},
+			{Source: "C", Target: "P", Labels: []string{"apr", "married"}, Constraint: cons, Algorithm: "uis"},
+		},
+	}
+	resp, out := postJSON(t, srv.URL+"/reachbatch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if out["count"].(float64) != 5 {
+		t.Fatalf("count = %v", out["count"])
+	}
+	results := out["results"].([]any)
+	want := []struct {
+		reachable bool
+		hasError  bool
+	}{
+		{true, false},  // evidence chain exists
+		{false, false}, // label set excludes the chain
+		{false, true},  // unknown vertex: per-item error
+		{false, true},  // unknown algorithm: per-item error
+		{true, false},  // same answer via UIS
+	}
+	for i, w := range want {
+		item := results[i].(map[string]any)
+		if item["reachable"] != w.reachable {
+			t.Errorf("query %d: reachable = %v, want %v", i, item["reachable"], w.reachable)
+		}
+		_, gotErr := item["error"]
+		if gotErr != w.hasError {
+			t.Errorf("query %d: error present = %v, want %v (%v)", i, gotErr, w.hasError, item)
+		}
+	}
+
+	// Whole-batch failures: empty batch and malformed JSON.
+	resp, _ = postJSON(t, srv.URL+"/reachbatch", batchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", resp.StatusCode)
+	}
+	raw, err := http.Post(srv.URL+"/reachbatch", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", raw.StatusCode)
+	}
+}
+
 func TestReachAllEndpoint(t *testing.T) {
 	srv := testServer(t)
 	resp, out := postJSON(t, srv.URL+"/reachall", reachAllRequest{
@@ -170,7 +227,7 @@ func TestLoadHelper(t *testing.T) {
 	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	eng, kg, err := load(triples)
+	eng, kg, err := load(triples, 1)
 	if err != nil || eng == nil || kg.NumVertices() != 4 {
 		t.Fatalf("triples load: %v", err)
 	}
@@ -184,10 +241,10 @@ func TestLoadHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if _, kg2, err := load(snap); err != nil || kg2.NumVertices() != kg.NumVertices() {
+	if _, kg2, err := load(snap, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
 		t.Fatalf("snapshot load: %v", err)
 	}
-	if _, _, err := load(filepath.Join(dir, "missing")); err == nil {
+	if _, _, err := load(filepath.Join(dir, "missing"), 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,258 @@
+package lscr
+
+// The concurrency tier: these tests are the proof behind the package's
+// concurrency contract (one immutable Engine, any number of querying
+// goroutines) and are meant to run under the race detector — CI runs
+// `go test -race` over them. They use modest graph sizes so the -race
+// pass stays fast.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+
+	"lscr/internal/testkg"
+)
+
+// stressConstraints are small substructure constraints over the testkg
+// label vocabulary (l0..l3).
+var stressConstraints = []string{
+	`SELECT ?x WHERE { ?x <l0> ?y. }`,
+	`SELECT ?x WHERE { ?x <l1> ?y. }`,
+	`SELECT ?x WHERE { ?x <l0> ?y. ?y <l1> ?z. }`,
+}
+
+// stressWorkload builds a deterministic mixed-algorithm query set over a
+// random KG.
+func stressWorkload(rng *rand.Rand, nVertices, count int) []Query {
+	algos := []Algorithm{INS, UIS, UISStar}
+	labelSets := [][]string{
+		nil, // all labels
+		{"l0", "l1"},
+		{"l0", "l1", "l2"},
+		{"l1", "l2", "l3"},
+	}
+	qs := make([]Query, count)
+	for i := range qs {
+		qs[i] = Query{
+			Source:     "u" + strconv.Itoa(rng.Intn(nVertices)),
+			Target:     "u" + strconv.Itoa(rng.Intn(nVertices)),
+			Labels:     labelSets[rng.Intn(len(labelSets))],
+			Constraint: stressConstraints[rng.Intn(len(stressConstraints))],
+			Algorithm:  algos[rng.Intn(len(algos))],
+		}
+	}
+	return qs
+}
+
+// TestEngineConcurrentStress hammers a single Engine with mixed
+// Reach/ReachWithWitness/ReachAll/ReachAllWithWitness calls from many
+// goroutines and checks every answer against a serial baseline. Run it
+// under -race to prove the pooled scratch keeps goroutines disjoint.
+func TestEngineConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nVertices = 60
+	g := testkg.Random(rng, nVertices, 220, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 3})
+
+	qs := stressWorkload(rng, nVertices, 48)
+
+	// Serial ground truth per operation kind. A single-constraint
+	// conjunction is semantically the plain query, so Reach and ReachAll
+	// must agree on it.
+	reachWant := make([]bool, len(qs))
+	for i, q := range qs {
+		res, err := eng.Reach(q)
+		if err != nil {
+			t.Fatalf("serial Reach %d: %v", i, err)
+		}
+		reachWant[i] = res.Reachable
+	}
+
+	const goroutines = 12
+	const rounds = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, q := range qs {
+					var (
+						got bool
+						err error
+					)
+					switch (gi + r + i) % 4 {
+					case 0:
+						var res Result
+						res, err = eng.Reach(q)
+						got = res.Reachable
+					case 1:
+						var res Result
+						var p *Path
+						res, p, err = eng.ReachWithWitness(q)
+						got = res.Reachable
+						if err == nil && got && p == nil {
+							err = fmt.Errorf("true answer without witness")
+						}
+					case 2:
+						var res Result
+						res, err = eng.ReachAll(MultiQuery{
+							Source: q.Source, Target: q.Target,
+							Labels:      q.Labels,
+							Constraints: []string{q.Constraint},
+						})
+						got = res.Reachable
+					case 3:
+						var res Result
+						var mp *MultiPath
+						res, mp, err = eng.ReachAllWithWitness(MultiQuery{
+							Source: q.Source, Target: q.Target,
+							Labels:      q.Labels,
+							Constraints: []string{q.Constraint},
+						})
+						got = res.Reachable
+						if err == nil && got && mp == nil {
+							err = fmt.Errorf("true conjunctive answer without witness")
+						}
+					}
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d round %d query %d: %v", gi, r, i, err)
+						return
+					}
+					if got != reachWant[i] {
+						errc <- fmt.Errorf("goroutine %d round %d query %d: got %v, want %v",
+							gi, r, i, got, reachWant[i])
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestReachBatchMatchesSerial: a batch at any fan-out returns exactly
+// the serial results, including per-query errors in their slots.
+func TestReachBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nVertices = 50
+	g := testkg.Random(rng, nVertices, 180, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 9})
+
+	qs := stressWorkload(rng, nVertices, 30)
+	// Poison a few slots with queries that must fail without sinking the
+	// batch.
+	qs[4].Source = "no-such-vertex"
+	qs[11].Labels = []string{"no-such-label"}
+	qs[17].Constraint = "garbage ("
+
+	serial := make([]BatchResult, len(qs))
+	for i, q := range qs {
+		serial[i].Result, serial[i].Err = eng.Reach(q)
+	}
+	for _, conc := range []int{0, 1, 3, 16} {
+		got := eng.ReachBatch(qs, conc)
+		if len(got) != len(qs) {
+			t.Fatalf("concurrency %d: %d results for %d queries", conc, len(got), len(qs))
+		}
+		for i := range qs {
+			if (got[i].Err == nil) != (serial[i].Err == nil) {
+				t.Fatalf("concurrency %d query %d: err = %v, want %v", conc, i, got[i].Err, serial[i].Err)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			if got[i].Result.Reachable != serial[i].Result.Reachable ||
+				got[i].Result.SatisfyingVertices != serial[i].Result.SatisfyingVertices {
+				t.Fatalf("concurrency %d query %d: got %+v, want %+v",
+					conc, i, got[i].Result, serial[i].Result)
+			}
+		}
+	}
+	if !errors.Is(eng.ReachBatch(qs[4:5], 1)[0].Err, ErrUnknownVertex) {
+		t.Error("unknown-vertex error lost its identity through ReachBatch")
+	}
+	if out := eng.ReachBatch(nil, 4); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestReachBatchConcurrentCallers: ReachBatch itself may be invoked from
+// several goroutines on one Engine (the lscrd server does exactly this).
+func TestReachBatchConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const nVertices = 40
+	g := testkg.Random(rng, nVertices, 140, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 1})
+	qs := stressWorkload(rng, nVertices, 20)
+	want := eng.ReachBatch(qs, 1)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := eng.ReachBatch(qs, 2)
+			for i := range qs {
+				if (got[i].Err == nil) != (want[i].Err == nil) ||
+					got[i].Err == nil && got[i].Result.Reachable != want[i].Result.Reachable {
+					errc <- fmt.Errorf("query %d diverged under concurrent batches", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestEngineIndexWorkersDeterminism: the public knob. Engines built with
+// different IndexWorkers values must report identical index statistics
+// and answer a random workload identically.
+func TestEngineIndexWorkersDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		const nVertices = 70
+		g := testkg.Random(rng, nVertices, 260, 4)
+		kg := FromGraph(g)
+		ref := NewEngine(kg, Options{IndexSeed: seed, IndexWorkers: 1})
+		refStats, ok := ref.Index()
+		if !ok {
+			t.Fatal("reference engine has no index")
+		}
+		qs := stressWorkload(rng, nVertices, 25)
+		for i := range qs {
+			qs[i].Algorithm = INS // the index-dependent algorithm
+		}
+		refAns := ref.ReachBatch(qs, 1)
+		for _, workers := range []int{2, 4, 13} {
+			par := NewEngine(kg, Options{IndexSeed: seed, IndexWorkers: workers})
+			parStats, _ := par.Index()
+			if parStats != refStats {
+				t.Fatalf("seed %d workers %d: index stats %+v, want %+v",
+					seed, workers, parStats, refStats)
+			}
+			for i, br := range par.ReachBatch(qs, 4) {
+				if br.Err != nil {
+					t.Fatalf("seed %d workers %d query %d: %v", seed, workers, i, br.Err)
+				}
+				if br.Result.Reachable != refAns[i].Result.Reachable {
+					t.Fatalf("seed %d workers %d query %d: answers diverge", seed, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module lscr
+
+go 1.24

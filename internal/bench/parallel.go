@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"lscr/internal/lscr"
+	"lscr/internal/workload"
+)
+
+// The parallel-speedup harness is not a paper figure: it tracks how well
+// the implementation exploits cores, the first axis of the ROADMAP's
+// production-scale goal. It measures (a) local-index construction time
+// at increasing worker counts, asserting the builds are identical, and
+// (b) INS query throughput at increasing fan-out over one shared index,
+// asserting the answers match the sequential run. cmd/lscrbench exposes
+// it as -exp parallel (text) and -exp parallel-json (the BENCH_parallel.json
+// trajectory format).
+
+// ParallelReport is the machine-readable baseline (BENCH_parallel.json).
+type ParallelReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Dataset    string `json:"dataset"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Landmarks  int    `json:"landmarks"`
+	Queries    int    `json:"queries"`
+
+	Index []IndexPoint      `json:"index"`
+	Query []ThroughputPoint `json:"query"`
+
+	// Identical confirms every parallel build matched the 1-worker build
+	// and every fan-out produced the sequential answers.
+	Identical bool `json:"identical"`
+}
+
+// IndexPoint is one index-construction measurement.
+type IndexPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is seconds(1 worker) / seconds. On a single-core host it
+	// hovers around 1 regardless of worker count.
+	Speedup float64 `json:"speedup"`
+}
+
+// ThroughputPoint is one query-throughput measurement.
+type ThroughputPoint struct {
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// workerLevels returns the sweep {1, 2, 4, ..., GOMAXPROCS} (deduplicated,
+// ascending, always containing 1, 4 and GOMAXPROCS so the 4-worker
+// speedup criterion is always measured).
+func workerLevels() []int {
+	maxp := runtime.GOMAXPROCS(0)
+	set := map[int]bool{1: true, 4: true, maxp: true}
+	for w := 2; w < maxp; w *= 2 {
+		set[w] = true
+	}
+	var out []int
+	for w := range set {
+		out = append(out, w)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// MeasureParallel runs the sweep and returns the report.
+func MeasureParallel(cfg Config) (*ParallelReport, error) {
+	cfg = cfg.withDefaults()
+	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+
+	rep := &ParallelReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    spec.Name,
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Identical:  true,
+	}
+
+	// (a) Index construction at each worker level. The 1-worker build is
+	// the reference; the others must reproduce it bit-for-bit (compared
+	// here by the Entries/SizeBytes invariants; the unit tests compare
+	// the full II/EIT/D contents).
+	var ref *lscr.LocalIndex
+	var refSecs float64
+	for _, w := range workerLevels() {
+		start := time.Now()
+		idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed, Workers: w})
+		secs := time.Since(start).Seconds()
+		if ref == nil {
+			ref, refSecs = idx, secs
+		} else if idx.Entries() != ref.Entries() || idx.SizeBytes() != ref.SizeBytes() {
+			rep.Identical = false
+		}
+		rep.Index = append(rep.Index, IndexPoint{Workers: w, Seconds: secs, Speedup: refSecs / secs})
+		rep.Landmarks = len(idx.Landmarks())
+	}
+
+	// (b) Query throughput over the shared reference index.
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return nil, err
+	}
+	trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+		Count: cfg.QueriesPerGroup, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs := append(append([]workload.Query{}, trueQ...), falseQ...)
+	rep.Queries = len(qs)
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("bench: empty parallel workload")
+	}
+
+	var refAns []bool
+	var refQPS float64
+	for _, c := range workerLevels() {
+		ans := make([]bool, len(qs))
+		var (
+			errMu    sync.Mutex
+			firstErr error
+		)
+		start := time.Now()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(qs) {
+						return
+					}
+					ok, _, err := lscr.INS(g, ref, qs[i].Query, vs)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					ans[i] = ok
+				}
+			}()
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		qps := float64(len(qs)) / secs
+		if refAns == nil {
+			refAns, refQPS = ans, qps
+		} else {
+			for i := range ans {
+				if ans[i] != refAns[i] {
+					rep.Identical = false
+				}
+			}
+		}
+		rep.Query = append(rep.Query, ThroughputPoint{Concurrency: c, QPS: qps, Speedup: qps / refQPS})
+	}
+	for i := range qs {
+		if refAns[i] != qs[i].Expected {
+			return nil, fmt.Errorf("bench: INS answered query %d wrongly under fan-out", i)
+		}
+	}
+	return rep, nil
+}
+
+// RunParallel prints the sweep as a table (cmd/lscrbench -exp parallel).
+func RunParallel(w io.Writer, cfg Config) error {
+	rep, err := MeasureParallel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "parallel speedup on %s (|V|=%d |E|=%d, k=%d, %d queries, GOMAXPROCS=%d)\n",
+		rep.Dataset, rep.Vertices, rep.Edges, rep.Landmarks, rep.Queries, rep.GOMAXPROCS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index build\tworkers\tseconds\tspeedup")
+	for _, p := range rep.Index {
+		fmt.Fprintf(tw, "\t%d\t%.3f\t%.2fx\n", p.Workers, p.Seconds, p.Speedup)
+	}
+	fmt.Fprintln(tw, "INS queries\tconcurrency\tqps\tspeedup")
+	for _, p := range rep.Query {
+		fmt.Fprintf(tw, "\t%d\t%.0f\t%.2fx\n", p.Concurrency, p.QPS, p.Speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "identical across worker counts: %v\n", rep.Identical)
+	return nil
+}
+
+// RunParallelJSON writes the report as indented JSON — the format
+// committed to BENCH_parallel.json so later PRs can track the trajectory.
+func RunParallelJSON(w io.Writer, cfg Config) error {
+	rep, err := MeasureParallel(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMeasureParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index per worker level")
+	}
+	rep, err := MeasureParallel(Config{Scale: 1, QueriesPerGroup: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatal("parallel builds or fan-outs diverged from the sequential reference")
+	}
+	if len(rep.Index) < 2 || len(rep.Query) < 2 {
+		t.Fatalf("sweep too small: %d index points, %d query points", len(rep.Index), len(rep.Query))
+	}
+	if rep.Index[0].Workers != 1 || rep.Query[0].Concurrency != 1 {
+		t.Fatalf("sweep must start at the sequential baseline: %+v", rep)
+	}
+	has4 := false
+	for _, p := range rep.Index {
+		if p.Workers == 4 {
+			has4 = true
+		}
+		if p.Seconds <= 0 || p.Speedup <= 0 {
+			t.Fatalf("degenerate index point %+v", p)
+		}
+	}
+	if !has4 {
+		t.Fatal("sweep must include the 4-worker point")
+	}
+	for _, p := range rep.Query {
+		if p.QPS <= 0 {
+			t.Fatalf("degenerate query point %+v", p)
+		}
+	}
+}
+
+func TestRunParallelJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index per worker level")
+	}
+	var buf bytes.Buffer
+	if err := RunParallelJSON(&buf, Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rep ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Dataset != "D1" || !rep.Identical {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index")
+	}
+	var buf bytes.Buffer
+	if err := RunThroughput(&buf, Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "answers identical and correct") {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunParallelText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index per worker level")
+	}
+	var buf bytes.Buffer
+	if err := RunParallel(&buf, Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "index build") || !strings.Contains(out, "identical across worker counts: true") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

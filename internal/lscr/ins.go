@@ -55,7 +55,7 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 		idx:     idx,
 		q:       q,
 		close:   newCloseMap(sc),
-		cutDone: make([]uint8, len(idx.landmarks)),
+		cutDone: sc.cutTable(len(idx.landmarks)),
 		tr:      tr,
 	}
 	// Line 1: H initialized by V(S,G).

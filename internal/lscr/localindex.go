@@ -25,6 +25,10 @@ import (
 //	         (Theorem 5.1); the reversed form of EI[u];
 //	D[u]   — (landmark x) -> number of EI[u] boundary pairs landing in
 //	         F(x), an estimate of how strongly F(u) connects to F(x).
+//
+// A LocalIndex is immutable once NewLocalIndex returns; every accessor
+// (II, Check, IIEntries, EITEntries, D, Rho, ...) only reads, so one
+// index may serve any number of concurrent queries.
 type LocalIndex struct {
 	g          *graph.Graph
 	landmarks  []graph.VertexID
@@ -112,9 +116,12 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	idx.dmat = make([]int32, len(idx.landmarks)*len(idx.landmarks))
 	idx.bfsTraverse() // Line 2.
 
-	// Lines 3-4: LocalFullIndex per landmark, parallelised. Each worker
-	// writes only its landmark's map slots and D row, so no locking is
-	// needed beyond the work queue.
+	// Lines 3-4: LocalFullIndex per landmark, parallelised. The passes
+	// are independent: each writes only its own landmark's ii/eit slot
+	// and D row, and reads only the immutable af/lmIdx arrays and the
+	// graph, so no locking is needed beyond the work queue. Each worker
+	// owns one liScratch, reused across its landmarks, so steady-state
+	// construction allocates only the maps that end up in the index.
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -123,8 +130,9 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 		workers = len(idx.landmarks)
 	}
 	if workers <= 1 {
+		var sc liScratch
 		for _, u := range idx.landmarks {
-			idx.localFullIndex(u)
+			idx.localFullIndex(u, &sc)
 		}
 		return idx
 	}
@@ -134,8 +142,9 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc liScratch
 			for u := range work {
-				idx.localFullIndex(u)
+				idx.localFullIndex(u, &sc)
 			}
 		}()
 	}
@@ -260,18 +269,29 @@ func (idx *LocalIndex) bfsTraverse() {
 	}
 }
 
+// liState is one (vertex, label set) element of the LocalFullIndex BFS
+// queue.
+type liState struct {
+	v graph.VertexID
+	l labelset.Set
+}
+
+// liScratch is the per-worker reusable state of the parallel build: the
+// BFS queue's backing array survives across a worker's landmarks.
+type liScratch struct {
+	queue []liState
+}
+
 // localFullIndex implements LocalFullIndex(u) (Lines 5-15): a CMS BFS
 // restricted to F(u). Pairs leaving the region feed EI[u], which is then
-// reversed into EIT[u] and aggregated into D[u].
-func (idx *LocalIndex) localFullIndex(u graph.VertexID) {
+// reversed into EIT[u] and aggregated into D[u]. The result depends only
+// on u, so the build order (and worker count) cannot change the index.
+func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 	g := idx.g
 	ii := make(map[graph.VertexID]*labelset.CMS)
 	ei := make(map[graph.VertexID]*labelset.CMS)
-	type state struct {
-		v graph.VertexID
-		l labelset.Set
-	}
-	queue := []state{{u, 0}}
+	queue := append(sc.queue[:0], liState{u, 0})
+	defer func() { sc.queue = queue[:0] }()
 	insert := func(m map[graph.VertexID]*labelset.CMS, v graph.VertexID, l labelset.Set) bool {
 		c := m[v]
 		if c == nil {
@@ -280,16 +300,15 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID) {
 		}
 		return c.Insert(l)
 	}
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		st := queue[head]
 		if !insert(ii, st.v, st.l) { // Line 10.
 			continue
 		}
 		for _, e := range g.Out(st.v) { // Lines 11-14.
 			nl := st.l.Add(e.Label)
 			if idx.af[e.To] == u {
-				queue = append(queue, state{e.To, nl})
+				queue = append(queue, liState{e.To, nl})
 			} else {
 				insert(ei, e.To, nl)
 			}

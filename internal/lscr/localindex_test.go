@@ -2,6 +2,7 @@ package lscr
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -293,7 +294,9 @@ func TestINSPrunesViaIndex(t *testing.T) {
 	}
 }
 
-// TestIndexWorkerInvariance: the index is identical for any worker count.
+// TestIndexWorkerInvariance: the index is bit-for-bit identical for any
+// worker count — same landmarks, regions, II CMSes, EIT maps and D
+// matrix, not just matching summary statistics.
 func TestIndexWorkerInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	g := testkg.Random(rng, 80, 240, 4)
@@ -303,12 +306,72 @@ func TestIndexWorkerInvariance(t *testing.T) {
 		if par.Entries() != seq.Entries() || par.SizeBytes() != seq.SizeBytes() {
 			t.Fatalf("workers=%d produced a different index", workers)
 		}
+		if !reflect.DeepEqual(par.landmarks, seq.landmarks) {
+			t.Fatalf("workers=%d: landmark sets differ", workers)
+		}
+		if !reflect.DeepEqual(par.af, seq.af) {
+			t.Fatalf("workers=%d: region assignment differs", workers)
+		}
+		if !reflect.DeepEqual(par.dmat, seq.dmat) {
+			t.Fatalf("workers=%d: D matrix differs", workers)
+		}
+		if !reflect.DeepEqual(par.eit, seq.eit) {
+			t.Fatalf("workers=%d: EIT differs", workers)
+		}
 		for _, u := range seq.Landmarks() {
 			for v := 0; v < g.NumVertices(); v++ {
 				a, b := seq.II(u, graph.VertexID(v)), par.II(u, graph.VertexID(v))
 				if (a == nil) != (b == nil) || (a != nil && !a.Equal(b)) {
 					t.Fatalf("workers=%d: II differs at (%d,%d)", workers, u, v)
 				}
+			}
+		}
+	}
+}
+
+// TestIndexWorkerInvarianceAnswers: beyond structural equality, the
+// sequential and parallel indexes must answer a random INS workload
+// identically, and identically to UIS (the index-free ground truth).
+func TestIndexWorkerInvarianceAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 3; trial++ {
+		n := 40 + trial*25
+		g := testkg.Random(rng, n, 3*n+trial*40, 4)
+		seq := NewLocalIndex(g, IndexParams{K: 7, Seed: 13, Workers: 1})
+		par := NewLocalIndex(g, IndexParams{K: 7, Seed: 13, Workers: 4})
+		// "?x has an outgoing l0 edge" — satisfiable on any dense random KG.
+		cons := &pattern.Constraint{
+			Focus: "x",
+			Patterns: []pattern.TriplePattern{
+				{Subject: pattern.V("x"), Label: graph.Label(0), Object: pattern.V("y")},
+			},
+		}
+		m, err := pattern.NewMatcher(g, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := m.MatchAll()
+		for i := 0; i < 40; i++ {
+			q := Query{
+				Source:     graph.VertexID(rng.Intn(n)),
+				Target:     graph.VertexID(rng.Intn(n)),
+				Labels:     g.LabelUniverse().Remove(labelset.Label(rng.Intn(4))),
+				Constraint: cons,
+			}
+			want, _, err := UIS(g, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _, err := INS(g, seq, q, vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := INS(g, par, q, vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != want || b != want {
+				t.Fatalf("trial %d query %d: UIS=%v INS(seq)=%v INS(par)=%v", trial, i, want, a, b)
 			}
 		}
 	}

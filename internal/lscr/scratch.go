@@ -6,6 +6,11 @@ import "sync"
 // duplicate stamps) is pooled and epoch-stamped: a query bumps the epoch
 // instead of zeroing the arrays, so repeated queries over large graphs
 // allocate nothing. Entries from older epochs read as zero values.
+//
+// The pool is what makes the algorithms reentrant: every UIS/UIS*/INS
+// run borrows a private scratch for its whole duration, so any number of
+// goroutines may query the same graph and index concurrently — each sees
+// only its own close map, frontier stamps, sat table, and cut table.
 
 // epochArr32 is a reusable uint32 array with an epoch in the upper bits
 // of every entry. closeMap packs (epoch<<2 | state) per vertex.
@@ -50,6 +55,9 @@ type scratch struct {
 	// entries are only read for vertices whose close state is T in the
 	// current epoch, so stale values are unreachable.
 	sat []uint32
+	// cut is INS's per-landmark Cut/Push-done table; it is zeroed on
+	// borrow (landmark counts are ~√|V|·log|V|, so the clear is cheap).
+	cut []uint8
 }
 
 // satTable returns the satisfying-origin table sized for n vertices.
@@ -58,6 +66,16 @@ func (s *scratch) satTable(n int) []uint32 {
 		s.sat = make([]uint32, n)
 	}
 	return s.sat
+}
+
+// cutTable returns a zeroed per-landmark table of k entries.
+func (s *scratch) cutTable(k int) []uint8 {
+	if cap(s.cut) < k {
+		s.cut = make([]uint8, k)
+	}
+	s.cut = s.cut[:k]
+	clear(s.cut)
+	return s.cut
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}

@@ -21,6 +21,20 @@
 // works on any edge-labeled graph), UISStar (SPARQL-assisted uninformed
 // search), and INS (informed search over a precomputed local index — the
 // default and the paper's headline contribution).
+//
+// # Concurrency
+//
+// NewEngine builds the local index in parallel across
+// Options.IndexWorkers goroutines (GOMAXPROCS by default); the result is
+// bit-for-bit identical for every worker count. Once NewEngine (or
+// NewEngineFromIndex) returns, the Engine is immutable: Reach, ReachAll,
+// ReachWithWitness, ReachTraced, ReachBatch, Select and SelectAll may be
+// called from any number of goroutines on the same Engine. Per-query
+// state lives in pooled scratch, so concurrent queries do not contend on
+// locks in the search itself. Build at most one index per Engine at a
+// time — construction is the only mutating phase. ReachBatch answers a
+// slice of queries over a bounded worker pool and is the preferred way
+// to saturate all cores with one call.
 package lscr
 
 import (
@@ -125,9 +139,16 @@ type Options struct {
 	// IndexSeed drives the random schema-class selection of the landmark
 	// selector; fixed seeds give reproducible indexes.
 	IndexSeed int64
+	// IndexWorkers bounds the goroutines used to build the local index.
+	// 0 means GOMAXPROCS; 1 forces a sequential build. The built index is
+	// identical for every worker count.
+	IndexWorkers int
 }
 
-// Engine answers LSCR queries over one KG.
+// Engine answers LSCR queries over one KG. It is immutable after
+// construction and safe for concurrent use: any number of goroutines may
+// issue queries against the same Engine (see the package comment's
+// Concurrency section).
 type Engine struct {
 	kg  *KG
 	idx *core.LocalIndex
@@ -135,11 +156,17 @@ type Engine struct {
 }
 
 // NewEngine prepares an engine, building the local index unless opts
-// disables it.
+// disables it. The build runs on opts.IndexWorkers goroutines
+// (GOMAXPROCS when zero) and is the only mutating phase of an Engine's
+// life.
 func NewEngine(kg *KG, opts Options) *Engine {
 	e := &Engine{kg: kg, eng: sparql.NewEngine(kg.g)}
 	if !opts.SkipIndex {
-		e.idx = core.NewLocalIndex(kg.g, core.IndexParams{K: opts.Landmarks, Seed: opts.IndexSeed})
+		e.idx = core.NewLocalIndex(kg.g, core.IndexParams{
+			K:       opts.Landmarks,
+			Seed:    opts.IndexSeed,
+			Workers: opts.IndexWorkers,
+		})
 	}
 	return e
 }
