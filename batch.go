@@ -22,7 +22,10 @@ type BatchResult struct {
 // The batch runs entirely on the receiver: answers are identical to
 // calling Reach once per query serially. It is itself safe to call
 // concurrently, and is the throughput-oriented entry point — the server
-// and benchmark CLIs use it to keep every core busy.
+// and benchmark CLIs use it to keep every core busy. Batches go through
+// the same constraint-compile path as Reach, so a batch repeating few
+// distinct constraints compiles each exactly once and serves the rest
+// from the engine's constraint cache.
 func (e *Engine) ReachBatch(qs []Query, concurrency int) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	if len(qs) == 0 {

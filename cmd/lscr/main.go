@@ -143,7 +143,7 @@ func buildEngine(kg *lscr.KG, o options) (*lscr.Engine, error) {
 	if o.indexFile != "" {
 		if f, err := os.Open(o.indexFile); err == nil {
 			defer f.Close()
-			eng, err := lscr.NewEngineFromIndex(kg, bufio.NewReader(f))
+			eng, err := lscr.NewEngineFromIndex(kg, bufio.NewReader(f), lscr.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("loading %s: %w", o.indexFile, err)
 			}

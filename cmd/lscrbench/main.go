@@ -10,12 +10,15 @@
 //	lscrbench -exp parallel-json    # same, as BENCH_parallel.json
 //	lscrbench -exp throughput -concurrency 8
 //	                                # end-to-end QPS through Engine.ReachBatch
+//	lscrbench -exp cachespeedup     # warm-vs-cold constraint-cache QPS
+//	lscrbench -exp cachespeedup-json# same, as BENCH_cache.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
-// ablation-vsorder, parallel, parallel-json, throughput, all. "all" runs
-// the paper experiments only — the machine-dependent scaling sweeps
-// (parallel*, throughput) are invoked explicitly.
+// ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
+// cachespeedup-json, all. "all" runs the paper experiments only — the
+// machine-dependent scaling sweeps (parallel*, throughput, cachespeedup*)
+// are invoked explicitly.
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, all)")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, all)")
 		scale       = flag.Int("scale", 1, "dataset scale multiplier")
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
@@ -62,6 +65,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		"parallel-json":      bench.RunParallelJSON,
 		"throughput": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunThroughput(w, cfg, concurrency)
+		},
+		"cachespeedup": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunCacheSpeedup(w, cfg, concurrency)
+		},
+		"cachespeedup-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunCacheSpeedupJSON(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

@@ -15,44 +15,108 @@
 // Engine's concurrency contract is what lets net/http fan requests out
 // without any locking here. /reachbatch additionally parallelises inside
 // a single request via Engine.ReachBatch.
+//
+// Operational behavior: repeated constraint texts are served from the
+// engine's memoized constraint cache (-cache bounds its capacity;
+// /healthz reports hits/misses/entries); every request body is
+// size-capped; the listener runs with read/write timeouts and drains
+// in-flight requests gracefully on SIGINT/SIGTERM. Client mistakes —
+// unknown names, malformed or invalid constraints, and requesting INS
+// from an index-less server — answer 400; only genuine server faults
+// answer 500.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"lscr"
 )
 
+// Server limits: slow-client protection and the drain budget on
+// shutdown. ReadTimeout bounds how long a client may dribble a body in;
+// WriteTimeout bounds the whole response (generous — /reachbatch can
+// legitimately compute for a while); shutdownGrace bounds how long
+// in-flight requests may run after SIGINT/SIGTERM.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 2 * time.Minute
+	idleTimeout       = 2 * time.Minute
+	shutdownGrace     = 15 * time.Second
+)
+
 func main() {
 	var (
-		kgPath  = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
+		kgPath    = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
+		cacheSize = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 	if *kgPath == "" {
 		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
 		os.Exit(2)
 	}
-	eng, kg, err := load(*kgPath, *workers)
+	eng, kg, err := load(*kgPath, *workers, *cacheSize)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
 		os.Exit(2)
 	}
-	log.Printf("serving %d vertices / %d edges on %s", kg.NumVertices(), kg.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(eng, kg)))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lscrd:", err)
+		os.Exit(2)
+	}
+	log.Printf("serving %d vertices / %d edges on %s", kg.NumVertices(), kg.NumEdges(), ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{
+		Handler:           newHandler(eng, kg),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	if err := serve(ctx, srv, ln); err != nil {
+		log.Fatal("lscrd: ", err)
+	}
+	log.Print("lscrd: shut down cleanly")
 }
 
-func load(path string, workers int) (*lscr.Engine, *lscr.KG, error) {
+// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
+// then drains in-flight requests for up to shutdownGrace before
+// returning. A clean drain returns nil.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+func load(path string, workers, cacheSize int) (*lscr.Engine, *lscr.KG, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -71,7 +135,8 @@ func load(path string, workers int) (*lscr.Engine, *lscr.KG, error) {
 			return nil, nil, err
 		}
 	}
-	return lscr.NewEngine(kg, lscr.Options{IndexWorkers: workers}), kg, nil
+	opts := lscr.Options{IndexWorkers: workers, ConstraintCacheSize: cacheSize}
+	return lscr.NewEngine(kg, opts), kg, nil
 }
 
 // reachRequest is the /reach body.
@@ -103,7 +168,14 @@ type reachAllRequest struct {
 
 // maxBatchBody bounds a /reachbatch request body (32 MiB ≈ hundreds of
 // thousands of queries — far above any sane batch, far below OOM).
-const maxBatchBody = 32 << 20
+// maxQueryBody bounds the single-query endpoints (/reach, /reachall,
+// /select), whose bodies are one query each — 1 MiB is far beyond any
+// real SPARQL constraint yet keeps a hostile client from making the
+// decoder buffer an arbitrarily large body.
+const (
+	maxBatchBody = 32 << 20
+	maxQueryBody = 1 << 20
+)
 
 // batchRequest is the /reachbatch body. Concurrency 0 means all cores.
 type batchRequest struct {
@@ -130,11 +202,12 @@ func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
 			"vertices": kg.NumVertices(),
 			"edges":    kg.NumEdges(),
 			"labels":   kg.NumLabels(),
+			"cache":    eng.CacheStats(),
 		})
 	})
 	mux.HandleFunc("POST /reach", func(w http.ResponseWriter, r *http.Request) {
 		var req reachRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -216,7 +289,7 @@ func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
 	})
 	mux.HandleFunc("POST /reachall", func(w http.ResponseWriter, r *http.Request) {
 		var req reachAllRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -238,7 +311,7 @@ func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
 		var req struct {
 			Query string `json:"query"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -264,12 +337,17 @@ func parseAlgo(s string) (lscr.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", s)
 }
 
-// statusFor maps engine errors to HTTP statuses: bad names are client
-// errors, everything else is a 500.
+// statusFor maps engine errors to HTTP statuses via the exported
+// sentinels: everything the client controls — names, constraint text,
+// and the choice of an algorithm this server cannot run (ErrNoIndex) —
+// is a 400; anything else is a genuine server-side 500.
 func statusFor(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "unknown vertex") || strings.Contains(msg, "unknown label") ||
-		strings.Contains(msg, "syntax error") || strings.Contains(msg, "constraint") {
+	switch {
+	case errors.Is(err, lscr.ErrUnknownVertex),
+		errors.Is(err, lscr.ErrUnknownLabel),
+		errors.Is(err, lscr.ErrConstraintSyntax),
+		errors.Is(err, lscr.ErrInvalidConstraint),
+		errors.Is(err, lscr.ErrNoIndex):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"lscr"
 )
@@ -21,12 +24,16 @@ const testKG = `
 `
 
 func testServer(t *testing.T) *httptest.Server {
+	return testServerOpts(t, lscr.Options{})
+}
+
+func testServerOpts(t *testing.T, opts lscr.Options) *httptest.Server {
 	t.Helper()
 	kg, err := lscr.Load(strings.NewReader(testKG))
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := lscr.NewEngine(kg, lscr.Options{})
+	eng := lscr.NewEngine(kg, opts)
 	srv := httptest.NewServer(newHandler(eng, kg))
 	t.Cleanup(srv.Close)
 	return srv
@@ -219,6 +226,125 @@ func TestSelectEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad query: status %d", resp.StatusCode)
 	}
+	// Parseable but invalid (focus variable unused) is still the
+	// client's mistake, not a 500.
+	resp, _ = postJSON(t, srv.URL+"/select", map[string]string{
+		"query": `SELECT ?x WHERE { ?y <married> <Amy>. }`,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatusForSentinels: the status mapping works on error identity,
+// not message substrings — including wrapped sentinels — and ErrNoIndex
+// is a client error (the client picked an algorithm this server cannot
+// run), not a 500.
+func TestStatusForSentinels(t *testing.T) {
+	srv := testServerOpts(t, lscr.Options{SkipIndex: true})
+	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
+	cases := []struct {
+		name string
+		body reachRequest
+		want int
+	}{
+		{"ins without index", reachRequest{Source: "C", Target: "P", Constraint: cons, Algorithm: "ins"}, http.StatusBadRequest},
+		{"uis still works", reachRequest{Source: "C", Target: "P", Constraint: cons, Algorithm: "uis"}, http.StatusOK},
+		{"unknown vertex", reachRequest{Source: "nope", Target: "P", Constraint: cons, Algorithm: "uis"}, http.StatusBadRequest},
+		{"unknown label", reachRequest{Source: "C", Target: "P", Labels: []string{"bogus"}, Constraint: cons, Algorithm: "uis"}, http.StatusBadRequest},
+		{"syntax error", reachRequest{Source: "C", Target: "P", Constraint: "SELECT garbage", Algorithm: "uis"}, http.StatusBadRequest},
+		{"invalid constraint", reachRequest{Source: "C", Target: "P",
+			Constraint: `SELECT ?x WHERE { ?y <married> <Amy>. }`, Algorithm: "uis"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, srv.URL+"/reach", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.want, out)
+		}
+	}
+}
+
+// TestBodyLimits: every endpoint rejects an oversized body instead of
+// buffering it.
+func TestBodyLimits(t *testing.T) {
+	srv := testServer(t)
+	huge := `{"source":"C","target":"P","constraint":"` +
+		strings.Repeat("x", maxQueryBody+1024) + `"}`
+	for _, ep := range []string{"/reach", "/reachall", "/select"} {
+		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatalf("%s: %v", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: oversized body answered %d, want 400", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzCacheStats: /healthz surfaces the constraint cache counters.
+func TestHealthzCacheStats(t *testing.T) {
+	srv := testServer(t)
+	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, srv.URL+"/reach", reachRequest{Source: "C", Target: "P", Constraint: cons})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reach %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Cache lscr.CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cache.Enabled || out.Cache.Misses != 1 || out.Cache.Hits != 2 || out.Cache.Entries != 1 {
+		t.Fatalf("cache stats = %+v", out.Cache)
+	}
+}
+
+// TestServeGracefulShutdown: cancelling the serve context drains the
+// listener and returns nil (the SIGINT/SIGTERM path in main).
+func TestServeGracefulShutdown(t *testing.T) {
+	kg, err := lscr.Load(strings.NewReader(testKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := lscr.NewEngine(kg, lscr.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newHandler(eng, kg)}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
 }
 
 func TestLoadHelper(t *testing.T) {
@@ -227,7 +353,7 @@ func TestLoadHelper(t *testing.T) {
 	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	eng, kg, err := load(triples, 1)
+	eng, kg, err := load(triples, 1, 0)
 	if err != nil || eng == nil || kg.NumVertices() != 4 {
 		t.Fatalf("triples load: %v", err)
 	}
@@ -241,10 +367,10 @@ func TestLoadHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if _, kg2, err := load(snap, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
+	if _, kg2, err := load(snap, 0, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
 		t.Fatalf("snapshot load: %v", err)
 	}
-	if _, _, err := load(filepath.Join(dir, "missing"), 0); err == nil {
+	if _, _, err := load(filepath.Join(dir, "missing"), 0, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

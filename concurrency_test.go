@@ -219,6 +219,177 @@ func TestReachBatchConcurrentCallers(t *testing.T) {
 	}
 }
 
+// TestConstraintCacheConcurrentStress: many goroutines hammer one
+// cached Engine with a small pool of repeated constraints through Reach
+// and ReachBatch — the production shape the cache exists for. Run under
+// -race: concurrent misses publish racing (but equivalent) entries, and
+// hits share one immutable entry across goroutines. Afterwards the
+// counters must balance exactly: every successful Reach performs one
+// cache lookup.
+func TestConstraintCacheConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const nVertices = 60
+	g := testkg.Random(rng, nVertices, 220, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 5})
+
+	qs := stressWorkload(rng, nVertices, 40)
+	want := make([]bool, len(qs))
+	for i, q := range qs {
+		res, err := eng.Reach(q)
+		if err != nil {
+			t.Fatalf("serial Reach %d: %v", i, err)
+		}
+		want[i] = res.Reachable
+	}
+	base := eng.CacheStats()
+
+	const goroutines = 10
+	const rounds = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if (gi+r)%2 == 0 {
+					for i, q := range qs {
+						res, err := eng.Reach(q)
+						if err != nil {
+							errc <- fmt.Errorf("goroutine %d round %d query %d: %v", gi, r, i, err)
+							return
+						}
+						if res.Reachable != want[i] {
+							errc <- fmt.Errorf("goroutine %d round %d query %d: got %v, want %v",
+								gi, r, i, res.Reachable, want[i])
+							return
+						}
+					}
+				} else {
+					for i, br := range eng.ReachBatch(qs, 4) {
+						if br.Err != nil {
+							errc <- fmt.Errorf("goroutine %d round %d batch query %d: %v", gi, r, i, br.Err)
+							return
+						}
+						if br.Result.Reachable != want[i] {
+							errc <- fmt.Errorf("goroutine %d round %d batch query %d: got %v, want %v",
+								gi, r, i, br.Result.Reachable, want[i])
+							return
+						}
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := eng.CacheStats()
+	lookups := st.Hits + st.Misses - base.Hits - base.Misses
+	wantLookups := int64(goroutines * rounds * len(qs))
+	if lookups != wantLookups {
+		t.Errorf("cache lookups = %d, want %d (stats %+v)", lookups, wantLookups, st)
+	}
+	if st.Entries != len(stressConstraints) {
+		t.Errorf("cache entries = %d, want %d distinct constraints", st.Entries, len(stressConstraints))
+	}
+	if st.Misses > int64(len(stressConstraints))*goroutines {
+		t.Errorf("misses = %d — far more than racing first-compiles can explain", st.Misses)
+	}
+}
+
+// TestCacheAnswerIdentity: a cached engine and a cache-disabled engine
+// answer an identical mixed-algorithm workload identically — Reachable,
+// SatisfyingVertices and error identity all match.
+func TestCacheAnswerIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const nVertices = 50
+	g := testkg.Random(rng, nVertices, 180, 4)
+	kg := FromGraph(g)
+	cached := NewEngine(kg, Options{IndexSeed: 2})
+	uncached := NewEngine(kg, Options{IndexSeed: 2, ConstraintCacheSize: -1})
+
+	qs := stressWorkload(rng, nVertices, 45)
+	// Cover every algorithm explicitly plus the error paths.
+	for i := range qs {
+		qs[i].Algorithm = []Algorithm{INS, UIS, UISStar}[i%3]
+	}
+	qs[7].Source = "no-such-vertex"
+	qs[13].Constraint = "garbage ("
+	qs[19].Constraint = `SELECT ?x WHERE { ?x <l0> <no-such-entity>. }` // unsatisfiable
+
+	for round := 0; round < 2; round++ { // round 1 runs cached fully warm
+		for i, q := range qs {
+			cr, cerr := cached.Reach(q)
+			ur, uerr := uncached.Reach(q)
+			if (cerr == nil) != (uerr == nil) {
+				t.Fatalf("round %d query %d: cached err %v, uncached err %v", round, i, cerr, uerr)
+			}
+			if cerr != nil {
+				if cerr.Error() != uerr.Error() {
+					t.Fatalf("round %d query %d: error text diverged: %q vs %q", round, i, cerr, uerr)
+				}
+				continue
+			}
+			if cr.Reachable != ur.Reachable || cr.SatisfyingVertices != ur.SatisfyingVertices {
+				t.Fatalf("round %d query %d (%v): cached %+v, uncached %+v",
+					round, i, q.Algorithm, cr, ur)
+			}
+		}
+	}
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Error("warm round produced no cache hits")
+	}
+}
+
+// TestConstraintCacheEviction: at capacity the cache evicts by recency
+// and never exceeds its bound. Capacity 1 degrades to a single strict
+// LRU shard, making eviction deterministic.
+func TestConstraintCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const nVertices = 30
+	g := testkg.Random(rng, nVertices, 100, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 1, ConstraintCacheSize: 1})
+
+	q := Query{Source: "u0", Target: "u1"}
+	reach := func(cons string) {
+		q.Constraint = cons
+		if _, err := eng.Reach(q); err != nil {
+			t.Fatalf("%s: %v", cons, err)
+		}
+	}
+	a := `SELECT ?x WHERE { ?x <l0> ?y. }`
+	b := `SELECT ?x WHERE { ?x <l1> ?y. }`
+	reach(a) // miss, insert a
+	reach(a) // hit
+	reach(b) // miss, evicts a
+	reach(a) // miss again: a was evicted
+	st := eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 1 {
+		t.Fatalf("capacity-1 stats = %+v (want 1 hit, 3 misses, 1 entry)", st)
+	}
+
+	// A larger cache never exceeds its capacity under distinct-constraint
+	// pressure, regardless of shard hashing.
+	const capacity = 8
+	big := NewEngine(FromGraph(g), Options{IndexSeed: 1, ConstraintCacheSize: capacity})
+	for i := 0; i < nVertices; i++ {
+		q.Constraint = fmt.Sprintf(`SELECT ?x WHERE { ?x <l0> <u%d>. }`, i)
+		if _, err := big.Reach(q); err != nil {
+			t.Fatalf("distinct constraint %d: %v", i, err)
+		}
+		if st := big.CacheStats(); st.Entries > capacity {
+			t.Fatalf("after %d distinct constraints: %d entries > capacity %d", i+1, st.Entries, capacity)
+		}
+	}
+	if st := big.CacheStats(); st.Capacity != capacity {
+		t.Fatalf("capacity reported as %d, want %d", st.Capacity, capacity)
+	}
+}
+
 // TestEngineIndexWorkersDeterminism: the public knob. Engines built with
 // different IndexWorkers values must report identical index statistics
 // and answer a random workload identically.

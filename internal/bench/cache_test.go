@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMeasureCacheSpeedup is a correctness smoke test at a tiny scale —
+// the speedup magnitude is machine-dependent and asserted only by the
+// committed BENCH_cache.json, but identity and counter invariants must
+// hold everywhere.
+func TestMeasureCacheSpeedup(t *testing.T) {
+	rep, err := MeasureCacheSpeedup(Config{QueriesPerGroup: 2, Seed: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Error("cached and uncached answers diverged")
+	}
+	if rep.Queries != 2*40 || rep.DistinctConstraints != 5 {
+		t.Errorf("workload shape: %d queries over %d constraints", rep.Queries, rep.DistinctConstraints)
+	}
+	if rep.ColdQPS <= 0 || rep.WarmQPS <= 0 {
+		t.Errorf("non-positive QPS: cold %f warm %f", rep.ColdQPS, rep.WarmQPS)
+	}
+	if rep.CacheEntries != 5 || rep.CacheMisses != 5 {
+		t.Errorf("cache counters: %d entries, %d misses (want 5, 5)", rep.CacheEntries, rep.CacheMisses)
+	}
+	// Two full passes through the warm engine minus the five compiles.
+	if want := int64(2*rep.Queries) - 5; rep.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d", rep.CacheHits, want)
+	}
+}
+
+func TestRunCacheSpeedupJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCacheSpeedupJSON(&buf, Config{QueriesPerGroup: 1, Seed: 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var rep CacheReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !rep.Identical || rep.Speedup <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRunCacheSpeedupText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCacheSpeedup(&buf, Config{QueriesPerGroup: 1, Seed: 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"constraint-cache speedup", "cold", "warm", "identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

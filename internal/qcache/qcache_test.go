@@ -1,0 +1,140 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSingleShardStrictLRU(t *testing.T) {
+	// Capacity below the shard fan-out degrades to one shard, which must
+	// behave as a textbook LRU.
+	c := New[int](2)
+	if len(c.shards) != 2 {
+		t.Fatalf("capacity 2: %d shards, want 2", len(c.shards))
+	}
+	c = New[int](1)
+	if len(c.shards) != 1 {
+		t.Fatalf("capacity 1: %d shards, want 1", len(c.shards))
+	}
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Add("b", 2) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived eviction at capacity 1")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %d, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Capacity != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionEvictsLeastRecentlyUsed(t *testing.T) {
+	// New(3) yields 2 shards (largest power of two ≤ 3). To test strict
+	// recency deterministically we need one shard: craft keys until three
+	// land in the same shard of a 2-shard cache.
+	c := New[int](2) // 2 shards × capacity 1
+	keys := sameShardKeys(c.mask, 3)
+	c.Add(keys[0], 0)
+	c.Add(keys[1], 1) // evicts keys[0] within the shared shard
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest same-shard key survived")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v != 1 {
+		t.Fatal("newest same-shard key evicted")
+	}
+	// Refreshing recency protects an entry from eviction.
+	c.Add(keys[1], 1)
+	c.Get(keys[1])
+	c.Add(keys[2], 2)
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Fatal("inserted key missing")
+	}
+}
+
+// sameShardKeys generates n distinct keys hashing into the same shard.
+func sameShardKeys(mask uint32, n int) []string {
+	want := uint32(0)
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv1a(k)&mask == want {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	const capacity = 8
+	c := New[int](capacity)
+	for i := 0; i < 200; i++ {
+		c.Add(fmt.Sprintf("key-%d", i), i)
+		if n := c.Len(); n > capacity {
+			t.Fatalf("after %d inserts: %d entries > capacity %d", i+1, n, capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Capacity != capacity {
+		t.Fatalf("capacity sums to %d, want %d", st.Capacity, capacity)
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New[int](4)
+	c.Add("k", 1)
+	c.Add("k", 2)
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate entry for one key: Len = %d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// Hammer one cache from many goroutines; run under -race. Counters
+	// must balance: every Get is exactly one hit or one miss.
+	c := New[int](32)
+	const goroutines = 8
+	const ops = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("key-%d", (g*7+i)%48)
+				if _, ok := c.Get(key); !ok {
+					c.Add(key, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*ops {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, goroutines*ops)
+	}
+	if st.Entries > 32 {
+		t.Fatalf("entries %d exceed capacity", st.Entries)
+	}
+}
+
+func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+	for _, bad := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New[int](bad)
+		}()
+	}
+}

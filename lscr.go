@@ -35,6 +35,12 @@
 // time — construction is the only mutating phase. ReachBatch answers a
 // slice of queries over a bounded worker pool and is the preferred way
 // to saturate all cores with one call.
+//
+// Because the engine is immutable, compiled constraints never go stale:
+// every query path memoizes the parsed constraint and its V(S,G) vertex
+// set in a concurrency-safe LRU keyed by constraint text (see
+// Options.ConstraintCacheSize and Engine.CacheStats), so repeated
+// constraints — the dominant production pattern — compile exactly once.
 package lscr
 
 import (
@@ -42,12 +48,14 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"lscr/internal/graph"
 	"lscr/internal/labelset"
 	core "lscr/internal/lscr"
 	"lscr/internal/pattern"
+	"lscr/internal/qcache"
 	"lscr/internal/rdf"
 	"lscr/internal/sparql"
 )
@@ -129,6 +137,10 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// DefaultConstraintCacheSize is the constraint-cache capacity selected
+// when Options.ConstraintCacheSize is zero.
+const DefaultConstraintCacheSize = 1024
+
 // Options configures an Engine.
 type Options struct {
 	// SkipIndex disables local-index construction; INS queries then
@@ -143,6 +155,18 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces a sequential build. The built index is
 	// identical for every worker count.
 	IndexWorkers int
+	// ConstraintCacheSize bounds the number of memoized compiled
+	// constraints. Every query pays sparql.Parse + Compile and (for
+	// UIS*/INS) the V(S,G) evaluation; because the KG is immutable these
+	// results never go stale, so the engine memoizes them per constraint
+	// text in a concurrency-safe LRU. 0 selects
+	// DefaultConstraintCacheSize; a negative value disables the cache.
+	//
+	// The bound is an entry count, not bytes: a broad constraint's
+	// memoized V(S,G) can hold O(|V|) vertex IDs, so on very large KGs
+	// with many distinct broad constraints, size the cache (or disable
+	// it) with that worst case — capacity × |V| IDs — in mind.
+	ConstraintCacheSize int
 }
 
 // Engine answers LSCR queries over one KG. It is immutable after
@@ -150,9 +174,10 @@ type Options struct {
 // issue queries against the same Engine (see the package comment's
 // Concurrency section).
 type Engine struct {
-	kg  *KG
-	idx *core.LocalIndex
-	eng *sparql.Engine
+	kg    *KG
+	idx   *core.LocalIndex
+	eng   *sparql.Engine
+	cache *qcache.Cache[*compiledConstraint] // nil when disabled
 }
 
 // NewEngine prepares an engine, building the local index unless opts
@@ -160,7 +185,11 @@ type Engine struct {
 // (GOMAXPROCS when zero) and is the only mutating phase of an Engine's
 // life.
 func NewEngine(kg *KG, opts Options) *Engine {
-	e := &Engine{kg: kg, eng: sparql.NewEngine(kg.g)}
+	e := &Engine{
+		kg:    kg,
+		eng:   sparql.NewEngine(kg.g),
+		cache: newConstraintCache(opts.ConstraintCacheSize),
+	}
 	if !opts.SkipIndex {
 		e.idx = core.NewLocalIndex(kg.g, core.IndexParams{
 			K:       opts.Landmarks,
@@ -169,6 +198,48 @@ func NewEngine(kg *KG, opts Options) *Engine {
 		})
 	}
 	return e
+}
+
+// newConstraintCache maps the ConstraintCacheSize knob to a cache:
+// negative disables, zero selects the default capacity.
+func newConstraintCache(size int) *qcache.Cache[*compiledConstraint] {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = DefaultConstraintCacheSize
+	}
+	return qcache.New[*compiledConstraint](size)
+}
+
+// CacheStats is a point-in-time snapshot of the constraint cache.
+type CacheStats struct {
+	// Enabled is false when the engine was built with a negative
+	// Options.ConstraintCacheSize; all other fields are then zero.
+	Enabled bool `json:"enabled"`
+	// Hits and Misses count cache lookups since construction.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Entries is the number of memoized constraints; Capacity the LRU
+	// bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// CacheStats reports the constraint cache's counters; the server's
+// /healthz endpoint surfaces them for operational monitoring.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	st := e.cache.Stats()
+	return CacheStats{
+		Enabled:  true,
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		Entries:  st.Entries,
+		Capacity: st.Capacity,
+	}
 }
 
 // IndexStats describes the built local index.
@@ -222,86 +293,213 @@ var (
 	ErrUnknownVertex = errors.New("lscr: unknown vertex name")
 	ErrUnknownLabel  = errors.New("lscr: unknown label name")
 	ErrNoIndex       = errors.New("lscr: engine built without index; INS unavailable")
+	// ErrConstraintSyntax is the SPARQL parser's sentinel, re-exported so
+	// callers (the HTTP server's status mapping, notably) can classify
+	// malformed constraint text with errors.Is instead of string matching.
+	ErrConstraintSyntax = sparql.ErrSyntax
+	// ErrInvalidConstraint marks a constraint that parses as SPARQL but is
+	// not a valid substructure constraint (Definition 2.2) — e.g. the
+	// projected focus variable occurs in no triple pattern.
+	ErrInvalidConstraint = errors.New("lscr: invalid substructure constraint")
 )
+
+// compiledConstraint is one memoized constraint-compilation result: the
+// resolved pattern, its matcher, its satisfiability, and — computed
+// lazily because UIS never needs it — the V(S,G) vertex set. Entries
+// are immutable once published (vs is set exactly once under the
+// sync.Once), so a single entry may serve any number of concurrent
+// queries.
+type compiledConstraint struct {
+	cons *pattern.Constraint
+	// m is the matcher over cons, built at compile time so evaluation
+	// cannot fail later; nil when !sat (there is nothing to match).
+	m *pattern.Matcher
+	// sat is false when the constraint references entities absent from
+	// the KG: V(S,G) is empty by construction and every query answers
+	// false without searching.
+	sat  bool
+	once sync.Once
+	vs   []graph.VertexID
+}
+
+// vertexSet returns the memoized V(S,G), evaluating it on first use.
+// Callers must not mutate the returned slice (the search algorithms only
+// read it).
+func (cc *compiledConstraint) vertexSet() []graph.VertexID {
+	cc.once.Do(func() { cc.vs = cc.m.MatchAll() })
+	return cc.vs
+}
+
+// compileConstraint is the single query-compile path behind Reach,
+// ReachTraced, ReachWithWitness and ReachAll: it parses the constraint
+// text, resolves it against the KG, validates it, and memoizes the
+// result (keyed by the exact constraint text) when the cache is enabled.
+// No invalidation exists because the KG and Engine are immutable after
+// construction.
+func (e *Engine) compileConstraint(text string) (*compiledConstraint, error) {
+	if e.cache != nil {
+		if cc, ok := e.cache.Get(text); ok {
+			return cc, nil
+		}
+	}
+	parsed, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	cons, sat, err := parsed.Compile(e.kg.g)
+	if err != nil {
+		// Compile validates the pattern structure (Definition 2.2); its
+		// only errors are validation failures on the client's text.
+		return nil, classifyConstraintErr(err)
+	}
+	cc := &compiledConstraint{cons: cons, sat: sat}
+	if sat {
+		// Building the matcher here (it is just a validation pass plus a
+		// wrapper) means V(S,G) evaluation cannot fail at query time.
+		cc.m, err = pattern.NewMatcher(e.kg.g, cons)
+		if err != nil {
+			return nil, classifyConstraintErr(err)
+		}
+	}
+	if e.cache != nil {
+		// Two goroutines may race to compile the same text; both publish
+		// equivalent immutable entries and the second Add wins harmlessly.
+		e.cache.Add(text, cc)
+	}
+	return cc, nil
+}
+
+// classifyConstraintErr tags a SPARQL-layer error with the matching
+// exported sentinel so callers (the server's status mapping, notably)
+// can classify it with errors.Is: parse failures already carry
+// ErrConstraintSyntax; everything else the layer returns is a
+// validation failure on the client's query text.
+func classifyConstraintErr(err error) error {
+	if errors.Is(err, ErrConstraintSyntax) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrInvalidConstraint, err)
+}
+
+// resolveLabels maps label names to the compiled label set; empty means
+// the whole label universe.
+func (e *Engine) resolveLabels(labels []string) (labelset.Set, error) {
+	g := e.kg.g
+	if len(labels) == 0 {
+		return g.LabelUniverse(), nil
+	}
+	var L labelset.Set
+	for _, name := range labels {
+		l, ok := g.LabelByName(name)
+		if !ok {
+			return L, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
+		}
+		L = L.Add(l)
+	}
+	return L, nil
+}
+
+// resolveEndpoints maps the query's vertex and label names to IDs — the
+// name-resolution half of the compile path.
+func (e *Engine) resolveEndpoints(source, target string, labels []string) (core.Query, error) {
+	g := e.kg.g
+	s := g.Vertex(source)
+	if s == graph.NoVertex {
+		return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownVertex, source)
+	}
+	t := g.Vertex(target)
+	if t == graph.NoVertex {
+		return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownVertex, target)
+	}
+	L, err := e.resolveLabels(labels)
+	if err != nil {
+		return core.Query{}, err
+	}
+	return core.Query{Source: s, Target: t, Labels: L}, nil
+}
 
 // Reach answers q.
 func (e *Engine) Reach(q Query) (Result, error) {
+	res, _, err := e.reach(q, nil)
+	return res, err
+}
+
+// reach is the shared engine behind Reach and ReachTraced; a non-nil
+// tree selects the traced core algorithms. The second result reports
+// whether a search actually ran (false on the unsatisfiable-constraint
+// early return, where the tree stays empty).
+func (e *Engine) reach(q Query, tree *core.SearchTree) (Result, bool, error) {
 	g := e.kg.g
-	s := g.Vertex(q.Source)
-	if s == graph.NoVertex {
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
-	}
-	t := g.Vertex(q.Target)
-	if t == graph.NoVertex {
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
-	}
-	var L labelset.Set
-	if len(q.Labels) == 0 {
-		L = g.LabelUniverse()
-	} else {
-		for _, name := range q.Labels {
-			l, ok := g.LabelByName(name)
-			if !ok {
-				return Result{}, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
-			}
-			L = L.Add(l)
-		}
-	}
-	parsed, err := sparql.Parse(q.Constraint)
+	cq, err := e.resolveEndpoints(q.Source, q.Target, q.Labels)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	cons, sat, err := parsed.Compile(g)
+	switch q.Algorithm {
+	case INS, UIS, UISStar:
+	default:
+		return Result{}, false, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
+	}
+	if q.Algorithm == INS && e.idx == nil {
+		return Result{}, false, ErrNoIndex
+	}
+	cc, err := e.compileConstraint(q.Constraint)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	cq := core.Query{Source: s, Target: t, Labels: L}
 	start := time.Now()
-	if !sat {
+	if !cc.sat {
 		// The constraint references entities absent from the KG: V(S,G)
 		// is empty and the answer is false for every algorithm.
-		return Result{Elapsed: time.Since(start)}, nil
+		// SatisfyingVertices mirrors the normal path's convention — UIS
+		// evaluates the constraint lazily and reports -1, UIS*/INS report
+		// |V(S,G)| = 0.
+		res := Result{Elapsed: time.Since(start)}
+		if q.Algorithm == UIS {
+			res.SatisfyingVertices = -1
+		}
+		return res, false, nil
 	}
-	cq.Constraint = cons
+	cq.Constraint = cc.cons
 
 	var (
-		ans Result
-		st  Stats
 		ok  bool
+		st  Stats
+		nVS int
 	)
 	switch q.Algorithm {
 	case UIS:
-		ok, st, err = core.UIS(g, cq)
-		ans.SatisfyingVertices = -1
+		if tree != nil {
+			ok, st, err = core.UISTraced(g, cq, tree)
+		} else {
+			ok, st, err = core.UIS(g, cq)
+		}
+		nVS = -1
 	case UISStar:
-		m, merr := pattern.NewMatcher(g, cons)
-		if merr != nil {
-			return Result{}, merr
+		vs := cc.vertexSet()
+		nVS = len(vs)
+		if tree != nil {
+			ok, st, err = core.UISStarTraced(g, cq, vs, tree)
+		} else {
+			ok, st, err = core.UISStar(g, cq, vs)
 		}
-		vs := m.MatchAll()
-		ans.SatisfyingVertices = len(vs)
-		ok, st, err = core.UISStar(g, cq, vs)
 	case INS:
-		if e.idx == nil {
-			return Result{}, ErrNoIndex
+		vs := cc.vertexSet()
+		nVS = len(vs)
+		if tree != nil {
+			ok, st, err = core.INSTraced(g, e.idx, cq, vs, tree)
+		} else {
+			ok, st, err = core.INS(g, e.idx, cq, vs)
 		}
-		m, merr := pattern.NewMatcher(g, cons)
-		if merr != nil {
-			return Result{}, merr
-		}
-		vs := m.MatchAll()
-		ans.SatisfyingVertices = len(vs)
-		ok, st, err = core.INS(g, e.idx, cq, vs)
-	default:
-		return Result{}, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
 	}
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	ans.Reachable = ok
-	ans.Stats = st
-	ans.Elapsed = time.Since(start)
-	return ans, nil
+	return Result{
+		Reachable:          ok,
+		Stats:              st,
+		Elapsed:            time.Since(start),
+		SatisfyingVertices: nVS,
+	}, true, nil
 }
 
 // MultiQuery is a conjunctive LSCR query: the path must pass, for every
@@ -381,44 +579,24 @@ func (e *Engine) ReachAllWithWitness(q MultiQuery) (Result, *MultiPath, error) {
 	return res, mp, nil
 }
 
-// compileMulti resolves a MultiQuery's names; earlyFalse reports an
+// compileMulti resolves a MultiQuery's names through the shared compile
+// path (constraints hit the memoization cache); earlyFalse reports an
 // unsatisfiable conjunct (V(S_i, G) empty by construction).
 func (e *Engine) compileMulti(q MultiQuery) (core.MultiQuery, Result, bool, error) {
-	g := e.kg.g
-	s := g.Vertex(q.Source)
-	if s == graph.NoVertex {
-		return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
+	cq, err := e.resolveEndpoints(q.Source, q.Target, q.Labels)
+	if err != nil {
+		return core.MultiQuery{}, Result{}, false, err
 	}
-	t := g.Vertex(q.Target)
-	if t == graph.NoVertex {
-		return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
-	}
-	var L labelset.Set
-	if len(q.Labels) == 0 {
-		L = g.LabelUniverse()
-	} else {
-		for _, name := range q.Labels {
-			l, ok := g.LabelByName(name)
-			if !ok {
-				return core.MultiQuery{}, Result{}, false, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
-			}
-			L = L.Add(l)
-		}
-	}
-	mq := core.MultiQuery{Source: s, Target: t, Labels: L}
+	mq := core.MultiQuery{Source: cq.Source, Target: cq.Target, Labels: cq.Labels}
 	for _, text := range q.Constraints {
-		parsed, err := sparql.Parse(text)
+		cc, err := e.compileConstraint(text)
 		if err != nil {
 			return core.MultiQuery{}, Result{}, false, err
 		}
-		cons, sat, err := parsed.Compile(g)
-		if err != nil {
-			return core.MultiQuery{}, Result{}, false, err
-		}
-		if !sat {
+		if !cc.sat {
 			return core.MultiQuery{}, Result{SatisfyingVertices: -1}, true, nil
 		}
-		mq.Constraints = append(mq.Constraints, cons)
+		mq.Constraints = append(mq.Constraints, cc.cons)
 	}
 	return mq, Result{}, false, nil
 }
@@ -458,15 +636,7 @@ func (e *Engine) ReachWithWitness(q Query) (Result, *Path, error) {
 		return res, nil, err
 	}
 	g := e.kg.g
-	var L labelset.Set
-	if len(q.Labels) == 0 {
-		L = g.LabelUniverse()
-	} else {
-		for _, name := range q.Labels {
-			l, _ := g.LabelByName(name) // validated by Reach already
-			L = L.Add(l)
-		}
-	}
+	L, _ := e.resolveLabels(q.Labels) // validated by Reach already
 	w, ok := core.FindWitness(g, g.Vertex(q.Source), g.Vertex(q.Target), res.Stats.Satisfying, L)
 	if !ok {
 		// Cannot happen for a sound algorithm; fail loudly rather than
@@ -490,79 +660,13 @@ func (e *Engine) ReachWithWitness(q Query) (Result, *Path, error) {
 // dashed. Pass a nil dot writer to skip rendering (the Result still
 // reflects the traced run).
 func (e *Engine) ReachTraced(q Query, dot io.Writer) (Result, error) {
-	g := e.kg.g
-	s := g.Vertex(q.Source)
-	if s == graph.NoVertex {
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Source)
-	}
-	t := g.Vertex(q.Target)
-	if t == graph.NoVertex {
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownVertex, q.Target)
-	}
-	var L labelset.Set
-	if len(q.Labels) == 0 {
-		L = g.LabelUniverse()
-	} else {
-		for _, name := range q.Labels {
-			l, ok := g.LabelByName(name)
-			if !ok {
-				return Result{}, fmt.Errorf("%w: %q", ErrUnknownLabel, name)
-			}
-			L = L.Add(l)
-		}
-	}
-	parsed, err := sparql.Parse(q.Constraint)
-	if err != nil {
-		return Result{}, err
-	}
-	cons, sat, err := parsed.Compile(g)
-	if err != nil {
-		return Result{}, err
-	}
-	start := time.Now()
-	if !sat {
-		return Result{Elapsed: time.Since(start)}, nil
-	}
-	cq := core.Query{Source: s, Target: t, Labels: L, Constraint: cons}
-
 	var tree core.SearchTree
-	var (
-		ok  bool
-		st  Stats
-		nVS int
-	)
-	switch q.Algorithm {
-	case UIS:
-		ok, st, err = core.UISTraced(g, cq, &tree)
-		nVS = -1
-	case UISStar:
-		m, merr := pattern.NewMatcher(g, cons)
-		if merr != nil {
-			return Result{}, merr
-		}
-		vs := m.MatchAll()
-		nVS = len(vs)
-		ok, st, err = core.UISStarTraced(g, cq, vs, &tree)
-	case INS:
-		if e.idx == nil {
-			return Result{}, ErrNoIndex
-		}
-		m, merr := pattern.NewMatcher(g, cons)
-		if merr != nil {
-			return Result{}, merr
-		}
-		vs := m.MatchAll()
-		nVS = len(vs)
-		ok, st, err = core.INSTraced(g, e.idx, cq, vs, &tree)
-	default:
-		return Result{}, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
-	}
+	res, searched, err := e.reach(q, &tree)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Reachable: ok, Stats: st, Elapsed: time.Since(start), SatisfyingVertices: nVS}
-	if dot != nil {
-		if err := tree.WriteDOT(dot, q.Algorithm.String(), g.VertexName); err != nil {
+	if searched && dot != nil {
+		if err := tree.WriteDOT(dot, q.Algorithm.String(), e.kg.g.VertexName); err != nil {
 			return res, err
 		}
 	}
@@ -582,13 +686,20 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 
 // NewEngineFromIndex builds an engine whose local index is loaded from r
 // (written earlier by SaveIndex against the same KG) instead of being
-// recomputed.
-func NewEngineFromIndex(kg *KG, r io.Reader) (*Engine, error) {
+// recomputed. Only opts.ConstraintCacheSize applies — the index-build
+// fields (SkipIndex, Landmarks, IndexSeed, IndexWorkers) are properties
+// of the saved index and are ignored.
+func NewEngineFromIndex(kg *KG, r io.Reader, opts Options) (*Engine, error) {
 	idx, err := core.ReadLocalIndex(r, kg.g)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{kg: kg, idx: idx, eng: sparql.NewEngine(kg.g)}, nil
+	return &Engine{
+		kg:    kg,
+		idx:   idx,
+		eng:   sparql.NewEngine(kg.g),
+		cache: newConstraintCache(opts.ConstraintCacheSize),
+	}, nil
 }
 
 // Select evaluates a SPARQL SELECT and returns the matching vertex names
@@ -598,7 +709,7 @@ func NewEngineFromIndex(kg *KG, r io.Reader) (*Engine, error) {
 func (e *Engine) Select(query string) ([]string, error) {
 	ids, err := e.eng.Select(query)
 	if err != nil {
-		return nil, err
+		return nil, classifyConstraintErr(err)
 	}
 	out := make([]string, len(ids))
 	for i, v := range ids {
@@ -612,7 +723,7 @@ func (e *Engine) Select(query string) ([]string, error) {
 func (e *Engine) SelectAll(query string) ([]map[string]string, error) {
 	vars, rows, err := e.eng.SelectTuples(query)
 	if err != nil {
-		return nil, err
+		return nil, classifyConstraintErr(err)
 	}
 	out := make([]map[string]string, 0, len(rows))
 	for _, r := range rows {

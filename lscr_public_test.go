@@ -2,6 +2,7 @@ package lscr
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -112,6 +113,106 @@ func TestPublicAPIErrors(t *testing.T) {
 	}
 	if _, err := noIdx.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: c, Algorithm: UIS}); err != nil {
 		t.Errorf("UIS without index: %v", err)
+	}
+}
+
+// TestUnsatisfiableConstraintConsistency: the unsatisfiable-constraint
+// early return reports SatisfyingVertices exactly as the normal path
+// would — UIS evaluates lazily (-1), UIS*/INS report |V(S,G)| = 0. The
+// early return used to answer 0 for UIS, diverging from every other UIS
+// result.
+func TestUnsatisfiableConstraintConsistency(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	q := Query{Source: "SuspectC", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Nobody>. }`}
+	want := map[Algorithm]int{UIS: -1, UISStar: 0, INS: 0}
+	for algo, sv := range want {
+		q.Algorithm = algo
+		res, err := eng.Reach(q)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Reachable {
+			t.Errorf("%v: unsatisfiable constraint answered true", algo)
+		}
+		if res.SatisfyingVertices != sv {
+			t.Errorf("%v: SatisfyingVertices = %d, want %d", algo, res.SatisfyingVertices, sv)
+		}
+	}
+	// The early return still validates the algorithm and index like the
+	// normal path.
+	q.Algorithm = Algorithm(99)
+	if _, err := eng.Reach(q); err == nil {
+		t.Error("unknown algorithm accepted on the early-return path")
+	}
+	noIdx := NewEngine(kg, Options{SkipIndex: true})
+	q.Algorithm = INS
+	if _, err := noIdx.Reach(q); err != ErrNoIndex {
+		t.Errorf("INS without index on the early-return path: %v", err)
+	}
+}
+
+// TestErrorSentinels: parse and validation failures are classifiable
+// with errors.Is through the exported sentinels.
+func TestErrorSentinels(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	_, err := eng.Reach(Query{Source: "SuspectC", Target: "SuspectP", Constraint: "SELECT garbage"})
+	if !errors.Is(err, ErrConstraintSyntax) {
+		t.Errorf("parse failure is not ErrConstraintSyntax: %v", err)
+	}
+	_, err = eng.Reach(Query{Source: "SuspectC", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?y <married-to> <Amy>. }`})
+	if !errors.Is(err, ErrInvalidConstraint) {
+		t.Errorf("focus-unused failure is not ErrInvalidConstraint: %v", err)
+	}
+	_, err = eng.Reach(Query{Source: "nope", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`})
+	if !errors.Is(err, ErrUnknownVertex) {
+		t.Errorf("unknown source is not ErrUnknownVertex: %v", err)
+	}
+	// Select bypasses the constraint-compile path but must classify its
+	// errors identically: parse failures carry ErrConstraintSyntax,
+	// validation failures ErrInvalidConstraint.
+	if _, err := eng.Select("SELECT garbage"); !errors.Is(err, ErrConstraintSyntax) {
+		t.Errorf("Select parse failure is not ErrConstraintSyntax: %v", err)
+	}
+	if _, err := eng.Select(`SELECT ?x WHERE { ?y <married-to> <Amy>. }`); !errors.Is(err, ErrInvalidConstraint) {
+		t.Errorf("Select focus-unused failure is not ErrInvalidConstraint: %v", err)
+	}
+	if _, err := eng.SelectAll(`SELECT ?x WHERE { ?y <married-to> <Amy>. }`); !errors.Is(err, ErrInvalidConstraint) {
+		t.Errorf("SelectAll focus-unused failure is not ErrInvalidConstraint: %v", err)
+	}
+}
+
+// TestCacheStatsCounters: hits/misses/entries track Reach traffic, and a
+// negative ConstraintCacheSize disables the cache entirely.
+func TestCacheStatsCounters(t *testing.T) {
+	kg := loadFincrime(t)
+	eng := NewEngine(kg, Options{})
+	if st := eng.CacheStats(); !st.Enabled || st.Capacity != DefaultConstraintCacheSize ||
+		st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("fresh cache stats = %+v", st)
+	}
+	q := Query{Source: "SuspectC", Target: "SuspectP",
+		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`}
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Reach(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.CacheStats(); st.Misses != 1 || st.Hits != 4 || st.Entries != 1 {
+		t.Fatalf("after 5 identical queries: %+v", st)
+	}
+
+	off := NewEngine(kg, Options{SkipIndex: true, ConstraintCacheSize: -1})
+	q.Algorithm = UIS
+	if _, err := off.Reach(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.CacheStats(); st.Enabled || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache stats = %+v", st)
 	}
 }
 

@@ -71,9 +71,12 @@ func TestSaveLoadIndex(t *testing.T) {
 	if err := eng.SaveIndex(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := NewEngineFromIndex(kg, &buf)
+	loaded, err := NewEngineFromIndex(kg, &buf, Options{ConstraintCacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if loaded.CacheStats().Enabled {
+		t.Fatal("ConstraintCacheSize not applied on the load path")
 	}
 	q := Query{
 		Source: "SuspectC", Target: "SuspectP",
@@ -109,7 +112,7 @@ func TestSaveIndexWithoutIndex(t *testing.T) {
 
 func TestNewEngineFromIndexRejectsGarbage(t *testing.T) {
 	kg := loadFincrime(t)
-	if _, err := NewEngineFromIndex(kg, strings.NewReader("junk")); err == nil {
+	if _, err := NewEngineFromIndex(kg, strings.NewReader("junk"), Options{}); err == nil {
 		t.Fatal("garbage index accepted")
 	}
 }
