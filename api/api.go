@@ -1,0 +1,168 @@
+// Package api is the versioned wire contract of the lscrd HTTP
+// service: the JSON shapes of the /v1 endpoints plus the conversions
+// between them and the engine's native Request/Response. The server
+// (package lscr/server) and the typed client (package lscr/client)
+// both build on these types, so they cannot drift apart.
+package api
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lscr"
+)
+
+// Version is the API generation these types describe; it is also the
+// path prefix of the endpoints (/v1/query, /v1/batch).
+const Version = "v1"
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	Source string   `json:"source"`
+	Target string   `json:"target"`
+	Labels []string `json:"labels,omitempty"`
+	// Constraint is shorthand for a one-element Constraints; setting
+	// both is an error.
+	Constraint  string   `json:"constraint,omitempty"`
+	Constraints []string `json:"constraints,omitempty"`
+	// Algorithm is "ins" (default), "uis", "uisstar" or "conjunctive".
+	Algorithm string `json:"algorithm,omitempty"`
+	Witness   bool   `json:"witness,omitempty"`
+	Trace     bool   `json:"trace,omitempty"`
+	// TimeoutMS bounds this query server-side, in milliseconds; expiry
+	// answers 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Hop is one edge of a witness walk.
+type Hop struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// Witness certifies a true answer: the walk plus, per constraint (in
+// request order), the walk vertex satisfying it.
+type Witness struct {
+	Hops        []Hop    `json:"hops"`
+	SatisfiedBy []string `json:"satisfied_by"`
+}
+
+// QueryResponse is the POST /v1/query reply.
+type QueryResponse struct {
+	Reachable          bool     `json:"reachable"`
+	ElapsedUS          int64    `json:"elapsed_us"`
+	PassedVertices     int      `json:"passed_vertices"`
+	SearchTreeNodes    int      `json:"search_tree_nodes"`
+	SatisfyingVertices int      `json:"satisfying_vertices"`
+	Algorithm          string   `json:"algorithm"`
+	Witness            *Witness `json:"witness,omitempty"`
+	TraceDOT           string   `json:"trace_dot,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body. Concurrency 0 means all
+// cores (the server clamps it to the cores it actually has).
+type BatchRequest struct {
+	Queries     []QueryRequest `json:"queries"`
+	Concurrency int            `json:"concurrency,omitempty"`
+}
+
+// BatchItem is one /v1/batch result: either the query-response fields
+// or a per-query error (a bad query does not fail its batch).
+type BatchItem struct {
+	QueryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch reply.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Count   int         `json:"count"`
+}
+
+// Health is the GET /healthz reply.
+type Health struct {
+	Status   string          `json:"status"`
+	Version  string          `json:"version"`
+	API      string          `json:"api"`
+	Vertices int             `json:"vertices"`
+	Edges    int             `json:"edges"`
+	Labels   int             `json:"labels"`
+	Cache    lscr.CacheStats `json:"cache"`
+}
+
+// Error is the body of every non-2xx reply.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// ParseAlgorithm maps a wire algorithm name to the engine's enum.
+func ParseAlgorithm(s string) (lscr.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "ins":
+		return lscr.INS, nil
+	case "uis":
+		return lscr.UIS, nil
+	case "uisstar", "uis*":
+		return lscr.UISStar, nil
+	case "conjunctive", "conj", "multi":
+		return lscr.Conjunctive, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+// AlgorithmName maps the engine's enum to its canonical wire name.
+func AlgorithmName(a lscr.Algorithm) string {
+	switch a {
+	case lscr.INS:
+		return "ins"
+	case lscr.UIS:
+		return "uis"
+	case lscr.UISStar:
+		return "uisstar"
+	case lscr.Conjunctive:
+		return "conjunctive"
+	}
+	return a.String()
+}
+
+// ToRequest converts the wire shape to the engine's Request.
+func (r QueryRequest) ToRequest() (lscr.Request, error) {
+	algo, err := ParseAlgorithm(r.Algorithm)
+	if err != nil {
+		return lscr.Request{}, err
+	}
+	return lscr.Request{
+		Source:      r.Source,
+		Target:      r.Target,
+		Labels:      r.Labels,
+		Constraint:  r.Constraint,
+		Constraints: r.Constraints,
+		Algorithm:   algo,
+		WantWitness: r.Witness,
+		WantTrace:   r.Trace,
+		Timeout:     time.Duration(r.TimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// FromResponse converts the engine's Response to the wire shape.
+func FromResponse(resp lscr.Response) QueryResponse {
+	out := QueryResponse{
+		Reachable:          resp.Reachable,
+		ElapsedUS:          resp.Elapsed.Microseconds(),
+		PassedVertices:     resp.Stats.PassedVertices,
+		SearchTreeNodes:    resp.Stats.SearchTreeNodes,
+		SatisfyingVertices: resp.SatisfyingVertices,
+		Algorithm:          AlgorithmName(resp.Algorithm),
+		TraceDOT:           resp.TraceDOT,
+	}
+	if w := resp.Witness; w != nil {
+		ww := &Witness{SatisfiedBy: w.SatisfiedBy}
+		for _, h := range w.Hops {
+			ww.Hops = append(ww.Hops, Hop{From: h.From, Label: h.Label, To: h.To})
+		}
+		out.Witness = ww
+	}
+	return out
+}

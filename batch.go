@@ -1,10 +1,6 @@
 package lscr
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "context"
 
 // BatchResult pairs one query of a ReachBatch call with its outcome.
 // Exactly one of Err or a meaningful Result is set per entry.
@@ -19,45 +15,19 @@ type BatchResult struct {
 // failing query (unknown vertex, malformed constraint, ...) records its
 // error in its own slot without affecting the others.
 //
-// The batch runs entirely on the receiver: answers are identical to
-// calling Reach once per query serially. It is itself safe to call
-// concurrently, and is the throughput-oriented entry point — the server
-// and benchmark CLIs use it to keep every core busy. Batches go through
-// the same constraint-compile path as Reach, so a batch repeating few
-// distinct constraints compiles each exactly once and serves the rest
-// from the engine's constraint cache.
+// Deprecated: use QueryBatch, which takes a context so a disconnected
+// client or an expired deadline stops the batch instead of letting it
+// run to completion. ReachBatch is a thin wrapper over QueryBatch with
+// a background context and answers identically.
 func (e *Engine) ReachBatch(qs []Query, concurrency int) []BatchResult {
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = q.request()
+	}
+	outcomes := e.QueryBatch(context.Background(), reqs, BatchOptions{Concurrency: concurrency})
 	out := make([]BatchResult, len(qs))
-	if len(qs) == 0 {
-		return out
+	for i, o := range outcomes {
+		out[i] = BatchResult{Result: o.Response.result(), Err: o.Err}
 	}
-	if concurrency <= 0 {
-		concurrency = runtime.GOMAXPROCS(0)
-	}
-	if concurrency > len(qs) {
-		concurrency = len(qs)
-	}
-	if concurrency == 1 {
-		for i := range qs {
-			out[i].Result, out[i].Err = e.Reach(qs[i])
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
-					return
-				}
-				out[i].Result, out[i].Err = e.Reach(qs[i])
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }

@@ -1,0 +1,120 @@
+// Package client is the typed Go client of the lscrd /v1 HTTP API.
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Query(ctx, api.QueryRequest{
+//		Source: "SuspectC", Target: "SuspectP",
+//		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
+//	})
+//
+// Every call takes a context: cancelling it aborts the HTTP request,
+// which in turn cancels the search server-side (lscrd propagates the
+// request context into the engine). Non-2xx replies surface as
+// *APIError carrying the HTTP status and the server's message.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"lscr/api"
+)
+
+// Client talks to one lscrd server. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (scheme + host, with
+// or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx reply from the server.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("lscrd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Query answers one request via POST /v1/query.
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (api.QueryResponse, error) {
+	var out api.QueryResponse
+	err := c.post(ctx, "/"+api.Version+"/query", req, &out)
+	return out, err
+}
+
+// Batch answers many requests via POST /v1/batch.
+func (c *Client) Batch(ctx context.Context, req api.BatchRequest) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	err := c.post(ctx, "/"+api.Version+"/batch", req, &out)
+	return out, err
+}
+
+// Health reads GET /healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return out, err
+	}
+	err = c.do(hreq, &out)
+	return out, err
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, out)
+}
+
+func (c *Client) do(hreq *http.Request, out any) error {
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		// Error bodies are small; cap the read anyway so a broken
+		// server cannot make the client buffer garbage without bound.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var apiErr api.Error
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

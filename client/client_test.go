@@ -1,0 +1,134 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lscr"
+	"lscr/api"
+	"lscr/client"
+	"lscr/server"
+)
+
+const testKG = `
+<C> <apr> <X> .
+<X> <apr> <P> .
+<X> <married> <Amy> .
+<C> <may> <P> .
+`
+
+const testConstraint = `SELECT ?x WHERE { ?x <married> <Amy>. }`
+
+// liveServer runs the real handler stack (package lscr/server) on a
+// real listener, so these tests exercise the full wire path the
+// production client sees.
+func liveServer(t *testing.T) *client.Client {
+	t.Helper()
+	kg, err := lscr.Load(strings.NewReader(testKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := lscr.NewEngine(kg, lscr.Options{})
+	srv := httptest.NewServer(server.New(eng, kg))
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL)
+}
+
+// TestClientQueryRoundTrip: a typed request round-trips through a live
+// /v1 endpoint with witness and stats intact.
+func TestClientQueryRoundTrip(t *testing.T) {
+	c := liveServer(t)
+	ctx := context.Background()
+	for _, algo := range []string{"", "uis", "uisstar", "conjunctive"} {
+		resp, err := c.Query(ctx, api.QueryRequest{
+			Source: "C", Target: "P",
+			Labels:     []string{"apr", "married"},
+			Constraint: testConstraint,
+			Algorithm:  algo,
+			Witness:    true,
+		})
+		if err != nil {
+			t.Fatalf("%q: %v", algo, err)
+		}
+		if !resp.Reachable {
+			t.Fatalf("%q: not reachable", algo)
+		}
+		if resp.Witness == nil || len(resp.Witness.SatisfiedBy) == 0 || resp.Witness.SatisfiedBy[0] != "X" {
+			t.Fatalf("%q: witness = %+v", algo, resp.Witness)
+		}
+		if resp.PassedVertices <= 0 {
+			t.Errorf("%q: passed_vertices = %d", algo, resp.PassedVertices)
+		}
+	}
+}
+
+// TestClientBatchRoundTrip: a mixed batch round-trips with per-item
+// errors in place.
+func TestClientBatchRoundTrip(t *testing.T) {
+	c := liveServer(t)
+	resp, err := c.Batch(context.Background(), api.BatchRequest{
+		Queries: []api.QueryRequest{
+			{Source: "C", Target: "P", Labels: []string{"apr", "married"}, Constraint: testConstraint},
+			{Source: "nope", Target: "P", Constraint: testConstraint},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 {
+		t.Fatalf("count = %d", resp.Count)
+	}
+	if !resp.Results[0].Reachable || resp.Results[0].Error != "" {
+		t.Errorf("item 0 = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Errorf("item 1 should carry the unknown-vertex error, got %+v", resp.Results[1])
+	}
+}
+
+// TestClientHealth: /healthz round-trips with the server version.
+func TestClientHealth(t *testing.T) {
+	c := liveServer(t)
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Vertices != 4 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Version == "" || h.API != api.Version {
+		t.Fatalf("version/api missing: %+v", h)
+	}
+}
+
+// TestClientAPIError: non-2xx replies surface as *APIError with the
+// status and server message.
+func TestClientAPIError(t *testing.T) {
+	c := liveServer(t)
+	_, err := c.Query(context.Background(), api.QueryRequest{
+		Source: "nope", Target: "P", Constraint: testConstraint,
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest || apiErr.Message == "" {
+		t.Fatalf("apiErr = %+v", apiErr)
+	}
+}
+
+// TestClientCancelPropagates: cancelling the caller's context aborts
+// the in-flight HTTP request.
+func TestClientCancelPropagates(t *testing.T) {
+	c := liveServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Query(ctx, api.QueryRequest{Source: "C", Target: "P", Constraint: testConstraint})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -16,14 +16,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"lscr"
+	"lscr/internal/buildinfo"
 )
 
 func main() {
@@ -39,8 +43,17 @@ func main() {
 	flag.BoolVar(&opts.witness, "witness", false, "print the evidence path on a true answer")
 	flag.StringVar(&opts.searchTree, "search-tree", "", "write the search tree as Graphviz DOT to this file")
 	flag.BoolVar(&opts.verbose, "v", false, "print statistics")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	code, err := run(os.Stdout, opts)
+	if *showVersion {
+		fmt.Println("lscr", buildinfo.Version())
+		return
+	}
+	// SIGINT/SIGTERM cancel the query mid-search instead of killing the
+	// process with the index half-built or the answer half-printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Stdout, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscr:", err)
 		os.Exit(2)
@@ -54,7 +67,7 @@ type options struct {
 	noIndex, witness, verbose                                 bool
 }
 
-func run(w io.Writer, o options) (int, error) {
+func run(ctx context.Context, w io.Writer, o options) (int, error) {
 	if o.kgPath == "" || o.from == "" || o.to == "" || o.constraint == "" {
 		return 2, errors.New("-kg, -from, -to and -constraint are required")
 	}
@@ -77,43 +90,38 @@ func run(w io.Writer, o options) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	q := lscr.Query{
+	req := lscr.Request{
 		Source: o.from, Target: o.to,
-		Constraint: o.constraint, Algorithm: algo,
+		Constraint:  o.constraint,
+		Algorithm:   algo,
+		WantWitness: o.witness,
+		WantTrace:   o.searchTree != "",
 	}
 	if o.labels != "" {
-		q.Labels = strings.Split(o.labels, ",")
+		req.Labels = strings.Split(o.labels, ",")
 	}
-	res, path, err := eng.ReachWithWitness(q)
+	resp, err := eng.Query(ctx, req)
 	if err != nil {
 		return 2, err
 	}
 	if o.searchTree != "" {
-		f, err := os.Create(o.searchTree)
-		if err != nil {
-			return 2, err
-		}
-		if _, err := eng.ReachTraced(q, f); err != nil {
-			f.Close()
-			return 2, err
-		}
-		if err := f.Close(); err != nil {
+		if err := os.WriteFile(o.searchTree, []byte(resp.TraceDOT), 0o644); err != nil {
 			return 2, err
 		}
 	}
 	if o.verbose {
 		fmt.Fprintf(os.Stderr, "algorithm=%v elapsed=%v passed=%d treeNodes=%d |V(S,G)|=%d\n",
-			algo, res.Elapsed, res.Stats.PassedVertices, res.Stats.SearchTreeNodes,
-			res.SatisfyingVertices)
+			algo, resp.Elapsed, resp.Stats.PassedVertices, resp.Stats.SearchTreeNodes,
+			resp.SatisfyingVertices)
 	}
-	if !res.Reachable {
+	if !resp.Reachable {
 		fmt.Fprintln(w, "not reachable")
 		return 1, nil
 	}
 	fmt.Fprintln(w, "reachable")
-	if o.witness && path != nil {
-		fmt.Fprintf(w, "witness: %s\n", path)
-		fmt.Fprintf(w, "satisfying vertex: %s\n", path.Satisfying)
+	if o.witness && resp.Witness != nil {
+		fmt.Fprintf(w, "witness: %s\n", resp.Witness)
+		fmt.Fprintf(w, "satisfying vertex: %s\n", resp.Witness.SatisfiedBy[0])
 	}
 	return 0, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,7 @@ func TestRunReachable(t *testing.T) {
 		o.algoName = algo
 		o.verbose = true
 		var buf bytes.Buffer
-		code, err := run(&buf, o)
+		code, err := run(context.Background(), &buf, o)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -57,7 +58,7 @@ func TestRunWitness(t *testing.T) {
 	o := baseOpts(p)
 	o.witness = true
 	var buf bytes.Buffer
-	code, err := run(&buf, o)
+	code, err := run(context.Background(), &buf, o)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -76,7 +77,7 @@ func TestRunSearchTree(t *testing.T) {
 	o := baseOpts(p)
 	o.searchTree = dotPath
 	var buf bytes.Buffer
-	if code, err := run(&buf, o); err != nil || code != 0 {
+	if code, err := run(context.Background(), &buf, o); err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
 	data, err := os.ReadFile(dotPath)
@@ -93,7 +94,7 @@ func TestRunNotReachable(t *testing.T) {
 	o := baseOpts(p)
 	o.labels = "may"
 	var buf bytes.Buffer
-	code, err := run(&buf, o)
+	code, err := run(context.Background(), &buf, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,14 +109,14 @@ func TestRunIndexFileRoundTrip(t *testing.T) {
 	o := baseOpts(p)
 	o.indexFile = idxPath
 	var buf bytes.Buffer
-	if code, err := run(&buf, o); err != nil || code != 0 {
+	if code, err := run(context.Background(), &buf, o); err != nil || code != 0 {
 		t.Fatalf("first run (build+save): code=%d err=%v", code, err)
 	}
 	if _, err := os.Stat(idxPath); err != nil {
 		t.Fatalf("index not saved: %v", err)
 	}
 	// Second run loads the saved index.
-	if code, err := run(&buf, o); err != nil || code != 0 {
+	if code, err := run(context.Background(), &buf, o); err != nil || code != 0 {
 		t.Fatalf("second run (load): code=%d err=%v", code, err)
 	}
 }
@@ -143,7 +144,7 @@ func TestRunSnapshotInput(t *testing.T) {
 	out.Close()
 	o := baseOpts(snapPath)
 	var buf bytes.Buffer
-	if code, err := run(&buf, o); err != nil || code != 0 {
+	if code, err := run(context.Background(), &buf, o); err != nil || code != 0 {
 		t.Fatalf("snapshot query: code=%d err=%v", code, err)
 	}
 }
@@ -165,7 +166,7 @@ func TestRunErrors(t *testing.T) {
 		o := baseOpts(p)
 		tc.mod(&o)
 		var buf bytes.Buffer
-		if _, err := run(&buf, o); err == nil {
+		if _, err := run(context.Background(), &buf, o); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -177,7 +178,7 @@ func TestRunNoIndexUIS(t *testing.T) {
 	o.noIndex = true
 	o.algoName = "uis"
 	var buf bytes.Buffer
-	code, err := run(&buf, o)
+	code, err := run(context.Background(), &buf, o)
 	if err != nil || code != 0 {
 		t.Fatalf("uis without index: code=%d err=%v", code, err)
 	}

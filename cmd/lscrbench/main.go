@@ -12,13 +12,14 @@
 //	                                # end-to-end QPS through Engine.ReachBatch
 //	lscrbench -exp cachespeedup     # warm-vs-cold constraint-cache QPS
 //	lscrbench -exp cachespeedup-json# same, as BENCH_cache.json
+//	lscrbench -exp serverclient     # typed client → live lscrd /v1 QPS
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
-// cachespeedup-json, all. "all" runs the paper experiments only — the
-// machine-dependent scaling sweeps (parallel*, throughput, cachespeedup*)
-// are invoked explicitly.
+// cachespeedup-json, serverclient, all. "all" runs the paper
+// experiments only — the machine-dependent scaling sweeps (parallel*,
+// throughput, cachespeedup*, serverclient) are invoked explicitly.
 package main
 
 import (
@@ -28,17 +29,23 @@ import (
 	"os"
 
 	"lscr/internal/bench"
+	"lscr/internal/buildinfo"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, all)")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, all)")
 		scale       = flag.Int("scale", 1, "dataset scale multiplier")
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
 		concurrency = flag.Int("concurrency", 0, "throughput mode: ReachBatch fan-out (0 = all cores)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("lscrbench", buildinfo.Version())
+		return
+	}
 	cfg := bench.Config{Scale: *scale, QueriesPerGroup: *queries, Seed: *seed}
 	if err := run(os.Stdout, *exp, cfg, *concurrency); err != nil {
 		fmt.Fprintln(os.Stderr, "lscrbench:", err)
@@ -71,6 +78,9 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"cachespeedup-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunCacheSpeedupJSON(w, cfg, concurrency)
+		},
+		"serverclient": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunServerClient(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

@@ -2,34 +2,20 @@
 //
 //	lscrd -kg graph.nt -addr :8080
 //
-// Endpoints (all JSON):
-//
-//	GET  /healthz           — liveness + KG stats
-//	POST /reach             — {"source","target","labels":[],"constraint","algorithm","witness"}
-//	POST /reachbatch        — {"queries":[<reach bodies>],"concurrency":N}
-//	POST /reachall          — {"source","target","labels":[],"constraints":[]}
-//	POST /select            — {"query"}
-//
-// The server is read-only: the KG and index are built once at startup
-// (across -workers goroutines) and shared by concurrent requests — the
-// Engine's concurrency contract is what lets net/http fan requests out
-// without any locking here. /reachbatch additionally parallelises inside
-// a single request via Engine.ReachBatch.
-//
-// Operational behavior: repeated constraint texts are served from the
-// engine's memoized constraint cache (-cache bounds its capacity;
-// /healthz reports hits/misses/entries); every request body is
-// size-capped; the listener runs with read/write timeouts and drains
-// in-flight requests gracefully on SIGINT/SIGTERM. Client mistakes —
-// unknown names, malformed or invalid constraints, and requesting INS
-// from an index-less server — answer 400; only genuine server faults
-// answer 500.
+// The endpoints — /v1/query, /v1/batch, /healthz, plus the deprecated
+// pre-v1 routes — are implemented by package lscr/server; this command
+// only loads the KG, builds the engine and manages the listener
+// lifecycle. The server is read-only: the KG and index are built once
+// at startup (across -workers goroutines) and shared by concurrent
+// requests. Request bodies are size-capped, the listener runs with
+// read/write timeouts, in-flight requests drain gracefully on
+// SIGINT/SIGTERM, and every search runs under the request's context so
+// disconnected clients stop consuming CPU.
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,17 +24,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 	"syscall"
 	"time"
 
 	"lscr"
+	"lscr/internal/buildinfo"
+	"lscr/server"
 )
 
 // Server limits: slow-client protection and the drain budget on
 // shutdown. ReadTimeout bounds how long a client may dribble a body in;
-// WriteTimeout bounds the whole response (generous — /reachbatch can
+// WriteTimeout bounds the whole response (generous — a batch can
 // legitimately compute for a while); shutdownGrace bounds how long
 // in-flight requests may run after SIGINT/SIGTERM.
 const (
@@ -61,12 +47,17 @@ const (
 
 func main() {
 	var (
-		kgPath    = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
-		cacheSize = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
+		kgPath      = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
+		cacheSize   = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("lscrd", buildinfo.Version())
+		return
+	}
 	if *kgPath == "" {
 		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
 		os.Exit(2)
@@ -81,11 +72,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
 		os.Exit(2)
 	}
-	log.Printf("serving %d vertices / %d edges on %s", kg.NumVertices(), kg.NumEdges(), ln.Addr())
+	log.Printf("lscrd %s serving %d vertices / %d edges on %s",
+		buildinfo.Version(), kg.NumVertices(), kg.NumEdges(), ln.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := &http.Server{
-		Handler:           newHandler(eng, kg),
+		Handler:           server.New(eng, kg),
 		ReadHeaderTimeout: readHeaderTimeout,
 		ReadTimeout:       readTimeout,
 		WriteTimeout:      writeTimeout,
@@ -137,230 +129,4 @@ func load(path string, workers, cacheSize int) (*lscr.Engine, *lscr.KG, error) {
 	}
 	opts := lscr.Options{IndexWorkers: workers, ConstraintCacheSize: cacheSize}
 	return lscr.NewEngine(kg, opts), kg, nil
-}
-
-// reachRequest is the /reach body.
-type reachRequest struct {
-	Source     string   `json:"source"`
-	Target     string   `json:"target"`
-	Labels     []string `json:"labels,omitempty"`
-	Constraint string   `json:"constraint"`
-	Algorithm  string   `json:"algorithm,omitempty"`
-	Witness    bool     `json:"witness,omitempty"`
-}
-
-// reachResponse is the /reach reply.
-type reachResponse struct {
-	Reachable bool       `json:"reachable"`
-	ElapsedUS int64      `json:"elapsed_us"`
-	Passed    int        `json:"passed_vertices"`
-	Witness   *lscr.Path `json:"witness,omitempty"`
-	Algorithm string     `json:"algorithm"`
-}
-
-// reachAllRequest is the /reachall body.
-type reachAllRequest struct {
-	Source      string   `json:"source"`
-	Target      string   `json:"target"`
-	Labels      []string `json:"labels,omitempty"`
-	Constraints []string `json:"constraints"`
-}
-
-// maxBatchBody bounds a /reachbatch request body (32 MiB ≈ hundreds of
-// thousands of queries — far above any sane batch, far below OOM).
-// maxQueryBody bounds the single-query endpoints (/reach, /reachall,
-// /select), whose bodies are one query each — 1 MiB is far beyond any
-// real SPARQL constraint yet keeps a hostile client from making the
-// decoder buffer an arbitrarily large body.
-const (
-	maxBatchBody = 32 << 20
-	maxQueryBody = 1 << 20
-)
-
-// batchRequest is the /reachbatch body. Concurrency 0 means all cores.
-type batchRequest struct {
-	Queries     []reachRequest `json:"queries"`
-	Concurrency int            `json:"concurrency,omitempty"`
-}
-
-// batchItem is one /reachbatch result: either the reach fields or a
-// per-query error (bad names in one query do not fail the batch).
-type batchItem struct {
-	Reachable bool   `json:"reachable"`
-	ElapsedUS int64  `json:"elapsed_us"`
-	Passed    int    `json:"passed_vertices"`
-	Algorithm string `json:"algorithm,omitempty"`
-	Error     string `json:"error,omitempty"`
-}
-
-// newHandler wires the endpoints.
-func newHandler(eng *lscr.Engine, kg *lscr.KG) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"vertices": kg.NumVertices(),
-			"edges":    kg.NumEdges(),
-			"labels":   kg.NumLabels(),
-			"cache":    eng.CacheStats(),
-		})
-	})
-	mux.HandleFunc("POST /reach", func(w http.ResponseWriter, r *http.Request) {
-		var req reachRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		algo, err := parseAlgo(req.Algorithm)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		q := lscr.Query{
-			Source: req.Source, Target: req.Target,
-			Labels: req.Labels, Constraint: req.Constraint, Algorithm: algo,
-		}
-		start := time.Now()
-		var (
-			res  lscr.Result
-			path *lscr.Path
-		)
-		if req.Witness {
-			res, path, err = eng.ReachWithWitness(q)
-		} else {
-			res, err = eng.Reach(q)
-		}
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, reachResponse{
-			Reachable: res.Reachable,
-			ElapsedUS: time.Since(start).Microseconds(),
-			Passed:    res.Stats.PassedVertices,
-			Witness:   path,
-			Algorithm: algo.String(),
-		})
-	})
-	mux.HandleFunc("POST /reachbatch", func(w http.ResponseWriter, r *http.Request) {
-		var req batchRequest
-		// Bound what one request can cost: the body is capped before
-		// decoding, and the client's fan-out wish is clamped to the
-		// cores actually available (ReachBatch itself only clamps to
-		// the batch length).
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if len(req.Queries) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
-			return
-		}
-		if req.Concurrency < 0 || req.Concurrency > runtime.GOMAXPROCS(0) {
-			req.Concurrency = runtime.GOMAXPROCS(0)
-		}
-		items := make([]batchItem, len(req.Queries))
-		queries := make([]lscr.Query, 0, len(req.Queries))
-		slots := make([]int, 0, len(req.Queries)) // queries[j] answers items[slots[j]]
-		for i, rq := range req.Queries {
-			algo, err := parseAlgo(rq.Algorithm)
-			if err != nil {
-				items[i].Error = err.Error()
-				continue
-			}
-			items[i].Algorithm = algo.String()
-			queries = append(queries, lscr.Query{
-				Source: rq.Source, Target: rq.Target,
-				Labels: rq.Labels, Constraint: rq.Constraint, Algorithm: algo,
-			})
-			slots = append(slots, i)
-		}
-		for j, br := range eng.ReachBatch(queries, req.Concurrency) {
-			it := &items[slots[j]]
-			if br.Err != nil {
-				it.Error = br.Err.Error()
-				continue
-			}
-			it.Reachable = br.Result.Reachable
-			it.ElapsedUS = br.Result.Elapsed.Microseconds()
-			it.Passed = br.Result.Stats.PassedVertices
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": items, "count": len(items)})
-	})
-	mux.HandleFunc("POST /reachall", func(w http.ResponseWriter, r *http.Request) {
-		var req reachAllRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, mp, err := eng.ReachAllWithWitness(lscr.MultiQuery{
-			Source: req.Source, Target: req.Target,
-			Labels: req.Labels, Constraints: req.Constraints,
-		})
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"reachable":       res.Reachable,
-			"passed_vertices": res.Stats.PassedVertices,
-			"witness":         mp,
-		})
-	})
-	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Query string `json:"query"`
-		}
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		rows, err := eng.SelectAll(req.Query)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"rows": rows, "count": len(rows)})
-	})
-	return mux
-}
-
-func parseAlgo(s string) (lscr.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "", "ins":
-		return lscr.INS, nil
-	case "uis":
-		return lscr.UIS, nil
-	case "uisstar", "uis*":
-		return lscr.UISStar, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
-}
-
-// statusFor maps engine errors to HTTP statuses via the exported
-// sentinels: everything the client controls — names, constraint text,
-// and the choice of an algorithm this server cannot run (ErrNoIndex) —
-// is a 400; anything else is a genuine server-side 500.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, lscr.ErrUnknownVertex),
-		errors.Is(err, lscr.ErrUnknownLabel),
-		errors.Is(err, lscr.ErrConstraintSyntax),
-		errors.Is(err, lscr.ErrInvalidConstraint),
-		errors.Is(err, lscr.ErrNoIndex):
-		return http.StatusBadRequest
-	}
-	return http.StatusInternalServerError
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("lscrd: encode response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

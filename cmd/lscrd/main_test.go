@@ -1,12 +1,9 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"net"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +11,11 @@ import (
 	"time"
 
 	"lscr"
+	"lscr/server"
 )
+
+// Endpoint behavior is tested in package lscr/server; these tests cover
+// what the command itself owns: KG loading and the listener lifecycle.
 
 const testKG = `
 <C> <apr> <X> .
@@ -22,291 +23,6 @@ const testKG = `
 <X> <married> <Amy> .
 <C> <may> <P> .
 `
-
-func testServer(t *testing.T) *httptest.Server {
-	return testServerOpts(t, lscr.Options{})
-}
-
-func testServerOpts(t *testing.T, opts lscr.Options) *httptest.Server {
-	t.Helper()
-	kg, err := lscr.Load(strings.NewReader(testKG))
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng := lscr.NewEngine(kg, opts)
-	srv := httptest.NewServer(newHandler(eng, kg))
-	t.Cleanup(srv.Close)
-	return srv
-}
-
-func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
-	t.Helper()
-	raw, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	return resp, out
-}
-
-func TestHealthz(t *testing.T) {
-	srv := testServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out["status"] != "ok" || out["vertices"].(float64) != 4 {
-		t.Fatalf("healthz = %v", out)
-	}
-}
-
-func TestReachEndpoint(t *testing.T) {
-	srv := testServer(t)
-	for _, algo := range []string{"", "ins", "uis", "uisstar"} {
-		resp, out := postJSON(t, srv.URL+"/reach", reachRequest{
-			Source: "C", Target: "P",
-			Labels:     []string{"apr", "married"},
-			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`,
-			Algorithm:  algo,
-			Witness:    true,
-		})
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%q: status %d: %v", algo, resp.StatusCode, out)
-		}
-		if out["reachable"] != true {
-			t.Fatalf("%q: %v", algo, out)
-		}
-		w, ok := out["witness"].(map[string]any)
-		if !ok || w["Satisfying"] != "X" {
-			t.Fatalf("%q: witness = %v", algo, out["witness"])
-		}
-	}
-}
-
-func TestReachEndpointFalse(t *testing.T) {
-	srv := testServer(t)
-	resp, out := postJSON(t, srv.URL+"/reach", reachRequest{
-		Source: "C", Target: "P",
-		Labels:     []string{"may"},
-		Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`,
-	})
-	if resp.StatusCode != http.StatusOK || out["reachable"] != false {
-		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
-	}
-	if _, present := out["witness"]; present {
-		t.Fatalf("false answer carries witness: %v", out)
-	}
-}
-
-func TestReachEndpointErrors(t *testing.T) {
-	srv := testServer(t)
-	cases := []struct {
-		name string
-		body any
-	}{
-		{"unknown vertex", reachRequest{Source: "nope", Target: "P",
-			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`}},
-		{"bad algorithm", reachRequest{Source: "C", Target: "P",
-			Constraint: `SELECT ?x WHERE { ?x <married> <Amy>. }`, Algorithm: "dijkstra"}},
-		{"bad constraint", reachRequest{Source: "C", Target: "P", Constraint: "garbage"}},
-	}
-	for _, tc := range cases {
-		resp, out := postJSON(t, srv.URL+"/reach", tc.body)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d (%v)", tc.name, resp.StatusCode, out)
-		}
-	}
-	// Malformed JSON.
-	resp, err := http.Post(srv.URL+"/reach", "application/json", strings.NewReader("{"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed JSON: status %d", resp.StatusCode)
-	}
-}
-
-func TestReachBatchEndpoint(t *testing.T) {
-	srv := testServer(t)
-	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
-	req := batchRequest{
-		Concurrency: 4,
-		Queries: []reachRequest{
-			{Source: "C", Target: "P", Labels: []string{"apr", "married"}, Constraint: cons},
-			{Source: "C", Target: "P", Labels: []string{"may"}, Constraint: cons},
-			{Source: "nope", Target: "P", Constraint: cons},
-			{Source: "C", Target: "P", Constraint: cons, Algorithm: "dijkstra"},
-			{Source: "C", Target: "P", Labels: []string{"apr", "married"}, Constraint: cons, Algorithm: "uis"},
-		},
-	}
-	resp, out := postJSON(t, srv.URL+"/reachbatch", req)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d: %v", resp.StatusCode, out)
-	}
-	if out["count"].(float64) != 5 {
-		t.Fatalf("count = %v", out["count"])
-	}
-	results := out["results"].([]any)
-	want := []struct {
-		reachable bool
-		hasError  bool
-	}{
-		{true, false},  // evidence chain exists
-		{false, false}, // label set excludes the chain
-		{false, true},  // unknown vertex: per-item error
-		{false, true},  // unknown algorithm: per-item error
-		{true, false},  // same answer via UIS
-	}
-	for i, w := range want {
-		item := results[i].(map[string]any)
-		if item["reachable"] != w.reachable {
-			t.Errorf("query %d: reachable = %v, want %v", i, item["reachable"], w.reachable)
-		}
-		_, gotErr := item["error"]
-		if gotErr != w.hasError {
-			t.Errorf("query %d: error present = %v, want %v (%v)", i, gotErr, w.hasError, item)
-		}
-	}
-
-	// Whole-batch failures: empty batch and malformed JSON.
-	resp, _ = postJSON(t, srv.URL+"/reachbatch", batchRequest{})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("empty batch: status %d", resp.StatusCode)
-	}
-	raw, err := http.Post(srv.URL+"/reachbatch", "application/json", strings.NewReader("{"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw.Body.Close()
-	if raw.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed JSON: status %d", raw.StatusCode)
-	}
-}
-
-func TestReachAllEndpoint(t *testing.T) {
-	srv := testServer(t)
-	resp, out := postJSON(t, srv.URL+"/reachall", reachAllRequest{
-		Source: "C", Target: "P",
-		Labels: []string{"apr"},
-		Constraints: []string{
-			`SELECT ?x WHERE { ?x <married> <Amy>. }`,
-		},
-	})
-	if resp.StatusCode != http.StatusOK || out["reachable"] != true {
-		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
-	}
-}
-
-func TestSelectEndpoint(t *testing.T) {
-	srv := testServer(t)
-	resp, out := postJSON(t, srv.URL+"/select", map[string]string{
-		"query": `SELECT ?x ?y WHERE { ?x <married> ?y. }`,
-	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status=%d out=%v", resp.StatusCode, out)
-	}
-	if out["count"].(float64) != 1 {
-		t.Fatalf("select = %v", out)
-	}
-	resp, _ = postJSON(t, srv.URL+"/select", map[string]string{"query": "junk"})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad query: status %d", resp.StatusCode)
-	}
-	// Parseable but invalid (focus variable unused) is still the
-	// client's mistake, not a 500.
-	resp, _ = postJSON(t, srv.URL+"/select", map[string]string{
-		"query": `SELECT ?x WHERE { ?y <married> <Amy>. }`,
-	})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
-	}
-}
-
-// TestStatusForSentinels: the status mapping works on error identity,
-// not message substrings — including wrapped sentinels — and ErrNoIndex
-// is a client error (the client picked an algorithm this server cannot
-// run), not a 500.
-func TestStatusForSentinels(t *testing.T) {
-	srv := testServerOpts(t, lscr.Options{SkipIndex: true})
-	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
-	cases := []struct {
-		name string
-		body reachRequest
-		want int
-	}{
-		{"ins without index", reachRequest{Source: "C", Target: "P", Constraint: cons, Algorithm: "ins"}, http.StatusBadRequest},
-		{"uis still works", reachRequest{Source: "C", Target: "P", Constraint: cons, Algorithm: "uis"}, http.StatusOK},
-		{"unknown vertex", reachRequest{Source: "nope", Target: "P", Constraint: cons, Algorithm: "uis"}, http.StatusBadRequest},
-		{"unknown label", reachRequest{Source: "C", Target: "P", Labels: []string{"bogus"}, Constraint: cons, Algorithm: "uis"}, http.StatusBadRequest},
-		{"syntax error", reachRequest{Source: "C", Target: "P", Constraint: "SELECT garbage", Algorithm: "uis"}, http.StatusBadRequest},
-		{"invalid constraint", reachRequest{Source: "C", Target: "P",
-			Constraint: `SELECT ?x WHERE { ?y <married> <Amy>. }`, Algorithm: "uis"}, http.StatusBadRequest},
-	}
-	for _, tc := range cases {
-		resp, out := postJSON(t, srv.URL+"/reach", tc.body)
-		if resp.StatusCode != tc.want {
-			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.want, out)
-		}
-	}
-}
-
-// TestBodyLimits: every endpoint rejects an oversized body instead of
-// buffering it.
-func TestBodyLimits(t *testing.T) {
-	srv := testServer(t)
-	huge := `{"source":"C","target":"P","constraint":"` +
-		strings.Repeat("x", maxQueryBody+1024) + `"}`
-	for _, ep := range []string{"/reach", "/reachall", "/select"} {
-		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader(huge))
-		if err != nil {
-			t.Fatalf("%s: %v", ep, err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: oversized body answered %d, want 400", ep, resp.StatusCode)
-		}
-	}
-}
-
-// TestHealthzCacheStats: /healthz surfaces the constraint cache counters.
-func TestHealthzCacheStats(t *testing.T) {
-	srv := testServer(t)
-	cons := `SELECT ?x WHERE { ?x <married> <Amy>. }`
-	for i := 0; i < 3; i++ {
-		resp, _ := postJSON(t, srv.URL+"/reach", reachRequest{Source: "C", Target: "P", Constraint: cons})
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("reach %d: status %d", i, resp.StatusCode)
-		}
-	}
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out struct {
-		Cache lscr.CacheStats `json:"cache"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if !out.Cache.Enabled || out.Cache.Misses != 1 || out.Cache.Hits != 2 || out.Cache.Entries != 1 {
-		t.Fatalf("cache stats = %+v", out.Cache)
-	}
-}
 
 // TestServeGracefulShutdown: cancelling the serve context drains the
 // listener and returns nil (the SIGINT/SIGTERM path in main).
@@ -320,7 +36,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newHandler(eng, kg)}
+	srv := &http.Server{Handler: server.New(eng, kg)}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- serve(ctx, srv, ln) }()

@@ -1,0 +1,311 @@
+package lscr
+
+// The context tier: proofs of the v1 API's cancellation semantics.
+// Mid-query cancellation must abort the hot search loops promptly
+// (ISSUE acceptance: within 50 ms on a LUBM-scale graph), deadline
+// expiry must surface as context.DeadlineExceeded, and — the flip
+// side — a context that never fires must leave answers bit-identical
+// to the deprecated context-free methods.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"lscr/internal/graph"
+	"lscr/internal/testkg"
+)
+
+// cancelPromptness is the acceptance budget: a cancelled query must
+// return within this long of the cancel signal.
+const cancelPromptness = 50 * time.Millisecond
+
+// bigEngine lazily builds a LUBM-scale engine (hundreds of thousands
+// of vertices, >10^6 edges) whose exhaustive false queries run long
+// enough that a cancel signal always lands mid-search. The landmark
+// count is capped so the one-off index build stays cheap; the search
+// still has to sweep the whole reachable graph.
+var bigOnce = sync.Once{}
+var bigEng *Engine
+
+// bigUnreachable is a vertex with no in-edges: every (u<i>,
+// bigUnreachable) query is false, forcing an exhaustive search.
+const bigUnreachable = "unreachable-sink"
+
+func bigEngine(t *testing.T) *Engine {
+	t.Helper()
+	bigOnce.Do(func() {
+		const (
+			n = 300_000
+			m = 1_200_000
+		)
+		rng := rand.New(rand.NewSource(11))
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.Vertex("u" + strconv.Itoa(i))
+		}
+		for i := 0; i < 4; i++ {
+			b.Label("l" + strconv.Itoa(i))
+		}
+		for i := 0; i < m; i++ {
+			b.AddEdge(
+				graph.VertexID(rng.Intn(n)),
+				graph.Label(rng.Intn(4)),
+				graph.VertexID(rng.Intn(n)),
+			)
+		}
+		// The sink has one out-edge (so the name resolves) and no
+		// in-edges (so it is unreachable from everywhere else).
+		b.AddEdgeNames(bigUnreachable, "l0", "u0")
+		bigEng = NewEngine(FromGraph(b.Build()), Options{Landmarks: 32, IndexSeed: 5})
+	})
+	return bigEng
+}
+
+// bigRequest is an exhaustive false query on the big graph: the
+// constraint is satisfiable (huge V(S,G)) but the target is
+// unreachable, so every algorithm sweeps the graph.
+func bigRequest(algo Algorithm) Request {
+	return Request{
+		Source:     "u0",
+		Target:     bigUnreachable,
+		Constraint: `SELECT ?x WHERE { ?x <l0> ?y. }`,
+		Algorithm:  algo,
+	}
+}
+
+// TestQueryCancelPromptly cancels a query mid-search, for each
+// algorithm, and requires context.Canceled back within the promptness
+// budget. A handful of attempts guard against the (never observed)
+// case of the query finishing before the cancel lands.
+func TestQueryCancelPromptly(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock promptness budget is defined for normal builds; -race slows execution ~10x")
+	}
+	eng := bigEngine(t)
+	for _, algo := range []Algorithm{UIS, UISStar, INS, Conjunctive} {
+		t.Run(algo.String(), func(t *testing.T) {
+			delay := 2 * time.Millisecond
+			for attempt := 0; attempt < 5; attempt++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				type outcome struct {
+					err      error
+					returned time.Time
+				}
+				done := make(chan outcome, 1)
+				go func() {
+					_, err := eng.Query(ctx, bigRequest(algo))
+					done <- outcome{err: err, returned: time.Now()}
+				}()
+				time.Sleep(delay)
+				cancelled := time.Now()
+				cancel()
+				out := <-done
+				if out.err == nil {
+					// Finished before the cancel; try again sooner.
+					delay /= 2
+					if delay <= 0 {
+						delay = 100 * time.Microsecond
+					}
+					continue
+				}
+				if !errors.Is(out.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", out.err)
+				}
+				if lag := out.returned.Sub(cancelled); lag > cancelPromptness {
+					t.Fatalf("cancelled query returned after %v, budget %v", lag, cancelPromptness)
+				}
+				return
+			}
+			t.Fatalf("query never survived past the cancel delay; graph too small for the test")
+		})
+	}
+}
+
+// TestQueryDeadlineExceeded: a per-request Timeout far below the
+// query's runtime surfaces as context.DeadlineExceeded, and an
+// already-expired caller context never starts the search at all.
+func TestQueryDeadlineExceeded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock promptness budget is defined for normal builds; -race slows execution ~10x")
+	}
+	eng := bigEngine(t)
+	req := bigRequest(UIS)
+	req.Timeout = time.Millisecond
+	start := time.Now()
+	_, err := eng.Query(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if lag := time.Since(start); lag > req.Timeout+cancelPromptness {
+		t.Fatalf("deadline-bound query returned after %v", lag)
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.Query(ctx, bigRequest(INS)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired context: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// equivEngine is a modest shared fixture for the equivalence tests.
+func equivEngine(t *testing.T) (*Engine, []Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	const nVertices = 400
+	g := testkg.Random(rng, nVertices, 1600, 4)
+	eng := NewEngine(FromGraph(g), Options{IndexSeed: 9})
+	return eng, stressWorkload(rng, nVertices, 48)
+}
+
+// zeroElapsed strips the only legitimately nondeterministic field.
+func zeroElapsed(r Result) Result {
+	r.Elapsed = 0
+	return r
+}
+
+// TestConcurrentQueryLegacyEquivalence: with a background context,
+// Query answers bit-identically to the deprecated Reach / ReachAll /
+// ReachWithWitness — and identically again through a cancellable (but
+// never cancelled) context, whose interrupt polling must not perturb
+// the search. Hammered from many goroutines so the race tier covers
+// the new paths.
+func TestConcurrentQueryLegacyEquivalence(t *testing.T) {
+	eng, qs := equivEngine(t)
+
+	// Serial ground truth via the deprecated wrappers.
+	type truth struct {
+		res   Result
+		path  *Path
+		all   Result
+		multi *MultiPath
+	}
+	want := make([]truth, len(qs))
+	for i, q := range qs {
+		res, path, err := eng.ReachWithWitness(q)
+		if err != nil {
+			t.Fatalf("serial ReachWithWitness %d: %v", i, err)
+		}
+		mq := MultiQuery{Source: q.Source, Target: q.Target, Labels: q.Labels,
+			Constraints: []string{q.Constraint}}
+		all, multi, err := eng.ReachAllWithWitness(mq)
+		if err != nil {
+			t.Fatalf("serial ReachAllWithWitness %d: %v", i, err)
+		}
+		want[i] = truth{res: zeroElapsed(res), path: path, all: zeroElapsed(all), multi: multi}
+	}
+
+	// Never-fired cancellable context: Done() != nil, so the interrupt
+	// path is live in every hot loop.
+	armed, disarm := context.WithCancel(context.Background())
+	defer disarm()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range qs {
+				for _, ctx := range []context.Context{context.Background(), armed} {
+					req := q.request()
+					req.WantWitness = true
+					resp, err := eng.Query(ctx, req)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := zeroElapsed(resp.result()); !reflect.DeepEqual(got, want[i].res) {
+						t.Errorf("worker %d query %d: Result %+v, want %+v", w, i, got, want[i].res)
+						return
+					}
+					if !reflect.DeepEqual(resp.Witness.ToPath(), want[i].path) {
+						t.Errorf("worker %d query %d: witness diverged", w, i)
+						return
+					}
+					mreq := Request{Source: q.Source, Target: q.Target, Labels: q.Labels,
+						Constraints: []string{q.Constraint}, Algorithm: Conjunctive, WantWitness: true}
+					mresp, err := eng.Query(ctx, mreq)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := zeroElapsed(mresp.result()); !reflect.DeepEqual(got, want[i].all) {
+						t.Errorf("worker %d query %d: conjunctive Result %+v, want %+v", w, i, got, want[i].all)
+						return
+					}
+					if !reflect.DeepEqual(mresp.Witness.ToMultiPath(), want[i].multi) {
+						t.Errorf("worker %d query %d: conjunctive witness diverged", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent Query errored: %v", err)
+	}
+}
+
+// TestQueryBatchCancelUnscheduled: a batch whose context is already
+// cancelled runs nothing — every slot records ctx.Err().
+func TestQueryBatchCancelUnscheduled(t *testing.T) {
+	eng, qs := equivEngine(t)
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = q.request()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, o := range eng.QueryBatch(ctx, reqs, BatchOptions{Concurrency: 4}) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("slot %d: err = %v, want context.Canceled", i, o.Err)
+		}
+	}
+}
+
+// TestQueryBatchCancelMidFlight: cancelling mid-batch stops
+// scheduling — trailing slots record context.Canceled instead of
+// running to completion, and the batch returns promptly.
+func TestQueryBatchCancelMidFlight(t *testing.T) {
+	eng, qs := equivEngine(t)
+	// A batch big enough that it cannot complete before the cancel.
+	const batchSize = 4096
+	reqs := make([]Request, batchSize)
+	for i := range reqs {
+		reqs[i] = qs[i%len(qs)].request()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(3*time.Millisecond, cancel)
+	start := time.Now()
+	out := eng.QueryBatch(ctx, reqs, BatchOptions{Concurrency: 2})
+	elapsed := time.Since(start)
+	defer cancel()
+
+	var completed, cancelled int
+	for i, o := range out {
+		switch {
+		case o.Err == nil:
+			completed++
+		case errors.Is(o.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("slot %d: unexpected error %v", i, o.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no slot was cancelled (completed=%d); batch finished before the cancel", completed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancelled batch still took %v", elapsed)
+	}
+	t.Logf("batch cancelled after %v: %d completed, %d cancelled", elapsed, completed, cancelled)
+}

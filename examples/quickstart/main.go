@@ -1,13 +1,15 @@
 // Quickstart: build a tiny knowledge graph in memory and answer one LSCR
-// query with each algorithm.
+// query through the unified v1 API (Engine.Query) with each algorithm.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"lscr"
 )
@@ -36,32 +38,45 @@ func main() {
 		kg.NumVertices(), kg.NumEdges(), kg.NumLabels())
 
 	eng := lscr.NewEngine(kg, lscr.Options{})
-	query := lscr.Query{
+	ctx := context.Background()
+	req := lscr.Request{
 		Source: "v0",
 		Target: "v4",
 		Labels: []string{"likes", "follows"},
 		// A vertex on the path must be a friend of v3, where v3 likes
 		// something — the S0 of the paper's Figure 3(b).
 		Constraint: `SELECT ?x WHERE { ?x <friendOf> <v3>. <v3> <likes> ?y. }`,
+		// Real deployments set a deadline; cancellation aborts the
+		// search mid-flight instead of running it to completion.
+		Timeout: time.Second,
 	}
 	for _, algo := range []lscr.Algorithm{lscr.UIS, lscr.UISStar, lscr.INS} {
-		query.Algorithm = algo
-		res, err := eng.Reach(query)
+		req.Algorithm = algo
+		resp, err := eng.Query(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-5v reachable=%v elapsed=%v passed=%d\n",
-			algo, res.Reachable, res.Elapsed, res.Stats.PassedVertices)
+			algo, resp.Reachable, resp.Elapsed, resp.Stats.PassedVertices)
 	}
 
-	// Tightening the label constraint to {likes, follows} still works
-	// (v0 -likes-> v2 -follows-> v4, and v2 satisfies S0), but excluding
-	// "follows" breaks the only valid path:
-	query.Labels = []string{"likes"}
-	query.Algorithm = lscr.INS
-	res, err := eng.Reach(query)
+	// Asking for the evidence path costs one more flag.
+	req.Algorithm = lscr.INS
+	req.WantWitness = true
+	resp, err := eng.Query(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("with labels {likes} only: reachable=%v\n", res.Reachable)
+	fmt.Printf("witness: %s (satisfying vertex: %s)\n",
+		resp.Witness, resp.Witness.SatisfiedBy[0])
+
+	// Tightening the label constraint to {likes} breaks the only valid
+	// path (v0 -likes-> v2 -follows-> v4, with v2 satisfying S0):
+	req.Labels = []string{"likes"}
+	req.WantWitness = false
+	resp, err = eng.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with labels {likes} only: reachable=%v\n", resp.Reachable)
 }

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	pub "lscr"
+	"lscr/api"
+	"lscr/client"
+	"lscr/internal/graph"
+	"lscr/internal/lubm"
+	"lscr/internal/workload"
+	"lscr/server"
+)
+
+// RunServerClient measures the full service path: it builds an Engine
+// over the cached D1 KG, mounts the real lscrd handler (package
+// lscr/server) on a loopback listener, and pushes one S1 workload
+// through the typed client — once as individual /v1/query calls and
+// once as a single /v1/batch — checking every answer against the
+// in-process engine. Unlike RunThroughput, this path pays JSON
+// encoding, HTTP framing and the kernel's loopback on every query,
+// which is exactly what a production deployment pays. cmd/lscrbench
+// exposes it as -exp serverclient.
+func RunServerClient(w io.Writer, cfg Config, concurrency int) error {
+	cfg = cfg.withDefaults()
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return err
+	}
+	trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+		Count: cfg.QueriesPerGroup, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	nc, _ := lubm.Constraint("S1")
+	var wire []api.QueryRequest
+	var expected []bool
+	for _, q := range append(append([]workload.Query{}, trueQ...), falseQ...) {
+		var labels []string
+		for l := 0; l < g.NumLabels(); l++ {
+			if q.Labels.Contains(graph.Label(l)) {
+				labels = append(labels, g.LabelName(graph.Label(l)))
+			}
+		}
+		wire = append(wire, api.QueryRequest{
+			Source:     g.VertexName(q.Source),
+			Target:     g.VertexName(q.Target),
+			Labels:     labels,
+			Constraint: nc.SPARQL,
+		})
+		expected = append(expected, q.Expected)
+	}
+	if len(wire) == 0 {
+		return fmt.Errorf("bench: empty serverclient workload")
+	}
+
+	kg := pub.FromGraph(g)
+	eng := pub.NewEngine(kg, pub.Options{IndexSeed: cfg.Seed})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.New(eng, kg)}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+	health, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("bench: healthz: %w", err)
+	}
+
+	// Serial round trips through POST /v1/query.
+	start := time.Now()
+	for i, q := range wire {
+		resp, err := c.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("bench: /v1/query %d: %w", i, err)
+		}
+		if resp.Reachable != expected[i] {
+			return fmt.Errorf("bench: /v1/query %d answered %v, want %v", i, resp.Reachable, expected[i])
+		}
+	}
+	serialSecs := time.Since(start).Seconds()
+
+	// One POST /v1/batch fanning out server-side.
+	start = time.Now()
+	batch, err := c.Batch(ctx, api.BatchRequest{Queries: wire, Concurrency: concurrency})
+	if err != nil {
+		return fmt.Errorf("bench: /v1/batch: %w", err)
+	}
+	batchSecs := time.Since(start).Seconds()
+	if batch.Count != len(wire) {
+		return fmt.Errorf("bench: /v1/batch answered %d of %d", batch.Count, len(wire))
+	}
+	for i, it := range batch.Results {
+		if it.Error != "" {
+			return fmt.Errorf("bench: /v1/batch %d: %s", i, it.Error)
+		}
+		if it.Reachable != expected[i] {
+			return fmt.Errorf("bench: /v1/batch %d answered %v, want %v", i, it.Reachable, expected[i])
+		}
+	}
+
+	fmt.Fprintf(w, "typed client → live /v1 on %s (|V|=%d |E|=%d), %d queries, server %s\n",
+		spec.Name, g.NumVertices(), g.NumEdges(), len(wire), health.Version)
+	fmt.Fprintf(w, "/v1/query serial         %7.0f qps\n", float64(len(wire))/serialSecs)
+	fmt.Fprintf(w, "/v1/batch concurrency %d  %7.0f qps (%.2fx)\n",
+		concurrency, float64(len(wire))/batchSecs, serialSecs/batchSecs)
+	fmt.Fprintln(w, "answers identical and correct across transports")
+	return nil
+}

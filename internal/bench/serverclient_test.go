@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunServerClient proves the acceptance path end to end: lscrbench
+// round-trips a real workload through the typed client against a live
+// lscrd /v1 endpoint, and every answer matches the in-process engine.
+func TestRunServerClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real (small) index and serves it over loopback")
+	}
+	var buf bytes.Buffer
+	if err := RunServerClient(&buf, Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "answers identical and correct across transports") {
+		t.Fatalf("missing verification line:\n%s", out)
+	}
+	if !strings.Contains(out, "/v1/batch") {
+		t.Fatalf("missing batch result line:\n%s", out)
+	}
+}

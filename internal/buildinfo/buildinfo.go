@@ -1,0 +1,41 @@
+// Package buildinfo derives a human-readable version string from the
+// data the Go toolchain embeds in every binary, so the CLIs' -version
+// flags and the server's /healthz need no ldflags plumbing.
+package buildinfo
+
+import "runtime/debug"
+
+// Version reports the main module's version, augmented with the VCS
+// revision when the build embedded one (plain `go build` in a git
+// checkout does). It never returns an empty string.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if v == "(devel)" {
+			return rev + dirty
+		}
+		return v + " (" + rev + dirty + ")"
+	}
+	return v
+}

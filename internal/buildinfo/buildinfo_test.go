@@ -1,0 +1,9 @@
+package buildinfo
+
+import "testing"
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}

@@ -248,6 +248,7 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 	if binary.LittleEndian.Uint32(foot[:]) != want {
 		return nil, ErrIndexChecksum
 	}
+	idx.finalize()
 	return idx, nil
 }
 

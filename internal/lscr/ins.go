@@ -57,10 +57,15 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 		close:   newCloseMap(sc),
 		cutDone: sc.cutTable(len(idx.landmarks)),
 		tr:      tr,
+		ic:      interruptCheck{fn: q.Interrupt},
 	}
-	// Line 1: H initialized by V(S,G).
+	// Line 1: H initialized by V(S,G). |V(S,G)| can approach |V|, so
+	// even initialization honours the interrupt.
 	h := newLazyPQ(r.hKey, false, true, g.NumVertices())
 	for _, v := range vs {
+		if err := r.ic.tick(); err != nil {
+			return false, Stats{}, err
+		}
 		h.push(v)
 	}
 	// Line 2: global priority queue with s; line 3: close[s] <- F.
@@ -71,8 +76,13 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 		tr.Transition(q.Source, F, graph.NoVertex, 0, false)
 	}
 
-	// Lines 4-14.
+	// Lines 4-14. Each H pop revalidates stale keys (µs-scale on big
+	// V(S,G)), so the poll here is unamortised: a stride of thousands
+	// of pops would stretch cancellation latency past the budget.
 	for {
+		if err := r.ic.poll(); err != nil {
+			return false, Stats{}, err
+		}
 		v, ok := h.pop()
 		if !ok {
 			break
@@ -82,13 +92,27 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 			if v == q.Source || v == q.Target {
 				// Lines 7-8: the satisfying vertex coincides with an
 				// endpoint; the query reduces to LCR reachability.
-				if r.lcs(q.Source, q.Target, false) {
+				ok, err := r.lcs(q.Source, q.Target, false)
+				if err != nil {
+					return false, Stats{}, err
+				}
+				if ok {
 					return true, r.close.statsSat(0, v), nil
 				}
 				return false, r.close.stats(0), nil
 			}
-			if r.lcs(q.Source, v, false) { // Line 9.
-				if v == q.Target || r.lcs(v, q.Target, true) { // Lines 10-11.
+			ok, err := r.lcs(q.Source, v, false) // Line 9.
+			if err != nil {
+				return false, Stats{}, err
+			}
+			if ok {
+				tail := v == q.Target
+				if !tail {
+					if tail, err = r.lcs(v, q.Target, true); err != nil { // Lines 10-11.
+						return false, Stats{}, err
+					}
+				}
+				if tail {
 					return true, r.close.statsSat(0, v), nil
 				}
 			}
@@ -98,7 +122,11 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 			if v == q.Target {
 				return true, r.close.statsSat(0, v), nil
 			}
-			if r.lcs(v, q.Target, true) { // Lines 12-14.
+			ok, err := r.lcs(v, q.Target, true) // Lines 12-14.
+			if err != nil {
+				return false, Stats{}, err
+			}
+			if ok {
 				return true, r.close.statsSat(0, v), nil
 			}
 		case T:
@@ -128,6 +156,7 @@ type insRun struct {
 	cutDone []uint8
 
 	tr Tracer
+	ic interruptCheck
 }
 
 // hKey orders H (§5.2): F-marked satisfying vertices before N-marked;
@@ -190,8 +219,9 @@ func (r *insRun) enqueue(v graph.VertexID) {
 }
 
 // lcs is the LCS(s*, t*, L, B) of Algorithm 4 (lines 16-30). With fromSat
-// (B = T) the frontier is marked T and may re-explore F vertices.
-func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
+// (B = T) the frontier is marked T and may re-explore F vertices. A
+// non-nil error is an interrupt and aborts the whole search.
+func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error) {
 	r.tStar = tStar
 	r.tStarAF = r.idx.Region(tStar)
 	if r.tr != nil {
@@ -204,10 +234,10 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 			r.tr.Transition(sStar, T, graph.NoVertex, 0, false)
 		}
 		if sStar == tStar {
-			return true
+			return true, nil
 		}
 	} else if sStar == tStar {
-		return true
+		return true, nil
 	}
 	L := r.q.Labels
 	// Line 19: while (B=F ∧ Q≠φ) or (B = close[Q.first] = T).
@@ -221,6 +251,9 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 		}
 		u, _ := r.queue.pop()
 		for _, e := range r.g.Out(u) { // Lines 21-29.
+			if err := r.ic.tick(); err != nil {
+				return false, err
+			}
 			if !L.Contains(e.Label) {
 				continue
 			}
@@ -228,12 +261,12 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 			// Line 22-23: t* lives in w's region and w reaches it there.
 			if r.tStarAF == w && r.idx.Check(w, tStar, L) {
 				r.requeue(u)
-				return true
+				return true, nil
 			}
 			if r.idx.IsLandmark(w) { // Lines 24-25.
 				if r.cutPush(w, tStar, fromSat) {
 					r.requeue(u)
-					return true
+					return true, nil
 				}
 			} else if r.close.get(w) == N || fromSat && r.close.get(w) == F { // Lines 26-27.
 				if fromSat {
@@ -247,14 +280,14 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 				}
 				if w == tStar { // Lines 28-29.
 					r.requeue(u)
-					return true
+					return true, nil
 				}
 			}
 		}
 	}
 	// Unlike UIS*, INS has no stack cleanup (Theorem 5.6): the priority
 	// rules keep T elements in front and duplicates are removed by Q.
-	return false
+	return false, nil
 }
 
 // requeue re-inserts a partially scanned vertex so a later invocation

@@ -40,6 +40,17 @@ type LocalIndex struct {
 	ii  []map[graph.VertexID]*labelset.CMS
 	eit []map[labelset.Set][]graph.VertexID
 
+	// iiSorted and eitSorted fix the enumeration order of ii/eit per
+	// landmark (sorted by key, materialised once by finalize):
+	// IIEntries and EITEntries drive INS's Cut/Push marking, and
+	// marking order feeds the frontier queue's FIFO tie-break —
+	// iterating the Go maps directly would make INS's search order
+	// (and thus its Stats) different on every run. Values are
+	// materialised alongside the keys so the query-time walk does no
+	// map lookups at all.
+	iiSorted  [][]iiEntry
+	eitSorted [][]eitEntry
+
 	// D as a dense k×k matrix over landmark indices; lmIdx maps a
 	// landmark vertex to its row/column, -1 for non-landmarks. Query-time
 	// ρ lookups are on the hot path of INS's priority queue.
@@ -134,6 +145,7 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 		for _, u := range idx.landmarks {
 			idx.localFullIndex(u, &sc)
 		}
+		idx.finalize()
 		return idx
 	}
 	var wg sync.WaitGroup
@@ -153,7 +165,40 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	}
 	close(work)
 	wg.Wait()
+	idx.finalize()
 	return idx
+}
+
+// iiEntry and eitEntry are the flattened (key, value) pairs of the
+// ii/eit maps, in sorted-key order.
+type iiEntry struct {
+	v   graph.VertexID
+	cms *labelset.CMS
+}
+
+type eitEntry struct {
+	key labelset.Set
+	ws  []graph.VertexID
+}
+
+// finalize materialises the sorted ii/eit enumeration orders. It runs
+// once, after every per-landmark slot is populated (construction or
+// snapshot load); the index is immutable from then on.
+func (idx *LocalIndex) finalize() {
+	idx.iiSorted = make([][]iiEntry, len(idx.landmarks))
+	idx.eitSorted = make([][]eitEntry, len(idx.landmarks))
+	for li := range idx.landmarks {
+		ii := make([]iiEntry, 0, len(idx.ii[li]))
+		for _, v := range sortedVertices(idx.ii[li]) {
+			ii = append(ii, iiEntry{v: v, cms: idx.ii[li][v]})
+		}
+		idx.iiSorted[li] = ii
+		eit := make([]eitEntry, 0, len(idx.eit[li]))
+		for _, key := range sortedKeys(idx.eit[li]) {
+			eit = append(eit, eitEntry{key: key, ws: idx.eit[li][key]})
+		}
+		idx.eitSorted[li] = eit
+	}
 }
 
 // landmarkSelect implements the schema-driven selection of §5.1.2: pick a
@@ -361,31 +406,34 @@ func (idx *LocalIndex) Check(w, t graph.VertexID, L labelset.Set) bool {
 }
 
 // IIEntries calls fn for every (vertex, CMS) pair of II[u] whose CMS
-// covers L — the vertices Cut(II[u]) marks.
+// covers L — the vertices Cut(II[u]) marks. Enumeration follows the
+// materialised sorted order so a query's marking sequence (and thus
+// INS's Stats) is identical on every run.
 func (idx *LocalIndex) IIEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
 	li := idx.lmIdx[u]
 	if li < 0 {
 		return
 	}
-	for v, c := range idx.ii[li] {
-		if c.Covers(L) {
-			fn(v)
+	for _, e := range idx.iiSorted[li] {
+		if e.cms.Covers(L) {
+			fn(e.v)
 		}
 	}
 }
 
 // EITEntries calls fn for every boundary vertex of EIT[u] whose key label
 // set is a subset of L — the vertices Push(EIT[u]) enqueues (Theorem 5.1).
+// Enumeration follows the materialised sorted order (see IIEntries).
 func (idx *LocalIndex) EITEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
 	li := idx.lmIdx[u]
 	if li < 0 {
 		return
 	}
-	for key, ws := range idx.eit[li] {
-		if !key.SubsetOf(L) {
+	for _, e := range idx.eitSorted[li] {
+		if !e.key.SubsetOf(L) {
 			continue
 		}
-		for _, w := range ws {
+		for _, w := range e.ws {
 			fn(w)
 		}
 	}

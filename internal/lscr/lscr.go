@@ -55,6 +55,50 @@ type Query struct {
 	Source, Target graph.VertexID
 	Labels         labelset.Set
 	Constraint     *pattern.Constraint
+	// Interrupt, when non-nil, is polled roughly every interruptStride
+	// edge expansions (and at phase boundaries); a non-nil return aborts
+	// the search immediately with that error. The public layer derives it
+	// from a context.Context so a cancelled query stops mid-flight
+	// instead of running to completion. Nil costs one predictable branch
+	// per expansion.
+	Interrupt func() error
+}
+
+// interruptStride is how many edge expansions may pass between two
+// Interrupt polls. At ~ns per expansion this bounds cancellation
+// latency to microseconds, far inside the 50 ms promptness budget,
+// while keeping the poll off the hot path.
+const interruptStride = 2048
+
+// interruptCheck amortises Interrupt polling over interruptStride
+// ticks. The zero value (nil fn) never fires.
+type interruptCheck struct {
+	fn func() error
+	n  int
+}
+
+// tick counts one unit of work and polls the interrupt function every
+// interruptStride ticks.
+func (ic *interruptCheck) tick() error {
+	if ic.fn == nil {
+		return nil
+	}
+	if ic.n++; ic.n < interruptStride {
+		return nil
+	}
+	ic.n = 0
+	return ic.fn()
+}
+
+// poll checks the interrupt immediately, bypassing the stride. Use it
+// on coarse-grained steps (INS's priority-heap pops, whose
+// revalidation cost dwarfs the poll) where a stride of thousands would
+// stretch the cancellation latency to tens of milliseconds.
+func (ic *interruptCheck) poll() error {
+	if ic.fn == nil {
+		return nil
+	}
+	return ic.fn()
 }
 
 // Stats reports the paper's evaluation measures for one query run.

@@ -20,6 +20,10 @@ type MultiQuery struct {
 	Source, Target graph.VertexID
 	Labels         labelset.Set
 	Constraints    []*pattern.Constraint
+	// Interrupt mirrors Query.Interrupt: polled roughly every
+	// interruptStride edge expansions; a non-nil return aborts the
+	// search with that error.
+	Interrupt func() error
 }
 
 // MaxMultiConstraints bounds the conjunction size: the search state space
@@ -162,10 +166,14 @@ func uisMulti(g *graph.Graph, q MultiQuery, wantWitness bool) (bool, *MultiWitne
 		return true, w, st, nil
 	}
 	stack := []state{start}
+	ic := interruptCheck{fn: q.Interrupt}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.Out(cur.v) {
+			if err := ic.tick(); err != nil {
+				return false, nil, Stats{}, err
+			}
 			if !q.Labels.Contains(e.Label) {
 				continue
 			}

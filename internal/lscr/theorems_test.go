@@ -46,7 +46,7 @@ func TestTheorem41(t *testing.T) {
 			stack: []graph.VertexID{s},
 		}
 		u.close.set(s, F)
-		if u.lcs(s, target, false) {
+		if ok, err := u.lcs(s, target, false); ok || err != nil {
 			return false // target is unreachable; lcs must fail
 		}
 		for v := 0; v < n; v++ {

@@ -61,10 +61,14 @@ func uisRun(g *graph.Graph, q Query, tr Tracer) (bool, Stats, error) {
 	}
 
 	// Lines 3-11.
+	ic := interruptCheck{fn: q.Interrupt}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.Out(u) {
+			if err := ic.tick(); err != nil {
+				return false, Stats{}, err
+			}
 			if !q.Labels.Contains(e.Label) {
 				continue
 			}

@@ -46,6 +46,7 @@ func uisStarImpl(g *graph.Graph, q Query, vsOrder []graph.VertexID, tr Tracer) (
 		close: newCloseMap(sc),
 		stack: []graph.VertexID{q.Source}, // Line 1: global stack with s.
 		tr:    tr,
+		ic:    interruptCheck{fn: q.Interrupt},
 	}
 	u.close.set(q.Source, F) // Line 2.
 	if tr != nil {
@@ -54,18 +55,35 @@ func uisStarImpl(g *graph.Graph, q Query, vsOrder []graph.VertexID, tr Tracer) (
 
 	// Lines 3-12.
 	for _, v := range vs {
+		if err := u.ic.tick(); err != nil {
+			return false, Stats{}, err
+		}
 		switch u.close.get(v) {
 		case N:
 			if v == q.Source || v == q.Target {
 				// Line 5-6: v satisfies S and coincides with an endpoint,
 				// so the query reduces to plain LCR reachability.
-				if u.lcs(q.Source, q.Target, false) {
+				ok, err := u.lcs(q.Source, q.Target, false)
+				if err != nil {
+					return false, Stats{}, err
+				}
+				if ok {
 					return true, u.close.statsSat(0, v), nil
 				}
 				return false, u.close.stats(0), nil
 			}
-			if u.lcs(q.Source, v, false) { // Line 7: s -L-> v?
-				if v == q.Target || u.lcs(v, q.Target, true) { // Line 8: v -L-> t?
+			ok, err := u.lcs(q.Source, v, false) // Line 7: s -L-> v?
+			if err != nil {
+				return false, Stats{}, err
+			}
+			if ok {
+				tail := v == q.Target
+				if !tail {
+					if tail, err = u.lcs(v, q.Target, true); err != nil { // Line 8: v -L-> t?
+						return false, Stats{}, err
+					}
+				}
+				if tail {
 					return true, u.close.statsSat(0, v), nil
 				}
 			}
@@ -77,7 +95,11 @@ func uisStarImpl(g *graph.Graph, q Query, vsOrder []graph.VertexID, tr Tracer) (
 			if v == q.Target {
 				return true, u.close.statsSat(0, v), nil
 			}
-			if u.lcs(v, q.Target, true) { // Lines 10-12.
+			ok, err := u.lcs(v, q.Target, true) // Lines 10-12.
+			if err != nil {
+				return false, Stats{}, err
+			}
+			if ok {
 				return true, u.close.statsSat(0, v), nil
 			}
 		case T:
@@ -95,16 +117,18 @@ type uisStarRun struct {
 	close *closeMap
 	stack []graph.VertexID
 	tr    Tracer
+	ic    interruptCheck
 }
 
 // lcs is the LCS(s*, t*, L, B) function of Algorithm 2 (Lines 14-24),
 // evaluating s* -L-> t* on the shared stack. With fromSat (B = T) the
 // frontier is marked T and may re-explore F vertices; without it (B = F)
-// only N vertices are explored and marked F.
-func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
+// only N vertices are explored and marked F. A non-nil error is an
+// interrupt (the query's Interrupt fired) and aborts the whole search.
+func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error) {
 	if sStar == tStar && !fromSat {
 		// LCR-reachability of a vertex from itself is trivially true.
-		return true
+		return true, nil
 	}
 	if u.tr != nil {
 		u.tr.Invocation(sStar, tStar, fromSat)
@@ -117,7 +141,7 @@ func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 			u.tr.Transition(sStar, T, graph.NoVertex, 0, false)
 		}
 		if sStar == tStar {
-			return true
+			return true, nil
 		}
 	}
 	// Line 17: while (B=F ∧ S≠φ) or (B = close[S.first] = T).
@@ -128,6 +152,9 @@ func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 		}
 		u.stack = u.stack[:len(u.stack)-1] // Line 18: take u.
 		for _, e := range u.g.Out(top) {
+			if err := u.ic.tick(); err != nil {
+				return false, err
+			}
 			if !u.q.Labels.Contains(e.Label) {
 				continue
 			}
@@ -151,7 +178,7 @@ func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 					if !fromSat {
 						u.stack = append(u.stack, top)
 					}
-					return true
+					return true, nil
 				}
 			}
 		}
@@ -161,5 +188,5 @@ func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) bool {
 	for len(u.stack) > 0 && u.close.get(u.stack[len(u.stack)-1]) == T {
 		u.stack = u.stack[:len(u.stack)-1]
 	}
-	return false
+	return false, nil
 }

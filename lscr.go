@@ -8,32 +8,45 @@
 // satisfies a substructure constraint S (expressed as a SPARQL SELECT over
 // one projected variable)?
 //
+// Engine.Query is the entry point (v1 API): one context-aware call that
+// covers single and conjunctive constraints, witnesses, traces,
+// per-request algorithm choice and deadlines.
+//
 //	kg, _ := lscr.Load(file)                     // N-Triples-style input
 //	eng := lscr.NewEngine(kg, lscr.Options{})    // builds the local index
-//	res, _ := eng.Reach(lscr.Query{
+//	resp, _ := eng.Query(ctx, lscr.Request{
 //		Source: "SuspectC", Target: "SuspectP",
 //		Labels: []string{"transfer2019-04", "married-to"},
 //		Constraint: `SELECT ?x WHERE { ?x <married-to> <Amy>. }`,
 //	})
-//	fmt.Println(res.Reachable)
+//	fmt.Println(resp.Reachable)
 //
-// Three algorithms are available: UIS (uninformed search with recall,
-// works on any edge-labeled graph), UISStar (SPARQL-assisted uninformed
-// search), and INS (informed search over a precomputed local index — the
-// default and the paper's headline contribution).
+// Cancelling ctx (or exceeding Request.Timeout) aborts the search
+// mid-flight; the hot loops poll every few thousand edge expansions, so
+// a cancelled query returns within microseconds of the signal. The
+// pre-v1 methods (Reach, ReachAll, ReachWithWitness, ReachTraced,
+// ReachBatch) remain as deprecated thin wrappers over Query and answer
+// bit-identically.
+//
+// Three single-constraint algorithms are available: UIS (uninformed
+// search with recall, works on any edge-labeled graph), UISStar
+// (SPARQL-assisted uninformed search), and INS (informed search over a
+// precomputed local index — the default and the paper's headline
+// contribution). Multi-constraint requests run the Conjunctive
+// generalisation of UIS.
 //
 // # Concurrency
 //
 // NewEngine builds the local index in parallel across
 // Options.IndexWorkers goroutines (GOMAXPROCS by default); the result is
 // bit-for-bit identical for every worker count. Once NewEngine (or
-// NewEngineFromIndex) returns, the Engine is immutable: Reach, ReachAll,
-// ReachWithWitness, ReachTraced, ReachBatch, Select and SelectAll may be
+// NewEngineFromIndex) returns, the Engine is immutable: Query,
+// QueryBatch, Select, SelectAll and the deprecated wrappers may be
 // called from any number of goroutines on the same Engine. Per-query
 // state lives in pooled scratch, so concurrent queries do not contend on
 // locks in the search itself. Build at most one index per Engine at a
-// time — construction is the only mutating phase. ReachBatch answers a
-// slice of queries over a bounded worker pool and is the preferred way
+// time — construction is the only mutating phase. QueryBatch answers a
+// slice of requests over a bounded worker pool and is the preferred way
 // to saturate all cores with one call.
 //
 // Because the engine is immutable, compiled constraints never go stale:
@@ -44,6 +57,7 @@
 package lscr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -122,6 +136,12 @@ const (
 	UIS
 	// UISStar is the SPARQL-assisted uninformed search (Algorithm 2).
 	UISStar
+	// Conjunctive is the generalised uninformed search over
+	// satisfied-constraint sets: the path must pass, for every
+	// constraint of the request, some vertex satisfying it. It is the
+	// only strategy for multi-constraint requests and may be selected
+	// explicitly for single-constraint ones.
+	Conjunctive
 )
 
 // String names the algorithm.
@@ -133,6 +153,8 @@ func (a Algorithm) String() string {
 		return "UIS"
 	case UISStar:
 		return "UIS*"
+	case Conjunctive:
+		return "CONJ"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -288,11 +310,23 @@ type Result struct {
 	SatisfyingVertices int
 }
 
-// Errors returned by Reach.
+// Errors returned by Query and the deprecated Reach family.
 var (
 	ErrUnknownVertex = errors.New("lscr: unknown vertex name")
 	ErrUnknownLabel  = errors.New("lscr: unknown label name")
 	ErrNoIndex       = errors.New("lscr: engine built without index; INS unavailable")
+	// ErrUnknownAlgorithm marks a Request.Algorithm value outside the
+	// defined set.
+	ErrUnknownAlgorithm = errors.New("lscr: unknown algorithm")
+	// ErrInvalidRequest marks a Request whose fields contradict each
+	// other — both Constraint and Constraints set, a constraint count
+	// the selected algorithm cannot take, or an option (trace) the
+	// selected strategy does not support.
+	ErrInvalidRequest = errors.New("lscr: invalid request")
+	// ErrNoConstraints and ErrTooManyConstraints bound a conjunctive
+	// request's constraint list (1 to MaxConstraints entries).
+	ErrNoConstraints      = core.ErrNoConstraints
+	ErrTooManyConstraints = core.ErrTooManyConstraints
 	// ErrConstraintSyntax is the SPARQL parser's sentinel, re-exported so
 	// callers (the HTTP server's status mapping, notably) can classify
 	// malformed constraint text with errors.Is instead of string matching.
@@ -419,87 +453,28 @@ func (e *Engine) resolveEndpoints(source, target string, labels []string) (core.
 }
 
 // Reach answers q.
+//
+// Deprecated: use Query, which adds context cancellation, per-request
+// deadlines, witnesses, traces and conjunctive constraints behind one
+// entry point. Reach is a thin wrapper over Query with a background
+// context and answers identically.
 func (e *Engine) Reach(q Query) (Result, error) {
-	res, _, err := e.reach(q, nil)
-	return res, err
+	resp, err := e.Query(context.Background(), q.request())
+	return resp.result(), err
 }
 
-// reach is the shared engine behind Reach and ReachTraced; a non-nil
-// tree selects the traced core algorithms. The second result reports
-// whether a search actually ran (false on the unsatisfiable-constraint
-// early return, where the tree stays empty).
-func (e *Engine) reach(q Query, tree *core.SearchTree) (Result, bool, error) {
-	g := e.kg.g
-	cq, err := e.resolveEndpoints(q.Source, q.Target, q.Labels)
-	if err != nil {
-		return Result{}, false, err
+// request maps the deprecated single-constraint query shape onto the
+// unified Request. The constraint goes through Constraints (not the
+// shorthand field) so an empty text reaches the compiler and fails
+// with the same syntax error it always did.
+func (q Query) request() Request {
+	return Request{
+		Source:      q.Source,
+		Target:      q.Target,
+		Labels:      q.Labels,
+		Constraints: []string{q.Constraint},
+		Algorithm:   q.Algorithm,
 	}
-	switch q.Algorithm {
-	case INS, UIS, UISStar:
-	default:
-		return Result{}, false, fmt.Errorf("lscr: unknown algorithm %v", q.Algorithm)
-	}
-	if q.Algorithm == INS && e.idx == nil {
-		return Result{}, false, ErrNoIndex
-	}
-	cc, err := e.compileConstraint(q.Constraint)
-	if err != nil {
-		return Result{}, false, err
-	}
-	start := time.Now()
-	if !cc.sat {
-		// The constraint references entities absent from the KG: V(S,G)
-		// is empty and the answer is false for every algorithm.
-		// SatisfyingVertices mirrors the normal path's convention — UIS
-		// evaluates the constraint lazily and reports -1, UIS*/INS report
-		// |V(S,G)| = 0.
-		res := Result{Elapsed: time.Since(start)}
-		if q.Algorithm == UIS {
-			res.SatisfyingVertices = -1
-		}
-		return res, false, nil
-	}
-	cq.Constraint = cc.cons
-
-	var (
-		ok  bool
-		st  Stats
-		nVS int
-	)
-	switch q.Algorithm {
-	case UIS:
-		if tree != nil {
-			ok, st, err = core.UISTraced(g, cq, tree)
-		} else {
-			ok, st, err = core.UIS(g, cq)
-		}
-		nVS = -1
-	case UISStar:
-		vs := cc.vertexSet()
-		nVS = len(vs)
-		if tree != nil {
-			ok, st, err = core.UISStarTraced(g, cq, vs, tree)
-		} else {
-			ok, st, err = core.UISStar(g, cq, vs)
-		}
-	case INS:
-		vs := cc.vertexSet()
-		nVS = len(vs)
-		if tree != nil {
-			ok, st, err = core.INSTraced(g, e.idx, cq, vs, tree)
-		} else {
-			ok, st, err = core.INS(g, e.idx, cq, vs)
-		}
-	}
-	if err != nil {
-		return Result{}, false, err
-	}
-	return Result{
-		Reachable:          ok,
-		Stats:              st,
-		Elapsed:            time.Since(start),
-		SatisfyingVertices: nVS,
-	}, true, nil
 }
 
 // MultiQuery is a conjunctive LSCR query: the path must pass, for every
@@ -517,25 +492,27 @@ type MultiQuery struct {
 // uninformed search (UIS over satisfied-set states). A constraint that
 // references entities absent from the KG is unsatisfiable and makes the
 // answer false.
+//
+// Deprecated: use Query with several Constraints (or Algorithm
+// Conjunctive). ReachAll is a thin wrapper over Query with a background
+// context and answers identically.
 func (e *Engine) ReachAll(q MultiQuery) (Result, error) {
-	mq, res, earlyFalse, err := e.compileMulti(q)
-	if err != nil {
-		return Result{}, err
+	resp, err := e.Query(context.Background(), q.request())
+	return resp.result(), err
+}
+
+// request maps the deprecated conjunctive query shape onto the unified
+// Request. Algorithm Conjunctive preserves ReachAll's semantics even
+// for one constraint (the generalised search, not the single-
+// constraint UIS).
+func (q MultiQuery) request() Request {
+	return Request{
+		Source:      q.Source,
+		Target:      q.Target,
+		Labels:      q.Labels,
+		Constraints: q.Constraints,
+		Algorithm:   Conjunctive,
 	}
-	if earlyFalse {
-		return res, nil
-	}
-	start := time.Now()
-	ok, st, err := core.UISMulti(e.kg.g, mq)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Reachable:          ok,
-		Stats:              st,
-		Elapsed:            time.Since(start),
-		SatisfyingVertices: -1,
-	}, nil
 }
 
 // MultiPath is the witness of a true conjunctive answer: the walk plus,
@@ -547,58 +524,15 @@ type MultiPath struct {
 
 // ReachAllWithWitness answers a conjunctive query and, when true, also
 // returns the witness walk with one satisfying vertex per constraint.
+//
+// Deprecated: use Query with several Constraints and WantWitness set.
+// ReachAllWithWitness is a thin wrapper over Query with a background
+// context and answers identically.
 func (e *Engine) ReachAllWithWitness(q MultiQuery) (Result, *MultiPath, error) {
-	g := e.kg.g
-	mq, res, earlyFalse, err := e.compileMulti(q)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	if earlyFalse {
-		return res, nil, nil
-	}
-	start := time.Now()
-	ok, w, st, err := core.UISMultiWitness(g, mq)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	res = Result{Reachable: ok, Stats: st, Elapsed: time.Since(start), SatisfyingVertices: -1}
-	if !ok {
-		return res, nil, nil
-	}
-	mp := &MultiPath{}
-	for _, h := range w.Hops {
-		mp.Hops = append(mp.Hops, PathHop{
-			From:  g.VertexName(h.From),
-			Label: g.LabelName(h.Label),
-			To:    g.VertexName(h.To),
-		})
-	}
-	for _, v := range w.SatisfiedBy {
-		mp.SatisfiedBy = append(mp.SatisfiedBy, g.VertexName(v))
-	}
-	return res, mp, nil
-}
-
-// compileMulti resolves a MultiQuery's names through the shared compile
-// path (constraints hit the memoization cache); earlyFalse reports an
-// unsatisfiable conjunct (V(S_i, G) empty by construction).
-func (e *Engine) compileMulti(q MultiQuery) (core.MultiQuery, Result, bool, error) {
-	cq, err := e.resolveEndpoints(q.Source, q.Target, q.Labels)
-	if err != nil {
-		return core.MultiQuery{}, Result{}, false, err
-	}
-	mq := core.MultiQuery{Source: cq.Source, Target: cq.Target, Labels: cq.Labels}
-	for _, text := range q.Constraints {
-		cc, err := e.compileConstraint(text)
-		if err != nil {
-			return core.MultiQuery{}, Result{}, false, err
-		}
-		if !cc.sat {
-			return core.MultiQuery{}, Result{SatisfyingVertices: -1}, true, nil
-		}
-		mq.Constraints = append(mq.Constraints, cc.cons)
-	}
-	return mq, Result{}, false, nil
+	req := q.request()
+	req.WantWitness = true
+	resp, err := e.Query(context.Background(), req)
+	return resp.result(), resp.Witness.ToMultiPath(), err
 }
 
 // PathHop is one edge of a witness path, in vertex/label names.
@@ -630,28 +564,15 @@ func (p *Path) String() string {
 
 // ReachWithWitness answers q and, when the answer is true, also returns a
 // witness path. The witness is nil for false answers.
+//
+// Deprecated: use Query with WantWitness set. ReachWithWitness is a
+// thin wrapper over Query with a background context and answers
+// identically.
 func (e *Engine) ReachWithWitness(q Query) (Result, *Path, error) {
-	res, err := e.Reach(q)
-	if err != nil || !res.Reachable {
-		return res, nil, err
-	}
-	g := e.kg.g
-	L, _ := e.resolveLabels(q.Labels) // validated by Reach already
-	w, ok := core.FindWitness(g, g.Vertex(q.Source), g.Vertex(q.Target), res.Stats.Satisfying, L)
-	if !ok {
-		// Cannot happen for a sound algorithm; fail loudly rather than
-		// fabricate evidence.
-		return res, nil, fmt.Errorf("lscr: internal error: no witness for a true answer")
-	}
-	p := &Path{Satisfying: g.VertexName(w.Satisfying)}
-	for _, h := range w.Hops {
-		p.Hops = append(p.Hops, PathHop{
-			From:  g.VertexName(h.From),
-			Label: g.LabelName(h.Label),
-			To:    g.VertexName(h.To),
-		})
-	}
-	return res, p, nil
+	req := q.request()
+	req.WantWitness = true
+	resp, err := e.Query(context.Background(), req)
+	return resp.result(), resp.Witness.ToPath(), err
 }
 
 // ReachTraced answers q while recording the search tree of Definition
@@ -659,18 +580,23 @@ func (e *Engine) ReachWithWitness(q Query) (Result, *Path, error) {
 // digraph: F-state nodes blue, T-state nodes red, index-driven markings
 // dashed. Pass a nil dot writer to skip rendering (the Result still
 // reflects the traced run).
+//
+// Deprecated: use Query with WantTrace set; the rendered digraph comes
+// back in Response.TraceDOT. ReachTraced is a thin wrapper over Query
+// with a background context and answers identically.
 func (e *Engine) ReachTraced(q Query, dot io.Writer) (Result, error) {
-	var tree core.SearchTree
-	res, searched, err := e.reach(q, &tree)
+	req := q.request()
+	req.WantTrace = true
+	resp, err := e.Query(context.Background(), req)
 	if err != nil {
 		return Result{}, err
 	}
-	if searched && dot != nil {
-		if err := tree.WriteDOT(dot, q.Algorithm.String(), e.kg.g.VertexName); err != nil {
-			return res, err
+	if dot != nil && resp.TraceDOT != "" {
+		if _, err := io.WriteString(dot, resp.TraceDOT); err != nil {
+			return resp.result(), err
 		}
 	}
-	return res, nil
+	return resp.result(), nil
 }
 
 // SaveIndex serialises the engine's local index (format documented in the

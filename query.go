@@ -1,0 +1,469 @@
+package lscr
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	core "lscr/internal/lscr"
+)
+
+// Request is one LSCR query in the unified v1 API: it subsumes the
+// whole deprecated Reach* family. A request with one constraint runs
+// the selected single-constraint Algorithm (INS by default); a request
+// with several constraints — or with Algorithm set to Conjunctive —
+// runs the generalised conjunctive search, which requires a path
+// passing, for every constraint, some vertex satisfying it.
+type Request struct {
+	// Source and Target are vertex names.
+	Source, Target string
+	// Labels is the label constraint; empty means "all labels".
+	Labels []string
+	// Constraint is the single substructure constraint (a SPARQL SELECT
+	// with one projected variable) — shorthand for a one-element
+	// Constraints. Setting both fields is an error.
+	Constraint string
+	// Constraints lists the substructure constraints. One constraint
+	// selects the single-constraint algorithms; several (at most
+	// MaxConstraints) select the conjunctive search.
+	Constraints []string
+	// Algorithm picks the strategy for single-constraint requests; the
+	// zero value is INS. Conjunctive forces the conjunctive search even
+	// for one constraint. Multi-constraint requests run conjunctively:
+	// leave Algorithm zero or set it to Conjunctive explicitly.
+	Algorithm Algorithm
+	// WantWitness also returns, for a true answer, a concrete witness
+	// path with the satisfying vertex per constraint.
+	WantWitness bool
+	// WantTrace records the search tree of Definition 3.2 and returns
+	// it rendered as Graphviz DOT. Not supported for conjunctive
+	// requests.
+	WantTrace bool
+	// Timeout, when positive, bounds this request: the context passed
+	// to Query is additionally limited to Timeout, so the search aborts
+	// with context.DeadlineExceeded once it expires.
+	Timeout time.Duration
+}
+
+// MaxConstraints bounds a conjunctive request's constraint count.
+const MaxConstraints = core.MaxMultiConstraints
+
+// constraintTexts resolves the Constraint shorthand against
+// Constraints.
+func (r Request) constraintTexts() ([]string, error) {
+	if r.Constraint != "" {
+		if len(r.Constraints) > 0 {
+			return nil, fmt.Errorf("%w: both Constraint and Constraints are set", ErrInvalidRequest)
+		}
+		return []string{r.Constraint}, nil
+	}
+	return r.Constraints, nil
+}
+
+// Witness certifies a true answer: a concrete Source→Target walk whose
+// labels all satisfy the label constraint, plus — per constraint, in
+// request order — a walk vertex satisfying it. For the paper's
+// crime-detection scenario this is the evidence chain itself.
+type Witness struct {
+	Hops []PathHop
+	// SatisfiedBy[i] is the walk vertex satisfying the i'th constraint.
+	SatisfiedBy []string
+}
+
+// String renders the walk as "a -[l]-> b -[m]-> c".
+func (w *Witness) String() string {
+	var b strings.Builder
+	if len(w.Hops) == 0 {
+		if len(w.SatisfiedBy) > 0 {
+			return w.SatisfiedBy[0]
+		}
+		return ""
+	}
+	b.WriteString(w.Hops[0].From)
+	for _, h := range w.Hops {
+		fmt.Fprintf(&b, " -[%s]-> %s", h.Label, h.To)
+	}
+	return b.String()
+}
+
+// ToPath converts to the pre-v1 single-constraint witness shape. It
+// is the compatibility shim behind the deprecated ReachWithWitness
+// wrapper and the server's deprecated /reach route; new code should
+// consume Witness directly.
+func (w *Witness) ToPath() *Path {
+	if w == nil {
+		return nil
+	}
+	p := &Path{Hops: w.Hops}
+	if len(w.SatisfiedBy) > 0 {
+		p.Satisfying = w.SatisfiedBy[0]
+	}
+	return p
+}
+
+// ToMultiPath converts to the pre-v1 conjunctive witness shape (see
+// ToPath).
+func (w *Witness) ToMultiPath() *MultiPath {
+	if w == nil {
+		return nil
+	}
+	return &MultiPath{Hops: w.Hops, SatisfiedBy: w.SatisfiedBy}
+}
+
+// Response is a query answer.
+type Response struct {
+	Reachable bool
+	// Stats carries the paper's per-query evaluation measures.
+	Stats Stats
+	// Elapsed is the search time (excluding name resolution, constraint
+	// compilation and witness reconstruction).
+	Elapsed time.Duration
+	// SatisfyingVertices is |V(S,G)| as computed by the engine; the
+	// algorithms that evaluate the constraint lazily (UIS and the
+	// conjunctive search) report -1.
+	SatisfyingVertices int
+	// Algorithm is the strategy that actually ran (Conjunctive for
+	// multi-constraint requests).
+	Algorithm Algorithm
+	// Witness is set for true answers when the request asked for one.
+	Witness *Witness
+	// TraceDOT is the recorded search tree rendered as a Graphviz
+	// digraph, when the request asked for one and a search ran.
+	TraceDOT string
+}
+
+// result converts to the deprecated Result shape.
+func (r Response) result() Result {
+	return Result{
+		Reachable:          r.Reachable,
+		Stats:              r.Stats,
+		Elapsed:            r.Elapsed,
+		SatisfyingVertices: r.SatisfyingVertices,
+	}
+}
+
+// interruptFrom derives the core layer's poll function from ctx. A
+// context that can never be cancelled (Background, TODO) yields nil,
+// which keeps the search loops on their zero-overhead path and makes
+// the answer bit-identical to the deprecated context-free methods.
+//
+// Deadlines are additionally checked against the clock, not just the
+// Done channel: closing Done relies on a runtime timer getting
+// scheduled, which on a saturated single-core host can lag ~10 ms
+// behind expiry — long enough for a short query to finish and defeat
+// a tight per-request budget.
+func interruptFrom(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if hasDeadline && !time.Now().Before(deadline) {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}
+}
+
+// Query answers req, honouring ctx: cancellation or deadline expiry
+// aborts the search mid-flight (the hot loops poll every few thousand
+// edge expansions) and returns ctx.Err(). With a non-cancellable
+// context the answer is bit-identical to the deprecated Reach family.
+// Query is safe for concurrent use, like every read path of the
+// Engine.
+func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	itr := interruptFrom(ctx)
+	if itr != nil {
+		if err := itr(); err != nil {
+			return Response{}, err
+		}
+	}
+	texts, err := req.constraintTexts()
+	if err != nil {
+		return Response{}, err
+	}
+	cq, err := e.resolveEndpoints(req.Source, req.Target, req.Labels)
+	if err != nil {
+		return Response{}, err
+	}
+	cq.Interrupt = itr
+	if req.Algorithm == Conjunctive || len(texts) > 1 {
+		return e.queryMulti(req, cq, texts)
+	}
+	return e.querySingle(req, cq, texts)
+}
+
+// querySingle runs a one-constraint request with the selected
+// single-constraint algorithm. It is the engine behind the deprecated
+// Reach, ReachWithWitness and ReachTraced.
+func (e *Engine) querySingle(req Request, cq core.Query, texts []string) (Response, error) {
+	g := e.kg.g
+	switch req.Algorithm {
+	case INS, UIS, UISStar:
+	default:
+		return Response{}, fmt.Errorf("%w %v", ErrUnknownAlgorithm, req.Algorithm)
+	}
+	if req.Algorithm == INS && e.idx == nil {
+		return Response{}, ErrNoIndex
+	}
+	if len(texts) != 1 {
+		return Response{}, fmt.Errorf("%w: algorithm %v takes exactly one constraint, got %d",
+			ErrInvalidRequest, req.Algorithm, len(texts))
+	}
+	cc, err := e.compileConstraint(texts[0])
+	if err != nil {
+		return Response{}, err
+	}
+	if cq.Interrupt != nil {
+		// Compilation may have been slow; honour a deadline that fired
+		// during it before starting the search.
+		if err := cq.Interrupt(); err != nil {
+			return Response{}, err
+		}
+	}
+	resp := Response{Algorithm: req.Algorithm}
+	start := time.Now()
+	if !cc.sat {
+		// The constraint references entities absent from the KG: V(S,G)
+		// is empty and the answer is false for every algorithm.
+		// SatisfyingVertices mirrors the normal path's convention — UIS
+		// evaluates the constraint lazily and reports -1, UIS*/INS
+		// report |V(S,G)| = 0.
+		resp.Elapsed = time.Since(start)
+		if req.Algorithm == UIS {
+			resp.SatisfyingVertices = -1
+		}
+		return resp, nil
+	}
+	cq.Constraint = cc.cons
+
+	var tree *core.SearchTree
+	if req.WantTrace {
+		tree = &core.SearchTree{}
+	}
+	var (
+		ok  bool
+		st  Stats
+		nVS int
+	)
+	switch req.Algorithm {
+	case UIS:
+		if tree != nil {
+			ok, st, err = core.UISTraced(g, cq, tree)
+		} else {
+			ok, st, err = core.UIS(g, cq)
+		}
+		nVS = -1
+	case UISStar:
+		vs := cc.vertexSet()
+		nVS = len(vs)
+		if tree != nil {
+			ok, st, err = core.UISStarTraced(g, cq, vs, tree)
+		} else {
+			ok, st, err = core.UISStar(g, cq, vs)
+		}
+	case INS:
+		vs := cc.vertexSet()
+		nVS = len(vs)
+		if tree != nil {
+			ok, st, err = core.INSTraced(g, e.idx, cq, vs, tree)
+		} else {
+			ok, st, err = core.INS(g, e.idx, cq, vs)
+		}
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	resp.Reachable = ok
+	resp.Stats = st
+	resp.Elapsed = time.Since(start)
+	resp.SatisfyingVertices = nVS
+	if tree != nil {
+		var b strings.Builder
+		if err := tree.WriteDOT(&b, req.Algorithm.String(), g.VertexName); err != nil {
+			return Response{}, err
+		}
+		resp.TraceDOT = b.String()
+	}
+	if req.WantWitness && ok {
+		w, found := core.FindWitness(g, cq.Source, cq.Target, st.Satisfying, cq.Labels)
+		if !found {
+			// Cannot happen for a sound algorithm; fail loudly rather
+			// than fabricate evidence.
+			return resp, fmt.Errorf("lscr: internal error: no witness for a true answer")
+		}
+		uw := &Witness{SatisfiedBy: []string{g.VertexName(w.Satisfying)}}
+		for _, h := range w.Hops {
+			uw.Hops = append(uw.Hops, PathHop{
+				From:  g.VertexName(h.From),
+				Label: g.LabelName(h.Label),
+				To:    g.VertexName(h.To),
+			})
+		}
+		resp.Witness = uw
+	}
+	return resp, nil
+}
+
+// queryMulti runs a conjunctive request with the generalised
+// uninformed search. It is the engine behind the deprecated ReachAll
+// and ReachAllWithWitness.
+func (e *Engine) queryMulti(req Request, cq core.Query, texts []string) (Response, error) {
+	g := e.kg.g
+	if req.WantTrace {
+		return Response{}, fmt.Errorf("%w: trace is not supported for conjunctive requests", ErrInvalidRequest)
+	}
+	// The zero Algorithm (INS) on a multi-constraint request means "the
+	// caller did not pick": the conjunctive search is the only strategy
+	// for conjunctions. An explicit single-constraint choice is a
+	// contradiction worth reporting.
+	if req.Algorithm != Conjunctive && req.Algorithm != INS {
+		return Response{}, fmt.Errorf("%w: algorithm %v cannot answer a %d-constraint conjunction",
+			ErrInvalidRequest, req.Algorithm, len(texts))
+	}
+	mq := core.MultiQuery{
+		Source:    cq.Source,
+		Target:    cq.Target,
+		Labels:    cq.Labels,
+		Interrupt: cq.Interrupt,
+	}
+	for _, text := range texts {
+		cc, err := e.compileConstraint(text)
+		if err != nil {
+			return Response{}, err
+		}
+		if !cc.sat {
+			// An unsatisfiable conjunct (V(S_i, G) empty by
+			// construction) makes the answer false without searching.
+			return Response{SatisfyingVertices: -1, Algorithm: Conjunctive}, nil
+		}
+		mq.Constraints = append(mq.Constraints, cc.cons)
+	}
+	if cq.Interrupt != nil {
+		if err := cq.Interrupt(); err != nil {
+			return Response{}, err
+		}
+	}
+	resp := Response{SatisfyingVertices: -1, Algorithm: Conjunctive}
+	start := time.Now()
+	if !req.WantWitness {
+		ok, st, err := core.UISMulti(g, mq)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Reachable = ok
+		resp.Stats = st
+		resp.Elapsed = time.Since(start)
+		return resp, nil
+	}
+	ok, w, st, err := core.UISMultiWitness(g, mq)
+	if err != nil {
+		return Response{}, err
+	}
+	resp.Reachable = ok
+	resp.Stats = st
+	resp.Elapsed = time.Since(start)
+	if ok {
+		uw := &Witness{}
+		for _, h := range w.Hops {
+			uw.Hops = append(uw.Hops, PathHop{
+				From:  g.VertexName(h.From),
+				Label: g.LabelName(h.Label),
+				To:    g.VertexName(h.To),
+			})
+		}
+		for _, v := range w.SatisfiedBy {
+			uw.SatisfiedBy = append(uw.SatisfiedBy, g.VertexName(v))
+		}
+		resp.Witness = uw
+	}
+	return resp, nil
+}
+
+// BatchOptions configures QueryBatch.
+type BatchOptions struct {
+	// Concurrency bounds the worker goroutines; 0 means GOMAXPROCS.
+	// The fan-out is additionally clamped to the batch length.
+	Concurrency int
+}
+
+// QueryOutcome pairs one request of a QueryBatch call with its answer.
+// Exactly one of Err or a meaningful Response is set per entry.
+type QueryOutcome struct {
+	Response Response
+	Err      error
+}
+
+// QueryBatch answers every request of reqs over a bounded worker pool,
+// returning outcomes in request order; a failing request records its
+// error in its own slot without affecting the others. Answers are
+// identical to calling Query once per request serially, and repeated
+// constraint texts compile once via the engine's constraint cache.
+//
+// Cancelling ctx stops the batch promptly: requests already running
+// abort mid-search, and slots not yet scheduled record ctx.Err()
+// without running at all.
+func (e *Engine) QueryBatch(ctx context.Context, reqs []Request, opts BatchOptions) []QueryOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]QueryOutcome, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	concurrency := opts.Concurrency
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > len(reqs) {
+		concurrency = len(reqs)
+	}
+	run := func(i int) {
+		if err := ctx.Err(); err != nil {
+			// The batch was cancelled before this slot was scheduled.
+			out[i].Err = err
+			return
+		}
+		out[i].Response, out[i].Err = e.Query(ctx, reqs[i])
+	}
+	if concurrency == 1 {
+		for i := range reqs {
+			run(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package lscr
+
+// raceEnabled reports whether the race detector is compiled in; the
+// timing-budget tests skip under it (the detector slows execution by
+// an order of magnitude, so wall-clock budgets stop meaning anything).
+const raceEnabled = true

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# apigate.sh — the v1 API surface gate.
+#
+# The engine's query surface is the Query/QueryBatch family; everything
+# else that answers queries must be a wrapper carrying a "Deprecated:"
+# notice. This gate fails CI when a new exported Engine method appears
+# in the root package outside the allowlist below without such a
+# notice, so the surface cannot silently sprawl back into
+# one-method-per-capability.
+#
+# Run from the repository root: ./scripts/apigate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Non-query methods (stats, index persistence, SPARQL standalone) are
+# part of the stable surface and listed explicitly.
+ALLOW='^(Query|QueryBatch|CacheStats|Index|SaveIndex|Select|SelectAll)$'
+
+status=0
+for f in *.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    out=$(awk -v allow="$ALLOW" '
+        /^\/\// { comment = comment $0 "\n"; next }
+        /^func \([A-Za-z_][A-Za-z0-9_]* \*Engine\) [A-Z]/ {
+            name = $0
+            sub(/^func \([A-Za-z_][A-Za-z0-9_]* \*Engine\) /, "", name)
+            sub(/[(\[].*/, "", name)
+            if (name !~ allow && comment !~ /Deprecated:/) {
+                printf "%s: exported Engine method %s is outside the Query/QueryBatch family and has no Deprecated: notice\n", FILENAME, name
+            }
+            comment = ""
+            next
+        }
+        { comment = "" }
+    ' "$f")
+    if [ -n "$out" ]; then
+        echo "$out"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "apigate: new engine query methods belong in the Query/QueryBatch family (or need a Deprecated: notice)" >&2
+fi
+exit "$status"

@@ -1,0 +1,362 @@
+// Package server implements the lscrd HTTP service as an embeddable
+// http.Handler: cmd/lscrd mounts it on a listener, tests mount it on
+// httptest servers, and the benchmark harness drives it in-process
+// through the typed client.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz           — liveness, KG stats, cache counters, version
+//	POST /v1/query          — one unified query (api.QueryRequest)
+//	POST /v1/batch          — many queries over a worker pool (api.BatchRequest)
+//
+// plus the deprecated pre-v1 routes (/reach, /reachbatch, /reachall,
+// /select), which keep their original request/response shapes but now
+// run through Engine.Query with the request's context — a client that
+// disconnects or times out cancels the search instead of leaving it
+// running to completion.
+//
+// The handler is read-only: the Engine and KG are built once by the
+// caller and shared by concurrent requests — the Engine's concurrency
+// contract is what lets net/http fan requests out without any locking
+// here. Client mistakes — unknown names, malformed or invalid
+// constraints, impossible requests, and requesting INS from an
+// index-less server — answer 400; a query that exceeds its server-side
+// deadline answers 504; only genuine server faults answer 500.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"lscr"
+	"lscr/api"
+	"lscr/internal/buildinfo"
+)
+
+// Body caps: MaxBatchBody bounds a batch request body (32 MiB ≈
+// hundreds of thousands of queries — far above any sane batch, far
+// below OOM); MaxQueryBody bounds the single-query endpoints, whose
+// bodies are one query each — 1 MiB is far beyond any real SPARQL
+// constraint yet keeps a hostile client from making the decoder buffer
+// an arbitrarily large body.
+const (
+	MaxBatchBody = 32 << 20
+	MaxQueryBody = 1 << 20
+)
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// went away before the answer was ready, so no status can actually be
+// delivered; the code exists for the access log.
+const statusClientClosedRequest = 499
+
+// New wires every endpoint (v1 and deprecated) over eng and kg.
+func New(eng *lscr.Engine, kg *lscr.KG) http.Handler {
+	s := &server{eng: eng, kg: kg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("POST /v1/query", s.v1Query)
+	mux.HandleFunc("POST /v1/batch", s.v1Batch)
+	// Deprecated pre-v1 routes, aliased onto the same engine paths.
+	mux.HandleFunc("POST /reach", s.legacyReach)
+	mux.HandleFunc("POST /reachbatch", s.legacyReachBatch)
+	mux.HandleFunc("POST /reachall", s.legacyReachAll)
+	mux.HandleFunc("POST /select", s.selectQuery)
+	return mux
+}
+
+type server struct {
+	eng *lscr.Engine
+	kg  *lscr.KG
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:   "ok",
+		Version:  buildinfo.Version(),
+		API:      api.Version,
+		Vertices: s.kg.NumVertices(),
+		Edges:    s.kg.NumEdges(),
+		Labels:   s.kg.NumLabels(),
+		Cache:    s.eng.CacheStats(),
+	})
+}
+
+func (s *server) v1Query(w http.ResponseWriter, r *http.Request) {
+	var wire api.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxQueryBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := wire.ToRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.Query(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromResponse(resp))
+}
+
+func (s *server) v1Batch(w http.ResponseWriter, r *http.Request) {
+	var wire api.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(wire.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	// Bound what one request can cost: the body is capped before
+	// decoding, and the client's fan-out wish is clamped to the cores
+	// actually available (QueryBatch itself only clamps to the batch
+	// length).
+	if wire.Concurrency < 0 || wire.Concurrency > runtime.GOMAXPROCS(0) {
+		wire.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	items := make([]api.BatchItem, len(wire.Queries))
+	reqs := make([]lscr.Request, 0, len(wire.Queries))
+	slots := make([]int, 0, len(wire.Queries)) // reqs[j] answers items[slots[j]]
+	for i, q := range wire.Queries {
+		if q.Trace {
+			// Rendered search trees are O(search-tree) strings; allowing
+			// them per batch item would let one 32 MiB request body pin
+			// an unbounded amount of DOT text in memory. Traces stay a
+			// single-query (/v1/query) feature.
+			items[i].Error = "trace is not supported in batches; use /v1/query"
+			continue
+		}
+		req, err := q.ToRequest()
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
+	}
+	outcomes := s.eng.QueryBatch(r.Context(), reqs, lscr.BatchOptions{Concurrency: wire.Concurrency})
+	for j, o := range outcomes {
+		it := &items[slots[j]]
+		if o.Err != nil {
+			it.Error = o.Err.Error()
+			continue
+		}
+		it.QueryResponse = api.FromResponse(o.Response)
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items, Count: len(items)})
+}
+
+// reachRequest is the deprecated /reach body.
+type reachRequest struct {
+	Source     string   `json:"source"`
+	Target     string   `json:"target"`
+	Labels     []string `json:"labels,omitempty"`
+	Constraint string   `json:"constraint"`
+	Algorithm  string   `json:"algorithm,omitempty"`
+	Witness    bool     `json:"witness,omitempty"`
+}
+
+// reachResponse is the deprecated /reach reply.
+type reachResponse struct {
+	Reachable bool       `json:"reachable"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Passed    int        `json:"passed_vertices"`
+	Witness   *lscr.Path `json:"witness,omitempty"`
+	Algorithm string     `json:"algorithm"`
+}
+
+func (s *server) legacyReach(w http.ResponseWriter, r *http.Request) {
+	var req reachRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxQueryBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	algo, err := api.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, err := s.eng.Query(r.Context(), lscr.Request{
+		Source:      req.Source,
+		Target:      req.Target,
+		Labels:      req.Labels,
+		Constraints: []string{req.Constraint},
+		Algorithm:   algo,
+		WantWitness: req.Witness,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reachResponse{
+		Reachable: resp.Reachable,
+		ElapsedUS: time.Since(start).Microseconds(),
+		Passed:    resp.Stats.PassedVertices,
+		Witness:   resp.Witness.ToPath(),
+		Algorithm: algo.String(),
+	})
+}
+
+// batchRequest is the deprecated /reachbatch body. Concurrency 0 means
+// all cores.
+type batchRequest struct {
+	Queries     []reachRequest `json:"queries"`
+	Concurrency int            `json:"concurrency,omitempty"`
+}
+
+// batchItem is one deprecated /reachbatch result: either the reach
+// fields or a per-query error (bad names in one query do not fail the
+// batch).
+type batchItem struct {
+	Reachable bool   `json:"reachable"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Passed    int    `json:"passed_vertices"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (s *server) legacyReachBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if req.Concurrency < 0 || req.Concurrency > runtime.GOMAXPROCS(0) {
+		req.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	items := make([]batchItem, len(req.Queries))
+	reqs := make([]lscr.Request, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries)) // reqs[j] answers items[slots[j]]
+	for i, rq := range req.Queries {
+		algo, err := api.ParseAlgorithm(rq.Algorithm)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		items[i].Algorithm = algo.String()
+		reqs = append(reqs, lscr.Request{
+			Source:      rq.Source,
+			Target:      rq.Target,
+			Labels:      rq.Labels,
+			Constraints: []string{rq.Constraint},
+			Algorithm:   algo,
+		})
+		slots = append(slots, i)
+	}
+	// r.Context() makes the whole batch cancellable: when the client
+	// disconnects, in-flight searches abort and unscheduled slots are
+	// never run (they record the context error instead).
+	for j, o := range s.eng.QueryBatch(r.Context(), reqs, lscr.BatchOptions{Concurrency: req.Concurrency}) {
+		it := &items[slots[j]]
+		if o.Err != nil {
+			it.Error = o.Err.Error()
+			continue
+		}
+		it.Reachable = o.Response.Reachable
+		it.ElapsedUS = o.Response.Elapsed.Microseconds()
+		it.Passed = o.Response.Stats.PassedVertices
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items, "count": len(items)})
+}
+
+// reachAllRequest is the deprecated /reachall body.
+type reachAllRequest struct {
+	Source      string   `json:"source"`
+	Target      string   `json:"target"`
+	Labels      []string `json:"labels,omitempty"`
+	Constraints []string `json:"constraints"`
+}
+
+func (s *server) legacyReachAll(w http.ResponseWriter, r *http.Request) {
+	var req reachAllRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxQueryBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.Query(r.Context(), lscr.Request{
+		Source:      req.Source,
+		Target:      req.Target,
+		Labels:      req.Labels,
+		Constraints: req.Constraints,
+		Algorithm:   lscr.Conjunctive,
+		WantWitness: true,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reachable":       resp.Reachable,
+		"passed_vertices": resp.Stats.PassedVertices,
+		"witness":         resp.Witness.ToMultiPath(),
+	})
+}
+
+func (s *server) selectQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxQueryBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := s.eng.SelectAll(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": rows, "count": len(rows)})
+}
+
+// statusFor maps engine errors to HTTP statuses via the exported
+// sentinels: everything the client controls — names, constraint text,
+// impossible request shapes, and the choice of an algorithm this
+// server cannot run (ErrNoIndex) — is a 400; a server-side deadline
+// expiry is a 504; a client that went away is logged as 499; anything
+// else is a genuine server-side 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, lscr.ErrUnknownVertex),
+		errors.Is(err, lscr.ErrUnknownLabel),
+		errors.Is(err, lscr.ErrConstraintSyntax),
+		errors.Is(err, lscr.ErrInvalidConstraint),
+		errors.Is(err, lscr.ErrInvalidRequest),
+		errors.Is(err, lscr.ErrUnknownAlgorithm),
+		errors.Is(err, lscr.ErrNoConstraints),
+		errors.Is(err, lscr.ErrTooManyConstraints),
+		errors.Is(err, lscr.ErrNoIndex):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("lscrd: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.Error{Error: err.Error()})
+}
