@@ -13,13 +13,16 @@
 //	lscrbench -exp cachespeedup     # warm-vs-cold constraint-cache QPS
 //	lscrbench -exp cachespeedup-json# same, as BENCH_cache.json
 //	lscrbench -exp serverclient     # typed client → live lscrd /v1 QPS
+//	lscrbench -exp csr              # CSR labeled-scan vs filter traversal QPS
+//	lscrbench -exp csr-json         # same, as BENCH_csr.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
-// cachespeedup-json, serverclient, all. "all" runs the paper
-// experiments only — the machine-dependent scaling sweeps (parallel*,
-// throughput, cachespeedup*, serverclient) are invoked explicitly.
+// cachespeedup-json, serverclient, csr, csr-json, all. "all" runs the
+// paper experiments only — the machine-dependent scaling sweeps
+// (parallel*, throughput, cachespeedup*, serverclient, csr*) are invoked
+// explicitly.
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, all)")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, csr, csr-json, all)")
 		scale       = flag.Int("scale", 1, "dataset scale multiplier")
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
@@ -70,6 +73,8 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		"ablation-queue":     bench.RunAblationQueue,
 		"parallel":           bench.RunParallel,
 		"parallel-json":      bench.RunParallelJSON,
+		"csr":                bench.RunCSR,
+		"csr-json":           bench.RunCSRJSON,
 		"throughput": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunThroughput(w, cfg, concurrency)
 		},

@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/lscr"
+	"lscr/internal/pattern"
+)
+
+// The CSR harness measures the storage-layout tentpole: adjacency is CSR
+// with label-grouped runs, and constrained traversal walks only the runs
+// inside the query's label set (the "labeled" mode) instead of scanning
+// every edge and testing its label (the "filter" mode, the seed layout's
+// access pattern, obtained via Graph.WithoutLabelIndex). Both modes share
+// the same storage and iterate edges in the same order, so every query
+// must answer with bit-identical Stats — the comparison isolates exactly
+// the skip-vs-test mechanism. cmd/lscrbench exposes it as -exp csr (text)
+// and -exp csr-json (the BENCH_csr.json trajectory format).
+
+// CSRPoint is one constraint-selectivity point of the sweep.
+type CSRPoint struct {
+	// LabelCount is |L|, the per-query label-constraint size; 0 means the
+	// whole label universe (no selectivity, the break-even case).
+	LabelCount int `json:"label_count"`
+
+	UISFilterQPS  float64 `json:"uis_filter_qps"`
+	UISLabeledQPS float64 `json:"uis_labeled_qps"`
+	UISSpeedup    float64 `json:"uis_speedup"`
+
+	UISStarFilterQPS  float64 `json:"uisstar_filter_qps"`
+	UISStarLabeledQPS float64 `json:"uisstar_labeled_qps"`
+	UISStarSpeedup    float64 `json:"uisstar_speedup"`
+
+	INSFilterQPS  float64 `json:"ins_filter_qps"`
+	INSLabeledQPS float64 `json:"ins_labeled_qps"`
+	INSSpeedup    float64 `json:"ins_speedup"`
+}
+
+// CSRReport is the machine-readable baseline (BENCH_csr.json).
+type CSRReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Dataset    string `json:"dataset"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Labels     int    `json:"labels"`
+
+	// Queries is the per-point workload size. Queries are uncached: no
+	// constraint memoization, V(S,G) precompiled once outside the timer
+	// (it is an input of the algorithms), every search runs in full.
+	Queries int `json:"queries"`
+
+	Points []CSRPoint `json:"points"`
+
+	// SelectiveSpeedup is the smallest labeled/filter speedup observed on
+	// the selective points (|L| <= 2) for UIS*, the algorithm whose inner
+	// loop is the adjacency scan itself (V(S,G) is an input and the
+	// frontier is a plain stack, so nothing layout-independent dilutes the
+	// measurement). UIS adds an SCck evaluation per passed vertex and INS
+	// adds priority-queue work per discovery; their speedups are reported
+	// per point to show how the layout win scales with how
+	// traversal-bound the algorithm is.
+	SelectiveSpeedup float64 `json:"selective_speedup"`
+
+	// Identical confirms every query answered with bit-identical results
+	// and Stats in both modes.
+	Identical bool `json:"identical"`
+}
+
+// csrQuery is one workload entry with its per-point label set.
+type csrQuery struct {
+	q  lscr.Query
+	vs []graph.VertexID
+}
+
+// csrDataset generates the sweep's KG: scale-free OUT-degree by
+// preferential attachment on edge sources. Skipping a label run only pays
+// where a vertex has many more edges than labels, and forward traversal
+// scans out-adjacency — so the decisive shape parameter is a heavy-tailed
+// out-degree, the "country/person hub with hundreds of outgoing
+// statements" profile of Wikidata or DBpedia. (yagogen's preferential
+// attachment, faithful to citation-style growth, concentrates degree on
+// the IN side, which forward search never scans; LUBM's out-degree is
+// near-uniform ≈ 4. Neither exercises the layout.)
+func csrDataset(n, edgesPerEntity, labels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Vertex(fmt.Sprintf("e%d", i))
+	}
+	for l := 0; l < labels; l++ {
+		b.Label(fmt.Sprintf("rel%d", l))
+	}
+	relZipf := rand.NewZipf(rng, 1.2, 4, uint64(labels-1))
+	// attach doubles as the source-attachment distribution: every edge
+	// appends its source, so sampling uniformly is out-degree
+	// proportional — the rich get more outgoing facts.
+	attach := []graph.VertexID{0}
+	for i := 1; i < n; i++ {
+		m := 1 + rng.Intn(2*edgesPerEntity-1)
+		for j := 0; j < m; j++ {
+			var s graph.VertexID
+			if rng.Intn(4) == 0 {
+				s = graph.VertexID(rng.Intn(i)) // uniform escape hatch
+			} else {
+				s = attach[rng.Intn(len(attach))]
+			}
+			t := graph.VertexID(i)
+			if rng.Intn(2) == 0 {
+				// Preferential target half of the time: KG hubs are high
+				// in- AND out-degree (a country entity is both widely
+				// referenced and fact-rich), so searches actually cross
+				// them.
+				t = attach[rng.Intn(len(attach))]
+			}
+			b.AddEdge(s, graph.Label(relZipf.Uint64()), t)
+			attach = append(attach, s, t)
+		}
+	}
+	return b.Build()
+}
+
+// MeasureCSR runs the labeled-vs-filter sweep and returns the report.
+func MeasureCSR(cfg Config) (*CSRReport, error) {
+	cfg = cfg.withDefaults()
+	g := csrDataset(20000*cfg.Scale, 12, 24, cfg.Seed)
+	gFilter := g.WithoutLabelIndex()
+	idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed})
+
+	// The workload rotates anchored single-pattern constraints with small
+	// V(S,G) (1..32 satisfying vertices), so the per-query cost is the
+	// traversal the layout change targets rather than constraint
+	// evaluation — which costs the same in both modes and would only
+	// dilute the comparison. V(S,G) is evaluated once per constraint,
+	// outside the timers (it is an input of the algorithms).
+	type compiled struct {
+		c  *pattern.Constraint
+		vs []graph.VertexID
+	}
+	var comp []compiled
+	for l := 0; l < g.NumLabels() && len(comp) < 5; l++ {
+		for v := 0; v < g.NumVertices() && len(comp) < 5; v += 17 {
+			if n := len(g.InWith(graph.VertexID(v), graph.Label(l))); n < 2 || n > 32 {
+				continue
+			}
+			c := &pattern.Constraint{
+				Focus: "x",
+				Patterns: []pattern.TriplePattern{{
+					Subject: pattern.V("x"),
+					Label:   graph.Label(l),
+					Object:  pattern.C(graph.VertexID(v)),
+				}},
+			}
+			m, err := pattern.NewMatcher(g, c)
+			if err != nil {
+				return nil, err
+			}
+			comp = append(comp, compiled{c: c, vs: m.MatchAll()})
+		}
+	}
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("bench: no anchored constraints found on %s", "Y1")
+	}
+
+	rep := &CSRReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    "Y1",
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Labels:     g.NumLabels(),
+		Queries:    cfg.QueriesPerGroup * 40,
+		Identical:  true,
+	}
+	rep.SelectiveSpeedup = 1e18
+
+	r := rng(cfg.Seed, "csr")
+	universe := g.LabelUniverse()
+	for _, lc := range []int{1, 2, 4, 0} {
+		qs := make([]csrQuery, rep.Queries)
+		for i := range qs {
+			// Too-easy candidates are discarded exactly as the paper's
+			// workload generation does (§6.1.1 filters queries by UIS
+			// search-tree size): a query that dies at the source measures
+			// per-query fixed overhead, not traversal.
+			var q lscr.Query
+			cc := comp[i%len(comp)]
+			for try := 0; ; try++ {
+				src, L := walkQuery(g, r, lc, universe)
+				q = lscr.Query{
+					Source: src,
+					Target: graph.VertexID(r.Intn(g.NumVertices())),
+					Labels: L,
+				}
+				q.Constraint = cc.c
+				if try >= 400 {
+					break
+				}
+				if _, tree, err := lscr.UISWithTreeSize(g, q); err != nil {
+					return nil, err
+				} else if tree >= csrMinTreeSize {
+					break
+				}
+			}
+			qs[i] = csrQuery{q: q, vs: cc.vs}
+		}
+		pt := CSRPoint{LabelCount: lc}
+
+		fQPS, lQPS, same, err := runCSRPair(qs, func(gr *graph.Graph, cq csrQuery) (bool, lscr.Stats, error) {
+			return lscr.UIS(gr, cq.q)
+		}, gFilter, g)
+		if err != nil {
+			return nil, err
+		}
+		pt.UISFilterQPS, pt.UISLabeledQPS = fQPS, lQPS
+		pt.UISSpeedup = lQPS / fQPS
+		rep.Identical = rep.Identical && same
+
+		fQPS, lQPS, same, err = runCSRPair(qs, func(gr *graph.Graph, cq csrQuery) (bool, lscr.Stats, error) {
+			return lscr.UISStar(gr, cq.q, cq.vs)
+		}, gFilter, g)
+		if err != nil {
+			return nil, err
+		}
+		pt.UISStarFilterQPS, pt.UISStarLabeledQPS = fQPS, lQPS
+		pt.UISStarSpeedup = lQPS / fQPS
+		rep.Identical = rep.Identical && same
+
+		fQPS, lQPS, same, err = runCSRPair(qs, func(gr *graph.Graph, cq csrQuery) (bool, lscr.Stats, error) {
+			return lscr.INS(gr, idx, cq.q, cq.vs)
+		}, gFilter, g)
+		if err != nil {
+			return nil, err
+		}
+		pt.INSFilterQPS, pt.INSLabeledQPS = fQPS, lQPS
+		pt.INSSpeedup = lQPS / fQPS
+		rep.Identical = rep.Identical && same
+
+		if lc >= 1 && lc <= 2 && pt.UISStarSpeedup < rep.SelectiveSpeedup {
+			rep.SelectiveSpeedup = pt.UISStarSpeedup
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// walkQuery seeds one traversal-heavy query: the label set collects the
+// labels met on a short random walk (so the constraint admits real paths
+// instead of dying at the source) and the source is the walk's start. A
+// |L|-of-|ℒ| set built this way is still selective — the labeled scan
+// skips every other label's runs. lc == 0 selects the whole universe.
+func walkQuery(g *graph.Graph, r *rand.Rand, lc int, universe labelset.Set) (graph.VertexID, labelset.Set) {
+	src := graph.VertexID(r.Intn(g.NumVertices()))
+	if lc == 0 {
+		return src, universe
+	}
+	for try := 0; try < 64; try++ {
+		src = graph.VertexID(r.Intn(g.NumVertices()))
+		es := g.Out(src)
+		if len(es) == 0 {
+			continue
+		}
+		L := labelset.Set(0)
+		at := src
+		for hop := 0; hop < 4*lc && L.Len() < lc; hop++ {
+			es := g.Out(at)
+			if len(es) == 0 {
+				break
+			}
+			e := es[r.Intn(len(es))]
+			L = L.Add(e.Label)
+			at = e.To
+		}
+		if L.Len() == lc {
+			return src, L
+		}
+	}
+	// Sparse corner: fall back to a random label set of the right size.
+	L := labelset.Set(0)
+	for L.Len() < lc {
+		L = L.Add(graph.Label(r.Intn(g.NumLabels())))
+	}
+	return src, L
+}
+
+// csrReps is how many timed repetitions each (query, mode) pair gets; the
+// per-query time is the minimum over repetitions, which discards GC
+// pauses and scheduler preemptions.
+const csrReps = 3
+
+// csrMinTreeSize is the workload's search-tree floor, the bench-scale
+// analogue of the paper's 10·log|V| lower threshold.
+const csrMinTreeSize = 64
+
+// runCSRPair times every query in both modes, paired: each query is
+// warmed once per mode (pooled scratch, caches), then timed csrReps times
+// per mode with the mode order alternating per query, and scored by its
+// minimum repetition. Pairing removes drift (GC, thermal, cache state)
+// that separate per-mode timing windows would read as speedup or
+// slowdown; min-of-reps removes one-off pauses. Answers and Stats from
+// the first run feed the cross-layout identity check.
+func runCSRPair(qs []csrQuery, run func(*graph.Graph, csrQuery) (bool, lscr.Stats, error), gFilter, gLabeled *graph.Graph) (filterQPS, labeledQPS float64, identical bool, err error) {
+	identical = true
+	var fTotal, lTotal time.Duration
+	for i, cq := range qs {
+		fa, fst, err := run(gFilter, cq)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		la, lst, err := run(gLabeled, cq)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if fa != la || fst != lst {
+			identical = false
+		}
+		fBest, lBest := time.Duration(1)<<62, time.Duration(1)<<62
+		for rep := 0; rep < csrReps; rep++ {
+			order := []*graph.Graph{gFilter, gLabeled}
+			if (i+rep)%2 == 1 {
+				order[0], order[1] = order[1], order[0]
+			}
+			for _, gr := range order {
+				start := time.Now()
+				if _, _, err := run(gr, cq); err != nil {
+					return 0, 0, false, err
+				}
+				d := time.Since(start)
+				if gr == gFilter {
+					if d < fBest {
+						fBest = d
+					}
+				} else if d < lBest {
+					lBest = d
+				}
+			}
+		}
+		fTotal += fBest
+		lTotal += lBest
+	}
+	n := float64(len(qs))
+	return n / fTotal.Seconds(), n / lTotal.Seconds(), identical, nil
+}
+
+// RunCSR prints the sweep (cmd/lscrbench -exp csr).
+func RunCSR(w io.Writer, cfg Config) error {
+	rep, err := MeasureCSR(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CSR labeled-scan vs filter on %s (|V|=%d |E|=%d |L|=%d), %d uncached queries per point\n",
+		rep.Dataset, rep.Vertices, rep.Edges, rep.Labels, rep.Queries)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "|L|\tUIS filter\tUIS labeled\tspeedup\tUIS* filter\tUIS* labeled\tspeedup\tINS filter\tINS labeled\tspeedup")
+	for _, pt := range rep.Points {
+		lbl := fmt.Sprintf("%d", pt.LabelCount)
+		if pt.LabelCount == 0 {
+			lbl = "all"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f qps\t%.0f qps\t%.2fx\t%.0f qps\t%.0f qps\t%.2fx\t%.0f qps\t%.0f qps\t%.2fx\n",
+			lbl, pt.UISFilterQPS, pt.UISLabeledQPS, pt.UISSpeedup,
+			pt.UISStarFilterQPS, pt.UISStarLabeledQPS, pt.UISStarSpeedup,
+			pt.INSFilterQPS, pt.INSLabeledQPS, pt.INSSpeedup)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "selective (|L|<=2) worst-case speedup: %.2fx\n", rep.SelectiveSpeedup)
+	fmt.Fprintf(w, "identical: %v\n", rep.Identical)
+	if !rep.Identical {
+		return fmt.Errorf("bench: labeled and filter scans diverged")
+	}
+	return nil
+}
+
+// RunCSRJSON writes the report as indented JSON — the format committed to
+// BENCH_csr.json so later PRs can track the trajectory.
+func RunCSRJSON(w io.Writer, cfg Config) error {
+	rep, err := MeasureCSR(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Identical {
+		return fmt.Errorf("bench: labeled and filter scans diverged")
+	}
+	return nil
+}

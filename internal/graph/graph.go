@@ -6,10 +6,26 @@
 // both forward and backward so search algorithms and the SPARQL engine can
 // traverse either direction. A Graph is immutable after Build and safe for
 // concurrent readers.
+//
+// # Storage layout
+//
+// Adjacency is CSR (compressed sparse row): one flat []Edge array per
+// direction plus a []uint32 offset array, so Out(v)/In(v) are contiguous
+// subslices with no per-vertex pointer hop. Each vertex's edge run is
+// sorted by (label, head), and a compact per-vertex label-run index
+// records where each label's sub-run starts. Every search the paper
+// defines spends its inner loop walking adjacency and discarding edges
+// whose label is outside the query's label constraint L; the label-grouped
+// layout lets OutLabeled/InLabeled skip non-matching edges entirely — for
+// a selective L the traversal touches only the matching runs instead of
+// testing every edge — and makes HasEdge a binary search instead of a
+// linear scan.
 package graph
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"lscr/internal/labelset"
 )
@@ -38,6 +54,125 @@ type Triple struct {
 	Object  VertexID
 }
 
+// adjacency is one direction of the CSR storage: the edges of vertex v
+// occupy edges[off[v]:off[v+1]], sorted by (Label, To), and the label runs
+// of v occupy runLabel/runStart[runOff[v]:runOff[v+1]] — run i covers
+// edges[runStart[i] : next run's start or off[v+1]). A WithoutLabelIndex
+// view carries a degenerate run index (one run per edge), which turns
+// labeled iteration into a per-edge filtering scan on the same code path.
+type adjacency struct {
+	edges []Edge
+	off   []uint32 // len |V|+1
+
+	runStart []uint32 // absolute offset into edges where run begins
+	runLabel []Label  // the run's label
+	runOff   []uint32 // len |V|+1; runs of v: [runOff[v], runOff[v+1])
+}
+
+// run returns the full contiguous edge run of v.
+func (a *adjacency) run(v VertexID) []Edge { return a.edges[a.off[v]:a.off[v+1]:a.off[v+1]] }
+
+// with returns the contiguous sub-run of v's edges carrying exactly label
+// l, located by binary search over the (label, head)-sorted run.
+func (a *adjacency) with(v VertexID, l Label) []Edge {
+	es := a.run(v)
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Label >= l })
+	hi := lo
+	for hi < len(es) && es[hi].Label == l {
+		hi++
+	}
+	return es[lo:hi:hi]
+}
+
+// labeled returns an iterator over the label-pure runs of v whose label is
+// in L.
+func (a *adjacency) labeled(v VertexID, L labelset.Set) LabeledEdges {
+	return LabeledEdges{a: a, L: L, i: a.runOff[v], n: a.runOff[v+1], vend: a.off[v+1]}
+}
+
+// runs returns the raw label-run view of v.
+func (a *adjacency) runs(v VertexID) EdgeRuns {
+	return EdgeRuns{a: a, lo: a.runOff[v], hi: a.runOff[v+1], end: a.off[v+1]}
+}
+
+// EdgeRuns is the raw label-run view of one vertex's adjacency: Label(i)
+// is the label of run i and Run(i) its contiguous edge slice. Hot loops
+// test each run label against the constraint set and read only the
+// matching runs — with no function call per run (the accessors all
+// inline) and no struct copy per vertex (the view is one pointer and
+// three offsets):
+//
+//	rs := g.OutRuns(u)
+//	for ri, n := 0, rs.Len(); ri < n; ri++ {
+//		if !L.Contains(rs.Label(ri)) {
+//			continue
+//		}
+//		for _, e := range rs.Run(ri) { ... }
+//	}
+//
+// On a WithoutLabelIndex view the runs are degenerate (one edge each), so
+// the same loop performs the seed layout's per-edge filtering scan.
+type EdgeRuns struct {
+	a      *adjacency
+	lo, hi uint32 // run index range of the vertex
+	end    uint32 // end edge offset of the vertex's whole run
+}
+
+// Len returns the number of label runs of the vertex.
+func (r EdgeRuns) Len() int { return int(r.hi - r.lo) }
+
+// Label returns the label of run i (runs are in ascending label order).
+func (r EdgeRuns) Label(i int) Label { return r.a.runLabel[r.lo+uint32(i)] }
+
+// Run returns the edges of run i. The slice aliases graph storage and
+// must not be mutated.
+func (r EdgeRuns) Run(i int) []Edge {
+	a := r.a
+	ri := r.lo + uint32(i)
+	start := a.runStart[ri]
+	end := r.end
+	if ri+1 < r.hi {
+		end = a.runStart[ri+1]
+	}
+	return a.edges[start:end:end]
+}
+
+// LabeledEdges iterates the edges of one vertex whose label belongs to a
+// constraint set L, as a sequence of label-pure contiguous runs. Obtain one
+// from Graph.OutLabeled or Graph.InLabeled; the zero value is an empty
+// iterator. The yielded slices alias graph storage and must not be
+// mutated. The struct is a bare cursor (one pointer and three offsets) so
+// hot loops can hold it in registers.
+type LabeledEdges struct {
+	a    *adjacency
+	L    labelset.Set
+	i, n uint32 // run index range of the vertex
+	vend uint32 // end edge offset of the vertex's whole run
+}
+
+// Next returns the next non-empty run of edges whose (single) label is in
+// the constraint set, or ok=false when the iteration is done. With the
+// label-run index each matching run comes back in one step and
+// non-matching edges are never touched; on a WithoutLabelIndex view the
+// runs are degenerate (one edge each), so Next filters edge by edge — the
+// pre-CSR access pattern.
+func (it *LabeledEdges) Next() (run []Edge, ok bool) {
+	for it.i < it.n {
+		i := it.i
+		it.i++
+		a := it.a
+		if it.L.Contains(a.runLabel[i]) {
+			start := a.runStart[i]
+			end := it.vend
+			if it.i < it.n {
+				end = a.runStart[it.i]
+			}
+			return a.edges[start:end:end], true
+		}
+	}
+	return nil, false
+}
+
 // Graph is an immutable edge-labeled multigraph with dictionaries and an
 // RDFS schema. Build one with a Builder.
 type Graph struct {
@@ -46,8 +181,8 @@ type Graph struct {
 	labelNames []string            // label id -> name
 	labelIDs   map[string]Label    // name -> label id
 
-	out [][]Edge
-	in  [][]Edge
+	out adjacency
+	in  adjacency
 
 	numEdges int
 	schema   *Schema
@@ -86,43 +221,99 @@ func (g *Graph) LabelByName(name string) (Label, bool) {
 	return l, ok
 }
 
-// Out returns the out-edges of v. The slice aliases internal storage and
-// must not be mutated.
-func (g *Graph) Out(v VertexID) []Edge { return g.out[v] }
+// Out returns the out-edges of v, sorted by (label, head). The slice is a
+// contiguous CSR run; it aliases internal storage and must not be mutated.
+func (g *Graph) Out(v VertexID) []Edge { return g.out.run(v) }
 
-// In returns the in-edges of v (Edge.To is the source vertex). The slice
-// aliases internal storage and must not be mutated.
-func (g *Graph) In(v VertexID) []Edge { return g.in[v] }
+// In returns the in-edges of v (Edge.To is the source vertex), sorted by
+// (label, tail). The slice aliases internal storage and must not be
+// mutated.
+func (g *Graph) In(v VertexID) []Edge { return g.in.run(v) }
+
+// OutLabeled iterates the out-edges of v whose label is in L, one
+// label-pure run at a time, skipping non-matching label runs entirely.
+// With L = LabelUniverse it enumerates every edge, grouped by label.
+func (g *Graph) OutLabeled(v VertexID, L labelset.Set) LabeledEdges { return g.out.labeled(v, L) }
+
+// InLabeled is OutLabeled over the in-adjacency (Edge.To is the source
+// vertex).
+func (g *Graph) InLabeled(v VertexID, L labelset.Set) LabeledEdges { return g.in.labeled(v, L) }
+
+// OutRuns returns the raw label-run view of v's out-edges — the
+// zero-call-per-run form of OutLabeled for the innermost search loops
+// (see EdgeRuns).
+func (g *Graph) OutRuns(v VertexID) EdgeRuns { return g.out.runs(v) }
+
+// InRuns is OutRuns over the in-adjacency.
+func (g *Graph) InRuns(v VertexID) EdgeRuns { return g.in.runs(v) }
+
+// OutWith returns the out-edges of v labeled exactly l, located by binary
+// search — no edges outside the run are touched. The slice aliases
+// internal storage and must not be mutated.
+func (g *Graph) OutWith(v VertexID, l Label) []Edge { return g.out.with(v, l) }
+
+// InWith is OutWith over the in-adjacency.
+func (g *Graph) InWith(v VertexID, l Label) []Edge { return g.in.with(v, l) }
 
 // OutDegree returns the number of out-edges of v.
-func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+func (g *Graph) OutDegree(v VertexID) int { return int(g.out.off[v+1] - g.out.off[v]) }
 
 // InDegree returns the number of in-edges of v.
-func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
+func (g *Graph) InDegree(v VertexID) int { return int(g.in.off[v+1] - g.in.off[v]) }
 
 // Degree returns the total degree of v.
-func (g *Graph) Degree(v VertexID) int { return len(g.out[v]) + len(g.in[v]) }
+func (g *Graph) Degree(v VertexID) int { return g.OutDegree(v) + g.InDegree(v) }
 
-// HasEdge reports whether the edge (s, l, t) exists.
+// HasEdge reports whether the edge (s, l, t) exists, by binary search over
+// the (label, head)-sorted run of s — O(log deg) instead of the O(deg)
+// scan the slice-of-slices layout forced.
 func (g *Graph) HasEdge(s VertexID, l Label, t VertexID) bool {
-	for _, e := range g.out[s] {
-		if e.To == t && e.Label == l {
-			return true
-		}
-	}
-	return false
+	es := g.out.run(s)
+	i := sort.Search(len(es), func(i int) bool {
+		e := es[i]
+		return e.Label > l || e.Label == l && e.To >= t
+	})
+	return i < len(es) && es[i].Label == l && es[i].To == t
 }
 
-// Triples calls fn for every edge of the graph, in subject order. It stops
-// early if fn returns false.
+// Triples calls fn for every edge of the graph, in (subject, label,
+// object) order. It stops early if fn returns false.
 func (g *Graph) Triples(fn func(Triple) bool) {
-	for s := range g.out {
-		for _, e := range g.out[s] {
+	for s := 0; s < len(g.names); s++ {
+		for _, e := range g.out.run(VertexID(s)) {
 			if !fn(Triple{VertexID(s), e.Label, e.To}) {
 				return
 			}
 		}
 	}
+}
+
+// WithoutLabelIndex returns a view of g that shares the CSR edge storage
+// (same edges, same offsets, same iteration order) but replaces the
+// label-run index with degenerate one-edge runs: OutLabeled/InLabeled and
+// OutRuns/InRuns then scan every edge of the vertex and test its label —
+// exactly the access pattern of the pre-CSR slice-of-slices layout, on
+// the identical code path. It exists so benchmarks and equivalence tests
+// can compare the labeled scan against the filtering scan on bit-identical
+// search behaviour.
+func (g *Graph) WithoutLabelIndex() *Graph {
+	h := *g
+	h.out = degenerateRuns(g.out)
+	h.in = degenerateRuns(g.in)
+	return &h
+}
+
+// degenerateRuns rebuilds an adjacency's run index as one run per edge.
+func degenerateRuns(a adjacency) adjacency {
+	d := a
+	d.runOff = a.off
+	d.runStart = make([]uint32, len(a.edges))
+	d.runLabel = make([]Label, len(a.edges))
+	for i, e := range a.edges {
+		d.runStart[i] = uint32(i)
+		d.runLabel[i] = e.Label
+	}
+	return d
 }
 
 // Schema returns the RDFS schema store LS. It is never nil.
@@ -210,43 +401,79 @@ func (b *Builder) NumVertices() int { return len(b.names) }
 // NumEdges returns the number of edges recorded so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
-// Build freezes the Builder into an immutable Graph. The Builder may not
-// be used afterwards.
+// Build freezes the Builder into an immutable CSR Graph: flat edge arrays
+// per direction, each vertex's run sorted by (label, head) with the
+// label-run index alongside. The Builder may not be used afterwards.
 func (b *Builder) Build() *Graph {
 	n := len(b.names)
-	outDeg := make([]int32, n)
-	inDeg := make([]int32, n)
-	for _, e := range b.edges {
-		outDeg[e.Subject]++
-		inDeg[e.Object]++
-	}
-	out := make([][]Edge, n)
-	in := make([][]Edge, n)
-	// Two backing arrays shared by all adjacency slices keep the graph
-	// cache-friendly and halve allocator pressure on large builds.
-	outBack := make([]Edge, len(b.edges))
-	inBack := make([]Edge, len(b.edges))
-	var op, ip int
-	for v := 0; v < n; v++ {
-		out[v] = outBack[op : op : op+int(outDeg[v])]
-		op += int(outDeg[v])
-		in[v] = inBack[ip : ip : ip+int(inDeg[v])]
-		ip += int(inDeg[v])
-	}
-	for _, e := range b.edges {
-		out[e.Subject] = append(out[e.Subject], Edge{To: e.Object, Label: e.Label})
-		in[e.Object] = append(in[e.Object], Edge{To: e.Subject, Label: e.Label})
-	}
 	g := &Graph{
 		names:      b.names,
 		vertexIDs:  b.vertexIDs,
 		labelNames: b.labelNames,
 		labelIDs:   b.labelIDs,
-		out:        out,
-		in:         in,
 		numEdges:   len(b.edges),
 		schema:     b.schema,
 	}
+	// One in-place sort of the triple list per direction; the flat edge
+	// arrays then fill sequentially, so Build allocates exactly the final
+	// storage.
+	slices.SortFunc(b.edges, func(a, c Triple) int {
+		if a.Subject != c.Subject {
+			return int(a.Subject) - int(c.Subject)
+		}
+		if a.Label != c.Label {
+			return int(a.Label) - int(c.Label)
+		}
+		return int(a.Object) - int(c.Object)
+	})
+	g.out = buildCSR(b.edges, n, func(t Triple) (VertexID, Edge) {
+		return t.Subject, Edge{To: t.Object, Label: t.Label}
+	})
+	slices.SortFunc(b.edges, func(a, c Triple) int {
+		if a.Object != c.Object {
+			return int(a.Object) - int(c.Object)
+		}
+		if a.Label != c.Label {
+			return int(a.Label) - int(c.Label)
+		}
+		return int(a.Subject) - int(c.Subject)
+	})
+	g.in = buildCSR(b.edges, n, func(t Triple) (VertexID, Edge) {
+		return t.Object, Edge{To: t.Subject, Label: t.Label}
+	})
 	b.edges = nil
 	return g
+}
+
+// buildCSR lays the (already vertex-then-label sorted) triples out as one
+// adjacency direction, computing the offsets and the label-run index in a
+// single pass.
+func buildCSR(edges []Triple, n int, extract func(Triple) (VertexID, Edge)) adjacency {
+	a := adjacency{
+		edges:  make([]Edge, len(edges)),
+		off:    make([]uint32, n+1),
+		runOff: make([]uint32, n+1),
+	}
+	cur := VertexID(0)
+	lastLabel := Label(0)
+	for i, t := range edges {
+		v, e := extract(t)
+		for cur < v { // close out empty and finished vertices
+			cur++
+			a.off[cur] = uint32(i)
+			a.runOff[cur] = uint32(len(a.runStart))
+		}
+		if len(a.runStart) == int(a.runOff[v]) || e.Label != lastLabel {
+			a.runStart = append(a.runStart, uint32(i))
+			a.runLabel = append(a.runLabel, e.Label)
+			lastLabel = e.Label
+		}
+		a.edges[i] = e
+	}
+	for cur < VertexID(n) {
+		cur++
+		a.off[cur] = uint32(len(edges))
+		a.runOff[cur] = uint32(len(a.runStart))
+	}
+	return a
 }

@@ -187,15 +187,18 @@ func (idx *LandmarkIndex) Reach(s, t graph.VertexID, L labelset.Set) bool {
 			// case expanding u cannot help either.
 			continue
 		}
-		for _, e := range g.Out(u) {
-			if !L.Contains(e.Label) || visited[e.To] {
-				continue
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if visited[e.To] {
+					continue
+				}
+				if e.To == t {
+					return true
+				}
+				visited[e.To] = true
+				queue = append(queue, e.To)
 			}
-			if e.To == t {
-				return true
-			}
-			visited[e.To] = true
-			queue = append(queue, e.To)
 		}
 	}
 	return false

@@ -28,15 +28,18 @@ func Reach(g *graph.Graph, s, t graph.VertexID, L labelset.Set) bool {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, e := range g.Out(u) {
-			if !L.Contains(e.Label) || visited[e.To] {
-				continue
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if visited[e.To] {
+					continue
+				}
+				if e.To == t {
+					return true
+				}
+				visited[e.To] = true
+				queue = append(queue, e.To)
 			}
-			if e.To == t {
-				return true
-			}
-			visited[e.To] = true
-			queue = append(queue, e.To)
 		}
 	}
 	return false
@@ -54,15 +57,18 @@ func ReachDFS(g *graph.Graph, s, t graph.VertexID, L labelset.Set) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.Out(u) {
-			if !L.Contains(e.Label) || visited[e.To] {
-				continue
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if visited[e.To] {
+					continue
+				}
+				if e.To == t {
+					return true
+				}
+				visited[e.To] = true
+				stack = append(stack, e.To)
 			}
-			if e.To == t {
-				return true
-			}
-			visited[e.To] = true
-			stack = append(stack, e.To)
 		}
 	}
 	return false
@@ -74,10 +80,13 @@ func ReachableSet(g *graph.Graph, s graph.VertexID, L labelset.Set) []graph.Vert
 	visited[s] = true
 	out := []graph.VertexID{s}
 	for i := 0; i < len(out); i++ {
-		for _, e := range g.Out(out[i]) {
-			if L.Contains(e.Label) && !visited[e.To] {
-				visited[e.To] = true
-				out = append(out, e.To)
+		it := g.OutLabeled(out[i], L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if !visited[e.To] {
+					visited[e.To] = true
+					out = append(out, e.To)
+				}
 			}
 		}
 	}
@@ -91,10 +100,13 @@ func ReachableSetReverse(g *graph.Graph, t graph.VertexID, L labelset.Set) []gra
 	visited[t] = true
 	out := []graph.VertexID{t}
 	for i := 0; i < len(out); i++ {
-		for _, e := range g.In(out[i]) {
-			if L.Contains(e.Label) && !visited[e.To] {
-				visited[e.To] = true
-				out = append(out, e.To)
+		it := g.InLabeled(out[i], L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if !visited[e.To] {
+					visited[e.To] = true
+					out = append(out, e.To)
+				}
 			}
 		}
 	}

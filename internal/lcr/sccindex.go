@@ -118,13 +118,16 @@ func (idx *SCCIndex) Reach(s, t graph.VertexID, L labelset.Set) bool {
 		if u == t {
 			return true
 		}
-		for _, e := range g.Out(u) {
-			if !L.Contains(e.Label) || idx.scc[e.To] == idx.scc[u] {
-				continue // intra-component edges are covered by the closure
-			}
-			if !marked[e.To] {
-				mark(e.To)
-				idx.expandWithin(e.To, L, mark)
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if idx.scc[e.To] == idx.scc[u] {
+					continue // intra-component edges are covered by the closure
+				}
+				if !marked[e.To] {
+					mark(e.To)
+					idx.expandWithin(e.To, L, mark)
+				}
 			}
 		}
 	}

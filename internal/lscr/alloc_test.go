@@ -1,0 +1,90 @@
+package lscr
+
+import (
+	"math/rand"
+	"testing"
+
+	"lscr/internal/graph"
+	"lscr/internal/pattern"
+	"lscr/internal/testkg"
+)
+
+// insAllocFixture builds a query whose INS run explores a large frontier
+// under a small V(S,G): the worst case for per-query heap allocation in
+// the frontier queue Q, which the scratch pool is supposed to absorb.
+func insAllocFixture(tb testing.TB) (*graph.Graph, *LocalIndex, Query, []graph.VertexID) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := testkg.Random(rng, 4000, 24000, 6)
+	idx := NewLocalIndex(g, IndexParams{K: 40, Seed: 3})
+	// A constraint anchored on one constant keeps V(S,G) (and so the H
+	// heap) small while the false answer forces Q to drain the whole
+	// reachable frontier.
+	var c *pattern.Constraint
+	var vs []graph.VertexID
+	for seed := int64(0); ; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cand := &pattern.Constraint{
+			Focus: "x",
+			Patterns: []pattern.TriplePattern{{
+				Subject: pattern.V("x"),
+				Label:   graph.Label(r.Intn(g.NumLabels())),
+				Object:  pattern.C(graph.VertexID(r.Intn(g.NumVertices()))),
+			}},
+		}
+		m, err := pattern.NewMatcher(g, cand)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if got := m.MatchAll(); len(got) >= 1 && len(got) <= 8 {
+			c, vs = cand, got
+			break
+		}
+	}
+	q := Query{
+		Source: 0,
+		Target: graph.VertexID(g.NumVertices() - 1),
+		Labels: g.LabelUniverse(),
+	}
+	q.Constraint = c
+	return g, idx, q, vs
+}
+
+// maxINSSteadyStateAllocs bounds the per-query allocations of a warmed-up
+// INS run with a precomputed V(S,G). The steady state allocates only the
+// small fixed set of per-run objects (insRun, closeMap, the H lazyPQ and
+// its few-element heap); the frontier queue's heap backing lives in the
+// pooled scratch. Before the scratch pool absorbed Q's heap, growing it
+// to a multi-thousand-vertex frontier cost ~10 extra allocations per
+// query — comfortably above this bound.
+const maxINSSteadyStateAllocs = 12
+
+func TestINSFrontierHeapPooled(t *testing.T) {
+	g, idx, q, vs := insAllocFixture(t)
+	run := func() {
+		if _, _, err := INS(g, idx, q, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the scratch pool (and its frontier heap capacity)
+	}
+	if avg := testing.AllocsPerRun(50, run); avg > maxINSSteadyStateAllocs {
+		t.Errorf("warmed INS query allocates %.1f objects/run, want <= %d (frontier heap not pooled?)",
+			avg, maxINSSteadyStateAllocs)
+	}
+}
+
+// BenchmarkINSAllocs reports allocs/op for the same fixture so the
+// trajectory is visible in benchmark output (go test -bench INSAllocs
+// -benchmem).
+func BenchmarkINSAllocs(b *testing.B) {
+	g, idx, q, vs := insAllocFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := INS(g, idx, q, vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

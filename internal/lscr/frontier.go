@@ -34,10 +34,18 @@ const (
 	fqSeqMask = 1<<33 - 1
 )
 
-// newFrontierQueue builds a queue over the pooled stamp array of s.
+// newFrontierQueue prepares the scratch-resident queue over the pooled
+// stamp array of s. Both the queue struct and its heap backing array live
+// in the per-query scratch, so steady-state INS queries allocate no heap
+// storage at all — the backing array's capacity survives pool round trips
+// and is simply truncated here.
 func newFrontierQueue(s *scratch, n int) *frontierQueue {
 	s.stamp.next(n)
-	return &frontierQueue{stamp: &s.stamp}
+	q := &s.fq
+	q.h = q.h[:0]
+	q.stamp = &s.stamp
+	q.seq = 0
+	return q
 }
 
 // push inserts v with the given packed priority prefix (bits 62-33 of the

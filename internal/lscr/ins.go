@@ -250,37 +250,46 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error) {
 			break
 		}
 		u, _ := r.queue.pop()
-		for _, e := range r.g.Out(u) { // Lines 21-29.
-			if err := r.ic.tick(); err != nil {
-				return false, err
-			}
-			if !L.Contains(e.Label) {
+		rs := r.g.OutRuns(u)
+		// Tick the run scan up front: cancellation must stay prompt even
+		// when every run is rejected by the label constraint.
+		if err := r.ic.tickN(rs.Len()); err != nil {
+			return false, err
+		}
+		for ri, n := 0, rs.Len(); ri < n; ri++ { // Lines 21-29.
+			if !L.Contains(rs.Label(ri)) {
 				continue
 			}
-			w := e.To
-			// Line 22-23: t* lives in w's region and w reaches it there.
-			if r.tStarAF == w && r.idx.Check(w, tStar, L) {
-				r.requeue(u)
-				return true, nil
+			run := rs.Run(ri)
+			if err := r.ic.tickN(len(run)); err != nil {
+				return false, err
 			}
-			if r.idx.IsLandmark(w) { // Lines 24-25.
-				if r.cutPush(w, tStar, fromSat) {
+			for _, e := range run {
+				w := e.To
+				// Line 22-23: t* lives in w's region and w reaches it there.
+				if r.tStarAF == w && r.idx.Check(w, tStar, L) {
 					r.requeue(u)
 					return true, nil
 				}
-			} else if r.close.get(w) == N || fromSat && r.close.get(w) == F { // Lines 26-27.
-				if fromSat {
-					r.close.set(w, T)
-				} else {
-					r.close.set(w, F)
-				}
-				r.enqueue(w)
-				if r.tr != nil {
-					r.tr.Transition(w, r.close.get(w), u, e.Label, false)
-				}
-				if w == tStar { // Lines 28-29.
-					r.requeue(u)
-					return true, nil
+				if r.idx.IsLandmark(w) { // Lines 24-25.
+					if r.cutPush(w, tStar, fromSat) {
+						r.requeue(u)
+						return true, nil
+					}
+				} else if r.close.get(w) == N || fromSat && r.close.get(w) == F { // Lines 26-27.
+					if fromSat {
+						r.close.set(w, T)
+					} else {
+						r.close.set(w, F)
+					}
+					r.enqueue(w)
+					if r.tr != nil {
+						r.tr.Transition(w, r.close.get(w), u, e.Label, false)
+					}
+					if w == tStar { // Lines 28-29.
+						r.requeue(u)
+						return true, nil
+					}
 				}
 			}
 		}

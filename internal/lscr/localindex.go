@@ -350,12 +350,18 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 		if !insert(ii, st.v, st.l) { // Line 10.
 			continue
 		}
-		for _, e := range g.Out(st.v) { // Lines 11-14.
-			nl := st.l.Add(e.Label)
-			if idx.af[e.To] == u {
-				queue = append(queue, liState{e.To, nl})
-			} else {
-				insert(ei, e.To, nl)
+		// Walk the CSR label runs: the extended label set st.l + e.Label is
+		// constant per run, so it is computed once per run instead of once
+		// per edge.
+		rs := g.OutRuns(st.v)
+		for ri, n := 0, rs.Len(); ri < n; ri++ { // Lines 11-14.
+			nl := st.l.Add(rs.Label(ri))
+			for _, e := range rs.Run(ri) {
+				if idx.af[e.To] == u {
+					queue = append(queue, liState{e.To, nl})
+				} else {
+					insert(ei, e.To, nl)
+				}
 			}
 		}
 	}

@@ -90,6 +90,21 @@ func (ic *interruptCheck) tick() error {
 	return ic.fn()
 }
 
+// tickN counts n units at once — the per-run form the CSR label runs
+// enable: one call per contiguous run instead of one per edge. The poll
+// cadence stays amortised at interruptStride; a run only stretches the
+// gap by its own length, which the degree bounds.
+func (ic *interruptCheck) tickN(n int) error {
+	if ic.fn == nil {
+		return nil
+	}
+	if ic.n += n; ic.n < interruptStride {
+		return nil
+	}
+	ic.n = 0
+	return ic.fn()
+}
+
 // poll checks the interrupt immediately, bypassing the stride. Use it
 // on coarse-grained steps (INS's priority-heap pops, whose
 // revalidation cost dwarfs the poll) where a stride of thousands would

@@ -170,43 +170,52 @@ func uisMulti(g *graph.Graph, q MultiQuery, wantWitness bool) (bool, *MultiWitne
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.Out(cur.v) {
-			if err := ic.tick(); err != nil {
+		rs := g.OutRuns(cur.v)
+		// Tick the run scan up front: cancellation must stay prompt even
+		// when every run is rejected by the label constraint.
+		if err := ic.tickN(rs.Len()); err != nil {
+			return false, nil, Stats{}, err
+		}
+		for ri, n := 0, rs.Len(); ri < n; ri++ {
+			if !q.Labels.Contains(rs.Label(ri)) {
+				continue
+			}
+			run := rs.Run(ri)
+			if err := ic.tickN(len(run)); err != nil {
 				return false, nil, Stats{}, err
 			}
-			if !q.Labels.Contains(e.Label) {
-				continue
-			}
-			m := cur.m | satBits(e.To)
-			if !record(e.To, m) {
-				continue
-			}
-			if wantWitness {
-				parents[stateKey{e.To, m}] = pred{v: cur.v, m: cur.m, label: e.Label}
-			}
-			if e.To == q.Target && m == full {
-				st.SCckCalls = scck
-				var w *MultiWitness
-				if wantWitness {
-					// Walk the predecessor chain back to the start state.
-					var rev []Hop
-					at := stateKey{e.To, m}
-					for at.v != q.Source || at.m != start.m {
-						p, ok := parents[at]
-						if !ok {
-							break // unreachable for a sound search
-						}
-						rev = append(rev, Hop{From: p.v, Label: p.label, To: at.v})
-						at = stateKey{p.v, p.m}
-					}
-					for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-						rev[i], rev[j] = rev[j], rev[i]
-					}
-					w = &MultiWitness{Hops: rev, SatisfiedBy: satisfiersOnWalk(q, rev, satBits)}
+			for _, e := range run {
+				m := cur.m | satBits(e.To)
+				if !record(e.To, m) {
+					continue
 				}
-				return true, w, st, nil
+				if wantWitness {
+					parents[stateKey{e.To, m}] = pred{v: cur.v, m: cur.m, label: e.Label}
+				}
+				if e.To == q.Target && m == full {
+					st.SCckCalls = scck
+					var w *MultiWitness
+					if wantWitness {
+						// Walk the predecessor chain back to the start state.
+						var rev []Hop
+						at := stateKey{e.To, m}
+						for at.v != q.Source || at.m != start.m {
+							p, ok := parents[at]
+							if !ok {
+								break // unreachable for a sound search
+							}
+							rev = append(rev, Hop{From: p.v, Label: p.label, To: at.v})
+							at = stateKey{p.v, p.m}
+						}
+						for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+							rev[i], rev[j] = rev[j], rev[i]
+						}
+						w = &MultiWitness{Hops: rev, SatisfiedBy: satisfiersOnWalk(q, rev, satBits)}
+					}
+					return true, w, st, nil
+				}
+				stack = append(stack, state{e.To, m})
 			}
-			stack = append(stack, state{e.To, m})
 		}
 	}
 	st.SCckCalls = scck

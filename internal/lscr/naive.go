@@ -41,15 +41,21 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, e := range g.Out(u) {
-				if !q.Labels.Contains(e.Label) || visited[e.To] {
+			rs := g.OutRuns(u)
+			for ri, n := 0, rs.Len(); ri < n; ri++ {
+				if !q.Labels.Contains(rs.Label(ri)) {
 					continue
 				}
-				if e.To == q.Target {
-					return true
+				for _, e := range rs.Run(ri) {
+					if visited[e.To] {
+						continue
+					}
+					if e.To == q.Target {
+						return true
+					}
+					visited[e.To] = true
+					stack = append(stack, e.To)
 				}
-				visited[e.To] = true
-				stack = append(stack, e.To)
 			}
 		}
 		return false
@@ -73,22 +79,28 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.Out(u) {
-			if !q.Labels.Contains(e.Label) || visited[e.To] {
+		rs := g.OutRuns(u)
+		for ri, n := 0, rs.Len(); ri < n; ri++ {
+			if !q.Labels.Contains(rs.Label(ri)) {
 				continue
 			}
-			visited[e.To] = true
-			st.PassedVertices++
-			st.SearchTreeNodes++
-			scck++
-			if m.Check(e.To) {
-				if reach(e.To) {
-					st.SCckCalls = scck
-					st.Satisfying = e.To
-					return true, st, nil
+			for _, e := range rs.Run(ri) {
+				if visited[e.To] {
+					continue
 				}
+				visited[e.To] = true
+				st.PassedVertices++
+				st.SearchTreeNodes++
+				scck++
+				if m.Check(e.To) {
+					if reach(e.To) {
+						st.SCckCalls = scck
+						st.Satisfying = e.To
+						return true, st, nil
+					}
+				}
+				stack = append(stack, e.To)
 			}
-			stack = append(stack, e.To)
 		}
 	}
 	st.SCckCalls = scck

@@ -58,6 +58,10 @@ type scratch struct {
 	// cut is INS's per-landmark Cut/Push-done table; it is zeroed on
 	// borrow (landmark counts are ~√|V|·log|V|, so the clear is cheap).
 	cut []uint8
+	// fq is INS's frontier queue Q; its heap backing array is reused
+	// across queries (newFrontierQueue truncates it), so a steady stream
+	// of INS queries stops allocating a fresh heap per query.
+	fq frontierQueue
 }
 
 // satTable returns the satisfying-origin table sized for n vertices.

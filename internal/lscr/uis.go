@@ -65,40 +65,52 @@ func uisRun(g *graph.Graph, q Query, tr Tracer) (bool, Stats, error) {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.Out(u) {
-			if err := ic.tick(); err != nil {
+		// The label-run view walks only the runs inside q.Labels, so edges
+		// outside the constraint are never touched. The run scan itself is
+		// ticked up front so cancellation stays prompt even when every run
+		// is rejected (on a WithoutLabelIndex view Len() is the degree,
+		// restoring the per-edge accounting of the pre-CSR layout).
+		rs := g.OutRuns(u)
+		if err := ic.tickN(rs.Len()); err != nil {
+			return false, Stats{}, err
+		}
+		for ri, n := 0, rs.Len(); ri < n; ri++ {
+			if !q.Labels.Contains(rs.Label(ri)) {
+				continue
+			}
+			run := rs.Run(ri)
+			if err := ic.tickN(len(run)); err != nil {
 				return false, Stats{}, err
 			}
-			if !q.Labels.Contains(e.Label) {
-				continue
-			}
-			v := e.To
-			switch {
-			case close.get(u) == T && close.get(v) != T:
-				// Case 1: s -L,S-> u and u -L-> v, so s -L,S-> v.
-				close.set(v, T)
-				sat[v] = sat[u]
-				stack = append(stack, v)
-				if tr != nil {
-					tr.Transition(v, T, u, e.Label, false)
+			for _, e := range run {
+				v := e.To
+				switch {
+				case close.get(u) == T && close.get(v) != T:
+					// Case 1: s -L,S-> u and u -L-> v, so s -L,S-> v.
+					close.set(v, T)
+					sat[v] = sat[u]
+					stack = append(stack, v)
+					if tr != nil {
+						tr.Transition(v, T, u, e.Label, false)
+					}
+				case close.get(v) == N:
+					// Case 2: first visit; close[v] <- SCck(v, S).
+					st := check(v)
+					close.set(v, st)
+					if st == T {
+						sat[v] = uint32(v)
+					}
+					stack = append(stack, v)
+					if tr != nil {
+						tr.Transition(v, st, u, e.Label, false)
+					}
+				default:
+					continue
 				}
-			case close.get(v) == N:
-				// Case 2: first visit; close[v] <- SCck(v, S).
-				st := check(v)
-				close.set(v, st)
-				if st == T {
-					sat[v] = uint32(v)
+				// Lines 10-11.
+				if v == q.Target && close.get(v) == T {
+					return true, close.statsSat(scck, graph.VertexID(sat[v])), nil
 				}
-				stack = append(stack, v)
-				if tr != nil {
-					tr.Transition(v, st, u, e.Label, false)
-				}
-			default:
-				continue
-			}
-			// Lines 10-11.
-			if v == q.Target && close.get(v) == T {
-				return true, close.statsSat(scck, graph.VertexID(sat[v])), nil
 			}
 		}
 	}

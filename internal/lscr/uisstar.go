@@ -151,34 +151,43 @@ func (u *uisStarRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error
 			break
 		}
 		u.stack = u.stack[:len(u.stack)-1] // Line 18: take u.
-		for _, e := range u.g.Out(top) {
-			if err := u.ic.tick(); err != nil {
-				return false, err
-			}
-			if !u.q.Labels.Contains(e.Label) {
+		rs := u.g.OutRuns(top)
+		// Tick the run scan up front: cancellation must stay prompt even
+		// when every run is rejected by the label constraint.
+		if err := u.ic.tickN(rs.Len()); err != nil {
+			return false, err
+		}
+		for ri, n := 0, rs.Len(); ri < n; ri++ {
+			if !u.q.Labels.Contains(rs.Label(ri)) {
 				continue
 			}
-			w := e.To
-			// Line 20: case 1 (B=T ∧ close[w]≠T) or case 2 (B=F ∧ close[w]=N).
-			if fromSat && u.close.get(w) != T || !fromSat && u.close.get(w) == N {
-				if fromSat {
-					u.close.set(w, T)
-				} else {
-					u.close.set(w, F)
-				}
-				u.stack = append(u.stack, w)
-				if u.tr != nil {
-					u.tr.Transition(w, u.close.get(w), top, e.Label, false)
-				}
-				if w == tStar { // Lines 22-23.
-					// Re-push the partially scanned vertex so a later
-					// invocation rescans its remaining edges (the paper
-					// removes elements from S only once "passed", i.e.
-					// fully processed — Figure 6(b)).
-					if !fromSat {
-						u.stack = append(u.stack, top)
+			run := rs.Run(ri)
+			if err := u.ic.tickN(len(run)); err != nil {
+				return false, err
+			}
+			for _, e := range run {
+				w := e.To
+				// Line 20: case 1 (B=T ∧ close[w]≠T) or case 2 (B=F ∧ close[w]=N).
+				if fromSat && u.close.get(w) != T || !fromSat && u.close.get(w) == N {
+					if fromSat {
+						u.close.set(w, T)
+					} else {
+						u.close.set(w, F)
 					}
-					return true, nil
+					u.stack = append(u.stack, w)
+					if u.tr != nil {
+						u.tr.Transition(w, u.close.get(w), top, e.Label, false)
+					}
+					if w == tStar { // Lines 22-23.
+						// Re-push the partially scanned vertex so a later
+						// invocation rescans its remaining edges (the paper
+						// removes elements from S only once "passed", i.e.
+						// fully processed — Figure 6(b)).
+						if !fromSat {
+							u.stack = append(u.stack, top)
+						}
+						return true, nil
+					}
 				}
 			}
 		}

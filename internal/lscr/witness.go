@@ -67,17 +67,20 @@ func shortestPath(g *graph.Graph, s, t graph.VertexID, L labelset.Set) ([]Hop, b
 	for len(queue) > 0 && !found {
 		u := queue[0]
 		queue = queue[1:]
-		for _, e := range g.Out(u) {
-			if !L.Contains(e.Label) || visited[e.To] {
-				continue
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok && !found; run, ok = it.Next() {
+			for _, e := range run {
+				if visited[e.To] {
+					continue
+				}
+				visited[e.To] = true
+				par[e.To] = parent{from: u, label: e.Label}
+				if e.To == t {
+					found = true
+					break
+				}
+				queue = append(queue, e.To)
 			}
-			visited[e.To] = true
-			par[e.To] = parent{from: u, label: e.Label}
-			if e.To == t {
-				found = true
-				break
-			}
-			queue = append(queue, e.To)
 		}
 	}
 	if !found {

@@ -222,24 +222,22 @@ func (m *Matcher) focusCandidates() []graph.VertexID {
 		return all
 	}
 	p := c.Patterns[best]
-	seen := map[graph.VertexID]bool{}
-	var out []graph.VertexID
+	// The CSR label runs hand over exactly the edges carrying the
+	// pattern's label, already sorted by endpoint, so candidate collection
+	// touches no non-matching edges and needs no re-sort — only the
+	// multigraph dedup pass.
+	var run []graph.Edge
 	if bestOut {
-		for _, e := range g.Out(p.Subject.Vertex) {
-			if e.Label == p.Label && !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-			}
-		}
+		run = g.OutWith(p.Subject.Vertex, p.Label)
 	} else {
-		for _, e := range g.In(p.Object.Vertex) {
-			if e.Label == p.Label && !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-			}
+		run = g.InWith(p.Object.Vertex, p.Label)
+	}
+	out := make([]graph.VertexID, 0, len(run))
+	for _, e := range run {
+		if len(out) == 0 || out[len(out)-1] != e.To {
+			out = append(out, e.To)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -289,10 +287,7 @@ func (m *Matcher) solve(bind map[string]graph.VertexID, remaining patternSet) bo
 	case sBound && oBound:
 		return g.HasEdge(sv, p.Label, ov) && m.solve(bind, rest)
 	case sBound:
-		for _, e := range g.Out(sv) {
-			if e.Label != p.Label {
-				continue
-			}
+		for _, e := range g.OutWith(sv, p.Label) {
 			bind[p.Object.Name] = e.To
 			if m.solve(bind, rest) {
 				delete(bind, p.Object.Name)
@@ -302,10 +297,7 @@ func (m *Matcher) solve(bind map[string]graph.VertexID, remaining patternSet) bo
 		delete(bind, p.Object.Name)
 		return false
 	case oBound:
-		for _, e := range g.In(ov) {
-			if e.Label != p.Label {
-				continue
-			}
+		for _, e := range g.InWith(ov, p.Label) {
 			bind[p.Subject.Name] = e.To
 			if m.solve(bind, rest) {
 				delete(bind, p.Subject.Name)
@@ -315,15 +307,12 @@ func (m *Matcher) solve(bind map[string]graph.VertexID, remaining patternSet) bo
 		delete(bind, p.Subject.Name)
 		return false
 	default:
-		// Neither endpoint bound: enumerate all edges with the label.
-		// This is the worst case; the cost ordering avoids it whenever a
-		// cheaper pattern exists.
+		// Neither endpoint bound: enumerate all edges with the label,
+		// one label run per vertex. This is the worst case; the cost
+		// ordering avoids it whenever a cheaper pattern exists.
 		sameVar := p.Subject.Kind == Var && p.Object.Kind == Var && p.Subject.Name == p.Object.Name
 		for s := 0; s < g.NumVertices(); s++ {
-			for _, e := range g.Out(graph.VertexID(s)) {
-				if e.Label != p.Label {
-					continue
-				}
+			for _, e := range g.OutWith(graph.VertexID(s), p.Label) {
 				if sameVar {
 					if graph.VertexID(s) != e.To {
 						continue
@@ -416,10 +405,7 @@ func (m *Matcher) enumerate(bind map[string]graph.VertexID, remaining patternSet
 		}
 		return m.enumerate(bind, rest, emit)
 	case sBound:
-		for _, e := range g.Out(sv) {
-			if e.Label != p.Label {
-				continue
-			}
+		for _, e := range g.OutWith(sv, p.Label) {
 			bind[p.Object.Name] = e.To
 			if !m.enumerate(bind, rest, emit) {
 				delete(bind, p.Object.Name)
@@ -429,10 +415,7 @@ func (m *Matcher) enumerate(bind map[string]graph.VertexID, remaining patternSet
 		delete(bind, p.Object.Name)
 		return true
 	case oBound:
-		for _, e := range g.In(ov) {
-			if e.Label != p.Label {
-				continue
-			}
+		for _, e := range g.InWith(ov, p.Label) {
 			bind[p.Subject.Name] = e.To
 			if !m.enumerate(bind, rest, emit) {
 				delete(bind, p.Subject.Name)
@@ -444,10 +427,7 @@ func (m *Matcher) enumerate(bind map[string]graph.VertexID, remaining patternSet
 	default:
 		sameVar := p.Subject.Kind == Var && p.Object.Kind == Var && p.Subject.Name == p.Object.Name
 		for s := 0; s < g.NumVertices(); s++ {
-			for _, e := range g.Out(graph.VertexID(s)) {
-				if e.Label != p.Label {
-					continue
-				}
+			for _, e := range g.OutWith(graph.VertexID(s), p.Label) {
 				if sameVar {
 					if graph.VertexID(s) != e.To {
 						continue

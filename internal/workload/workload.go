@@ -178,11 +178,14 @@ func (gen *generator) pickTarget(s graph.VertexID, L labelset.Set) (graph.Vertex
 	for iter := 0; iter < int(gen.logV) && len(queue) > 0; iter++ {
 		u := queue[0]
 		queue = queue[1:]
-		for _, e := range g.Out(u) {
-			if L.Contains(e.Label) && !explored[e.To] {
-				explored[e.To] = true
-				count++
-				queue = append(queue, e.To)
+		it := g.OutLabeled(u, L)
+		for run, ok := it.Next(); ok; run, ok = it.Next() {
+			for _, e := range run {
+				if !explored[e.To] {
+					explored[e.To] = true
+					count++
+					queue = append(queue, e.To)
+				}
 			}
 		}
 	}

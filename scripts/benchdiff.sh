@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# benchdiff.sh OLD.json NEW.json [tolerance]
+#
+# Compares two BENCH_*.json artifacts (parallel, cache, csr, ...) and
+# fails when any *qps* figure in NEW regressed by more than the tolerance
+# (fraction, default 0.10) relative to OLD. Wraps scripts/benchdiff so CI
+# and developers invoke one entry point.
+set -euo pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [tolerance]" >&2
+    exit 2
+fi
+
+# Resolve the artifact paths before changing directory: the go run below
+# must execute from the module root, but the arguments are the caller's.
+old="$(realpath "$1")"
+new="$(realpath "$2")"
+tol="${3:-0.10}"
+cd "$(dirname "$0")/.."
+exec go run ./scripts/benchdiff -tolerance "$tol" "$old" "$new"

@@ -1,0 +1,118 @@
+// Command benchdiff compares two BENCH_*.json artifacts and fails when
+// any throughput figure regressed by more than a tolerance (default 10%).
+//
+// It walks both documents generically and compares every numeric leaf
+// whose key mentions "qps" (the convention of every committed BENCH_*
+// artifact: cold_qps, warm_qps, uis_labeled_qps, ...), keyed by its JSON
+// path, so the same tool guards BENCH_parallel.json, BENCH_cache.json and
+// BENCH_csr.json alike. Leaves present in only one file are reported but
+// not fatal (artifacts grow fields over time).
+//
+// Usage: benchdiff [-tolerance 0.10] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	tol := flag.Float64("tolerance", 0.10, "maximum allowed fractional QPS regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldQPS, err := loadQPS(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newQPS, err := loadQPS(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(oldQPS) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no *qps* figures in %s\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	paths := make([]string, 0, len(oldQPS))
+	for p := range oldQPS {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	regressed := false
+	for _, p := range paths {
+		o := oldQPS[p]
+		n, ok := newQPS[p]
+		if !ok {
+			fmt.Printf("  %-40s %12.0f -> (missing)\n", p, o)
+			continue
+		}
+		delta := 0.0
+		if o > 0 {
+			delta = n/o - 1
+		}
+		mark := " "
+		if o > 0 && n < o*(1-*tol) {
+			mark = "!"
+			regressed = true
+		}
+		fmt.Printf("%s %-40s %12.0f -> %12.0f  (%+.1f%%)\n", mark, p, o, n, delta*100)
+	}
+	for p, n := range newQPS {
+		if _, ok := oldQPS[p]; !ok {
+			fmt.Printf("  %-40s      (new) -> %12.0f\n", p, n)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: QPS regression beyond %.0f%% tolerance\n", *tol*100)
+		os.Exit(1)
+	}
+}
+
+// loadQPS flattens the JSON document at path into (json-path -> value)
+// for every numeric leaf whose key mentions qps.
+func loadQPS(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(prefix+"["+strconv.Itoa(i)+"]", child, out)
+		}
+	case float64:
+		key := prefix[strings.LastIndexByte(prefix, '.')+1:]
+		if strings.Contains(strings.ToLower(key), "qps") {
+			out[prefix] = x
+		}
+	}
+}
