@@ -81,6 +81,43 @@ type BatchResponse struct {
 	Count   int         `json:"count"`
 }
 
+// Mutation is one operation of a POST /v1/mutate batch. Op is
+// "add-edge", "delete-edge", "add-vertex" or "add-label"; add-edge and
+// delete-edge use subject/label/object, add-vertex uses subject,
+// add-label uses label.
+type Mutation struct {
+	Op      string `json:"op"`
+	Subject string `json:"subject,omitempty"`
+	Label   string `json:"label,omitempty"`
+	Object  string `json:"object,omitempty"`
+}
+
+// MutateRequest is the POST /v1/mutate body. The batch commits
+// atomically: on any error (unknown name or absent edge in a delete,
+// malformed mutation, client disconnect before the body arrived)
+// nothing is applied.
+type MutateRequest struct {
+	Mutations []Mutation `json:"mutations"`
+}
+
+// MutateResponse is the POST /v1/mutate reply.
+type MutateResponse struct {
+	// Epoch is the sequence number of the published snapshot; queries
+	// issued after this reply see the batch.
+	Epoch uint64 `json:"epoch"`
+	// Added/Deleted count the batch's edge operations; NewVertices and
+	// NewLabels the names it interned.
+	Added       int `json:"added"`
+	Deleted     int `json:"deleted"`
+	NewVertices int `json:"new_vertices"`
+	NewLabels   int `json:"new_labels"`
+	// OverlayOps is the server's uncompacted operation count after the
+	// batch; CompactionStarted reports that the batch crossed the
+	// compaction threshold.
+	OverlayOps        int  `json:"overlay_ops"`
+	CompactionStarted bool `json:"compaction_started"`
+}
+
 // Health is the GET /healthz reply.
 type Health struct {
 	Status   string          `json:"status"`
@@ -90,6 +127,7 @@ type Health struct {
 	Edges    int             `json:"edges"`
 	Labels   int             `json:"labels"`
 	Cache    lscr.CacheStats `json:"cache"`
+	Epoch    lscr.EpochInfo  `json:"epoch"`
 }
 
 // Error is the body of every non-2xx reply.
@@ -144,6 +182,35 @@ func (r QueryRequest) ToRequest() (lscr.Request, error) {
 		WantTrace:   r.Trace,
 		Timeout:     time.Duration(r.TimeoutMS) * time.Millisecond,
 	}, nil
+}
+
+// ToMutations converts the wire batch to the engine's mutation shape.
+// Op strings pass through verbatim; the engine validates them (an
+// unknown op rejects the whole batch).
+func (r MutateRequest) ToMutations() []lscr.Mutation {
+	out := make([]lscr.Mutation, len(r.Mutations))
+	for i, m := range r.Mutations {
+		out[i] = lscr.Mutation{
+			Op:      lscr.MutationOp(m.Op),
+			Subject: m.Subject,
+			Label:   m.Label,
+			Object:  m.Object,
+		}
+	}
+	return out
+}
+
+// FromApplyResult converts the engine's apply report to the wire shape.
+func FromApplyResult(res lscr.ApplyResult) MutateResponse {
+	return MutateResponse{
+		Epoch:             res.Epoch,
+		Added:             res.Added,
+		Deleted:           res.Deleted,
+		NewVertices:       res.NewVertices,
+		NewLabels:         res.NewLabels,
+		OverlayOps:        res.OverlayOps,
+		CompactionStarted: res.CompactionStarted,
+	}
 }
 
 // FromResponse converts the engine's Response to the wire shape.

@@ -75,6 +75,17 @@ func (c *Client) Batch(ctx context.Context, req api.BatchRequest) (api.BatchResp
 	return out, err
 }
 
+// Mutate commits one atomic mutation batch via POST /v1/mutate. The
+// server applies either the whole batch or none of it: a validation
+// error (unknown name or absent edge in a delete, malformed op), a
+// connection dropped mid-request, or a read-only server leaves the
+// graph untouched.
+func (c *Client) Mutate(ctx context.Context, muts []api.Mutation) (api.MutateResponse, error) {
+	var out api.MutateResponse
+	err := c.post(ctx, "/"+api.Version+"/mutate", api.MutateRequest{Mutations: muts}, &out)
+	return out, err
+}
+
 // Health reads GET /healthz.
 func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	var out api.Health

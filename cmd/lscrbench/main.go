@@ -15,14 +15,18 @@
 //	lscrbench -exp serverclient     # typed client → live lscrd /v1 QPS
 //	lscrbench -exp csr              # CSR labeled-scan vs filter traversal QPS
 //	lscrbench -exp csr-json         # same, as BENCH_csr.json
+//	lscrbench -exp mutate           # mixed read/write workload over Engine.Apply
+//	lscrbench -exp mutate-json      # same, as BENCH_mutate.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
-// cachespeedup-json, serverclient, csr, csr-json, all. "all" runs the
-// paper experiments only — the machine-dependent scaling sweeps
-// (parallel*, throughput, cachespeedup*, serverclient, csr*) are invoked
-// explicitly.
+// cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json,
+// all. "all" runs the paper experiments only — the machine-dependent
+// scaling sweeps (parallel*, throughput, cachespeedup*, serverclient,
+// csr*, mutate*) are invoked explicitly. The mutate experiments exit
+// nonzero unless the mutated engine answered identically to a rebuild
+// on the final edge set.
 package main
 
 import (
@@ -37,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, csr, csr-json, all)")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json, all)")
 		scale       = flag.Int("scale", 1, "dataset scale multiplier")
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
@@ -86,6 +90,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"serverclient": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunServerClient(w, cfg, concurrency)
+		},
+		"mutate": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunMutate(w, cfg, concurrency)
+		},
+		"mutate-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunMutateJSON(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

@@ -2,15 +2,17 @@
 //
 //	lscrd -kg graph.nt -addr :8080
 //
-// The endpoints — /v1/query, /v1/batch, /healthz, plus the deprecated
-// pre-v1 routes — are implemented by package lscr/server; this command
-// only loads the KG, builds the engine and manages the listener
-// lifecycle. The server is read-only: the KG and index are built once
-// at startup (across -workers goroutines) and shared by concurrent
-// requests. Request bodies are size-capped, the listener runs with
-// read/write timeouts, in-flight requests drain gracefully on
-// SIGINT/SIGTERM, and every search runs under the request's context so
-// disconnected clients stop consuming CPU.
+// The endpoints — /v1/query, /v1/batch, /v1/mutate, /healthz, plus the
+// deprecated pre-v1 routes — are implemented by package lscr/server;
+// this command only loads the KG, builds the engine and manages the
+// listener lifecycle. The KG and index are built once at startup
+// (across -workers goroutines); /v1/mutate then commits live edge
+// changes into the engine's delta overlay (compacted in the background
+// after -compact-after operations) unless -readonly disables it.
+// Request bodies are size-capped, the listener runs with read/write
+// timeouts, in-flight requests drain gracefully on SIGINT/SIGTERM, and
+// every search runs under the request's context so disconnected
+// clients stop consuming CPU.
 package main
 
 import (
@@ -47,11 +49,13 @@ const (
 
 func main() {
 	var (
-		kgPath      = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
-		cacheSize   = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
-		showVersion = flag.Bool("version", false, "print version and exit")
+		kgPath       = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
+		cacheSize    = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
+		compactAfter = flag.Int("compact-after", 0, "overlay ops before background compaction (0 = default, negative = manual only)")
+		readonly     = flag.Bool("readonly", false, "disable /v1/mutate (403)")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -62,10 +66,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
 		os.Exit(2)
 	}
-	eng, kg, err := load(*kgPath, *workers, *cacheSize)
+	eng, kg, err := load(*kgPath, *workers, *cacheSize, *compactAfter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
 		os.Exit(2)
+	}
+	var srvOpts []server.Option
+	if *readonly {
+		srvOpts = append(srvOpts, server.ReadOnly())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -77,7 +85,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := &http.Server{
-		Handler:           server.New(eng, kg),
+		Handler:           server.New(eng, kg, srvOpts...),
 		ReadHeaderTimeout: readHeaderTimeout,
 		ReadTimeout:       readTimeout,
 		WriteTimeout:      writeTimeout,
@@ -108,7 +116,7 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener) error {
 	}
 }
 
-func load(path string, workers, cacheSize int) (*lscr.Engine, *lscr.KG, error) {
+func load(path string, workers, cacheSize, compactAfter int) (*lscr.Engine, *lscr.KG, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -127,6 +135,6 @@ func load(path string, workers, cacheSize int) (*lscr.Engine, *lscr.KG, error) {
 			return nil, nil, err
 		}
 	}
-	opts := lscr.Options{IndexWorkers: workers, ConstraintCacheSize: cacheSize}
+	opts := lscr.Options{IndexWorkers: workers, ConstraintCacheSize: cacheSize, CompactAfter: compactAfter}
 	return lscr.NewEngine(kg, opts), kg, nil
 }

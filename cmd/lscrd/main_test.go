@@ -69,7 +69,7 @@ func TestLoadHelper(t *testing.T) {
 	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	eng, kg, err := load(triples, 1, 0)
+	eng, kg, err := load(triples, 1, 0, 0)
 	if err != nil || eng == nil || kg.NumVertices() != 4 {
 		t.Fatalf("triples load: %v", err)
 	}
@@ -83,10 +83,10 @@ func TestLoadHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if _, kg2, err := load(snap, 0, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
+	if _, kg2, err := load(snap, 0, 0, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
 		t.Fatalf("snapshot load: %v", err)
 	}
-	if _, _, err := load(filepath.Join(dir, "missing"), 0, 0); err == nil {
+	if _, _, err := load(filepath.Join(dir, "missing"), 0, 0, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

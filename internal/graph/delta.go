@@ -1,0 +1,492 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"lscr/internal/labelset"
+)
+
+// Live mutations. A Graph built by Build is a frozen CSR; Delta stages a
+// batch of edge insertions/deletions (plus new-vertex and new-label
+// interning) against any Graph view and Commit produces a NEW immutable
+// Graph that layers the accumulated changes over the same base CSR as a
+// small overlay. The base arrays are never modified, so readers holding
+// the old Graph keep a fully consistent view forever — the engine layer
+// swaps the current view atomically (RCU-style epochs).
+//
+// # Overlay layout
+//
+// The overlay stores, per direction, the COMPLETE merged adjacency row of
+// every vertex touched by a mutation since the base was built: base edges
+// minus deletions plus insertions, (label, head)-sorted with a label-run
+// index — the exact shape of a base CSR row, packed into one mini-CSR
+// indexed by a dense slot number. OutRuns/InRuns and friends answer from
+// the patch row when the vertex is touched and from the base row
+// otherwise, so the hot loops keep their run-scan shape: merged label
+// runs, deletions already masked, zero per-edge branching. An untouched
+// read costs one nil check (no overlay) or one bitmap probe.
+//
+// Deletions use multiset semantics (the graph is a multigraph): one
+// DeleteEdge removes one instance of the triple and fails with
+// ErrEdgeNotFound when no instance remains.
+//
+// Compact folds the overlay back into a fresh base CSR that is
+// observationally identical to the overlay view (same dictionaries in
+// the same ID order, same ordered Triples, same runs) — the property the
+// delta fuzz suite pins down.
+
+// Mutation errors.
+var (
+	// ErrEdgeNotFound reports a DeleteEdge whose triple has no remaining
+	// instance in the staged view.
+	ErrEdgeNotFound = errors.New("graph: edge not found")
+	// ErrLabelSpace reports label interning beyond labelset.MaxLabels.
+	ErrLabelSpace = fmt.Errorf("graph: label universe exceeds %d", labelset.MaxLabels)
+	// ErrVertexRange reports an edge endpoint outside the staged view.
+	ErrVertexRange = errors.New("graph: vertex out of range")
+)
+
+// deltaOp is one resolved edge mutation of the overlay log, in commit
+// order. The log is what a compactor replays onto a fresh base when
+// mutations land while it is rebuilding.
+type deltaOp struct {
+	del bool
+	t   Triple
+}
+
+// overlay is the immutable delta layered over a base CSR. All slices and
+// maps are frozen at Commit; successive commits build new overlays.
+type overlay struct {
+	baseV int // vertex-dictionary size of the base
+	baseL int // label-dictionary size of the base
+
+	names    []string // new vertices: VertexID = baseV + position
+	nameIDs  map[string]VertexID
+	labels   []string // new labels: Label = baseL + position
+	labelIDs map[string]Label
+
+	log     []deltaOp
+	added   int // edge insertions in log
+	deleted int // edge deletions in log
+
+	out, in patchAdj
+}
+
+// patchAdj holds the merged adjacency rows of the touched vertices of one
+// direction as a mini-CSR: row i of a covers the vertex with slot i.
+type patchAdj struct {
+	touched []uint64 // bitmap over all view vertices
+	slot    map[VertexID]uint32
+	a       adjacency
+}
+
+// has reports whether v owns a patch row.
+func (p *patchAdj) has(v VertexID) bool {
+	w := uint(v) >> 6
+	return w < uint(len(p.touched)) && p.touched[w]&(1<<(uint(v)&63)) != 0
+}
+
+// row returns the merged edge row of v, falling back to the base row for
+// untouched base vertices; untouched new vertices have no edges.
+func (p *patchAdj) row(v VertexID, base *adjacency, baseV int) []Edge {
+	if p.has(v) {
+		return p.a.run(VertexID(p.slot[v]))
+	}
+	if int(v) < baseV {
+		return base.run(v)
+	}
+	return nil
+}
+
+// runs is row as the raw label-run view.
+func (p *patchAdj) runs(v VertexID, base *adjacency, baseV int) EdgeRuns {
+	if p.has(v) {
+		return p.a.runs(VertexID(p.slot[v]))
+	}
+	if int(v) < baseV {
+		return base.runs(v)
+	}
+	return EdgeRuns{}
+}
+
+// labeled is row as the constraint-filtered run iterator.
+func (p *patchAdj) labeled(v VertexID, L labelset.Set, base *adjacency, baseV int) LabeledEdges {
+	if p.has(v) {
+		return p.a.labeled(VertexID(p.slot[v]), L)
+	}
+	if int(v) < baseV {
+		return base.labeled(v, L)
+	}
+	return LabeledEdges{}
+}
+
+// with is row restricted to one exact label.
+func (p *patchAdj) with(v VertexID, l Label, base *adjacency, baseV int) []Edge {
+	if p.has(v) {
+		return p.a.with(VertexID(p.slot[v]), l)
+	}
+	if int(v) < baseV {
+		return base.with(v, l)
+	}
+	return nil
+}
+
+// Delta stages one batch of mutations against a Graph view. It is not
+// safe for concurrent use; the engine layer serializes writers. Staging
+// never modifies the view — Commit returns a new Graph and leaves the
+// old one (and the Delta) untouched.
+type Delta struct {
+	g *Graph
+
+	names    []string // interned beyond the view, in intern order
+	nameIDs  map[string]VertexID
+	labels   []string
+	labelIDs map[string]Label
+
+	ops []deltaOp
+	// counts tracks the staged multiset delta per triple so DeleteEdge
+	// can validate against (view + earlier staged ops).
+	counts map[Triple]int
+}
+
+// NewDelta stages against the view g.
+func NewDelta(g *Graph) *Delta {
+	return &Delta{
+		g:        g,
+		nameIDs:  make(map[string]VertexID),
+		labelIDs: make(map[string]Label),
+		counts:   make(map[Triple]int),
+	}
+}
+
+// Ops returns the number of staged edge operations.
+func (d *Delta) Ops() int { return len(d.ops) }
+
+// NewVertices returns the number of vertices staged beyond the view.
+func (d *Delta) NewVertices() int { return len(d.names) }
+
+// NewLabels returns the number of labels staged beyond the view.
+func (d *Delta) NewLabels() int { return len(d.labels) }
+
+// LookupVertex resolves a vertex name against the view plus the staged
+// interns, without creating it.
+func (d *Delta) LookupVertex(name string) (VertexID, bool) {
+	if id := d.g.Vertex(name); id != NoVertex {
+		return id, true
+	}
+	id, ok := d.nameIDs[name]
+	return id, ok
+}
+
+// LookupLabel is LookupVertex for labels.
+func (d *Delta) LookupLabel(name string) (Label, bool) {
+	if l, ok := d.g.LabelByName(name); ok {
+		return l, true
+	}
+	l, ok := d.labelIDs[name]
+	return l, ok
+}
+
+// Vertex interns a vertex by name, creating it (beyond the view) on
+// first use.
+func (d *Delta) Vertex(name string) VertexID {
+	if id, ok := d.LookupVertex(name); ok {
+		return id
+	}
+	id := VertexID(d.g.NumVertices() + len(d.names))
+	d.names = append(d.names, name)
+	d.nameIDs[name] = id
+	return id
+}
+
+// Label interns a label by name. Unlike Builder.Label it returns
+// ErrLabelSpace instead of panicking when the single-word label universe
+// is full — mutation batches are client input.
+func (d *Delta) Label(name string) (Label, error) {
+	if l, ok := d.LookupLabel(name); ok {
+		return l, nil
+	}
+	if d.g.NumLabels()+len(d.labels) >= labelset.MaxLabels {
+		return 0, fmt.Errorf("%w (adding %q)", ErrLabelSpace, name)
+	}
+	l := Label(d.g.NumLabels() + len(d.labels))
+	d.labels = append(d.labels, name)
+	d.labelIDs[name] = l
+	return l, nil
+}
+
+// numVertices is the staged view's vertex count.
+func (d *Delta) numVertices() int { return d.g.NumVertices() + len(d.names) }
+
+// numLabels is the staged view's label count.
+func (d *Delta) numLabels() int { return d.g.NumLabels() + len(d.labels) }
+
+// AddEdge stages the insertion of (s, l, t). Parallel edges and
+// self-loops are permitted, as in Builder.
+func (d *Delta) AddEdge(s VertexID, l Label, t VertexID) error {
+	if int(s) >= d.numVertices() || int(t) >= d.numVertices() {
+		return fmt.Errorf("%w: (%d, %d, %d)", ErrVertexRange, s, l, t)
+	}
+	if int(l) >= d.numLabels() {
+		return fmt.Errorf("%w: label %d of (%d, %d, %d)", ErrVertexRange, l, s, l, t)
+	}
+	tr := Triple{Subject: s, Label: l, Object: t}
+	d.ops = append(d.ops, deltaOp{t: tr})
+	d.counts[tr]++
+	return nil
+}
+
+// AddEdgeNames interns the endpoint and label names (subject, label,
+// object — the same order Builder.AddEdgeNames interns, so replaying one
+// script through a Builder or a Delta yields identical IDs) and stages
+// the edge.
+func (d *Delta) AddEdgeNames(s, label, t string) error {
+	sv := d.Vertex(s)
+	l, err := d.Label(label)
+	if err != nil {
+		return err
+	}
+	return d.AddEdge(sv, l, d.Vertex(t))
+}
+
+// DeleteEdge stages the removal of one instance of (s, l, t). It fails
+// with ErrEdgeNotFound when the staged view (the underlying view plus
+// earlier staged ops) holds no remaining instance.
+func (d *Delta) DeleteEdge(s VertexID, l Label, t VertexID) error {
+	if int(s) >= d.numVertices() || int(t) >= d.numVertices() || int(l) >= d.numLabels() {
+		return fmt.Errorf("%w: (%d, %d, %d)", ErrVertexRange, s, l, t)
+	}
+	tr := Triple{Subject: s, Label: l, Object: t}
+	if d.g.countEdge(s, l, t)+d.counts[tr] <= 0 {
+		return fmt.Errorf("%w: (%d, %d, %d)", ErrEdgeNotFound, s, l, t)
+	}
+	d.ops = append(d.ops, deltaOp{del: true, t: tr})
+	d.counts[tr]--
+	return nil
+}
+
+// Commit freezes the staged batch into a new Graph sharing the view's
+// base CSR, with the combined overlay (the view's overlay, if any, plus
+// this Delta) rebuilt. The receiver Graph is left untouched; the Delta
+// must not be reused. An error is an internal inconsistency (staging
+// validates every op), reported rather than swallowed so a corrupted
+// overlay can never be published.
+func (d *Delta) Commit() (*Graph, error) {
+	g := d.g
+	if len(d.ops) == 0 && len(d.names) == 0 && len(d.labels) == 0 {
+		return g, nil // nothing staged: the view is already the result
+	}
+	ov := &overlay{
+		baseV: len(g.names),
+		baseL: len(g.labelNames),
+	}
+	if old := g.ov; old != nil {
+		// Immutable-append: full slice expressions force a copy whenever
+		// the old backing array would be shared and overwritten.
+		ov.names = append(old.names[:len(old.names):len(old.names)], d.names...)
+		ov.labels = append(old.labels[:len(old.labels):len(old.labels)], d.labels...)
+		ov.log = append(old.log[:len(old.log):len(old.log)], d.ops...)
+	} else {
+		ov.names = d.names
+		ov.labels = d.labels
+		ov.log = d.ops
+	}
+	ov.nameIDs = make(map[string]VertexID, len(ov.names))
+	for i, name := range ov.names {
+		ov.nameIDs[name] = VertexID(ov.baseV + i)
+	}
+	ov.labelIDs = make(map[string]Label, len(ov.labels))
+	for i, name := range ov.labels {
+		ov.labelIDs[name] = Label(ov.baseL + i)
+	}
+	for _, op := range ov.log {
+		if op.del {
+			ov.deleted++
+		} else {
+			ov.added++
+		}
+	}
+	nV := ov.baseV + len(ov.names)
+	var err error
+	ov.out, err = buildPatch(ov.log, &g.out, ov.baseV, nV, false)
+	if err != nil {
+		return nil, err
+	}
+	ov.in, err = buildPatch(ov.log, &g.in, ov.baseV, nV, true)
+	if err != nil {
+		return nil, err
+	}
+	h := *g
+	h.ov = ov
+	return &h, nil
+}
+
+// buildPatch materialises one direction's patch mini-CSR from the full
+// overlay log: for every vertex an op touches, its complete merged row
+// (base minus deletions plus insertions, (label, head)-sorted).
+func buildPatch(log []deltaOp, base *adjacency, baseV, nV int, inDir bool) (patchAdj, error) {
+	adds := make(map[VertexID][]Edge)
+	dels := make(map[VertexID][]Edge)
+	for _, op := range log {
+		v, e := op.t.Subject, Edge{To: op.t.Object, Label: op.t.Label}
+		if inDir {
+			v, e = op.t.Object, Edge{To: op.t.Subject, Label: op.t.Label}
+		}
+		if op.del {
+			dels[v] = append(dels[v], e)
+		} else {
+			adds[v] = append(adds[v], e)
+		}
+	}
+	touched := make([]VertexID, 0, len(adds)+len(dels))
+	for v := range adds {
+		touched = append(touched, v)
+	}
+	for v := range dels {
+		if _, ok := adds[v]; !ok {
+			touched = append(touched, v)
+		}
+	}
+	slices.Sort(touched)
+
+	p := patchAdj{
+		touched: make([]uint64, (nV+63)/64),
+		slot:    make(map[VertexID]uint32, len(touched)),
+	}
+	p.a.off = make([]uint32, 1, len(touched)+1)
+	p.a.runOff = make([]uint32, 1, len(touched)+1)
+	for _, v := range touched {
+		p.touched[uint(v)>>6] |= 1 << (uint(v) & 63)
+		p.slot[v] = uint32(len(p.a.off) - 1)
+
+		var row []Edge
+		if int(v) < baseV {
+			row = append(row, base.run(v)...)
+		}
+		row = append(row, adds[v]...)
+		slices.SortFunc(row, func(a, b Edge) int {
+			if a.Label != b.Label {
+				return int(a.Label) - int(b.Label)
+			}
+			return int(a.To) - int(b.To)
+		})
+		for _, del := range dels[v] {
+			i := sort.Search(len(row), func(i int) bool {
+				e := row[i]
+				return e.Label > del.Label || e.Label == del.Label && e.To >= del.To
+			})
+			if i >= len(row) || row[i] != del {
+				return patchAdj{}, fmt.Errorf("%w: overlay rebuild lost (%v, %v)", ErrEdgeNotFound, v, del)
+			}
+			row = append(row[:i], row[i+1:]...)
+		}
+
+		for i, e := range row {
+			if i == 0 || e.Label != row[i-1].Label {
+				p.a.runStart = append(p.a.runStart, uint32(len(p.a.edges)+i))
+				p.a.runLabel = append(p.a.runLabel, e.Label)
+			}
+		}
+		p.a.edges = append(p.a.edges, row...)
+		p.a.off = append(p.a.off, uint32(len(p.a.edges)))
+		p.a.runOff = append(p.a.runOff, uint32(len(p.a.runStart)))
+	}
+	return p, nil
+}
+
+// HasOverlay reports whether g carries uncompacted mutations.
+func (g *Graph) HasOverlay() bool { return g.ov != nil }
+
+// OverlaySize returns the number of edge mutations accumulated in the
+// overlay since the base CSR was built (0 without an overlay). The
+// engine's compaction threshold reads it.
+func (g *Graph) OverlaySize() int {
+	if g.ov == nil {
+		return 0
+	}
+	return len(g.ov.log)
+}
+
+// Compact folds the overlay into a fresh base CSR. The result is
+// observationally identical to g — same dictionaries in the same ID
+// order, same ordered Triples, same schema — with no overlay, so every
+// read is a plain base-CSR access again. Without an overlay it returns g
+// itself.
+func (g *Graph) Compact() *Graph {
+	if g.ov == nil {
+		return g
+	}
+	b := NewBuilder()
+	b.schema = g.schema
+	for l := 0; l < g.NumLabels(); l++ {
+		b.Label(g.LabelName(Label(l)))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		b.Vertex(g.VertexName(VertexID(v)))
+	}
+	g.Triples(func(t Triple) bool {
+		b.AddEdge(t.Subject, t.Label, t.Object)
+		return true
+	})
+	return b.Build()
+}
+
+// replayOnto re-applies the overlay suffix cur.log[fromOps:] (plus any
+// dictionary entries the suffix needs) onto base, which must be an
+// observationally identical rebuild of cur's state at fromOps — the
+// compactor's catch-up step for mutations that landed while it was
+// rebuilding. Vertex and label IDs are stable across the replay.
+func replayOnto(base, cur *Graph, fromOps int) (*Graph, error) {
+	d := NewDelta(base)
+	for l := base.NumLabels(); l < cur.NumLabels(); l++ {
+		if _, err := d.Label(cur.LabelName(Label(l))); err != nil {
+			return nil, err
+		}
+	}
+	for v := base.NumVertices(); v < cur.NumVertices(); v++ {
+		d.Vertex(cur.VertexName(VertexID(v)))
+	}
+	log := cur.ov.log[fromOps:]
+	for _, op := range log {
+		var err error
+		if op.del {
+			err = d.DeleteEdge(op.t.Subject, op.t.Label, op.t.Object)
+		} else {
+			err = d.AddEdge(op.t.Subject, op.t.Label, op.t.Object)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: overlay replay: %w", err)
+		}
+	}
+	return d.Commit()
+}
+
+// ReplayOnto is replayOnto for the engine layer: it requires cur to
+// carry an overlay with at least fromOps logged operations.
+func ReplayOnto(base, cur *Graph, fromOps int) (*Graph, error) {
+	if cur.ov == nil || fromOps > len(cur.ov.log) {
+		return nil, fmt.Errorf("graph: replay bounds: have %d ops, from %d", cur.OverlaySize(), fromOps)
+	}
+	return replayOnto(base, cur, fromOps)
+}
+
+// countEdge returns the multiplicity of (s, l, t) in the view. Vertices
+// beyond the view (a Delta's freshly staged ones) have no edges yet.
+func (g *Graph) countEdge(s VertexID, l Label, t VertexID) int {
+	if int(s) >= g.NumVertices() {
+		return 0
+	}
+	es := g.Out(s)
+	lo := sort.Search(len(es), func(i int) bool {
+		e := es[i]
+		return e.Label > l || e.Label == l && e.To >= t
+	})
+	hi := lo
+	for hi < len(es) && es[hi].Label == l && es[hi].To == t {
+		hi++
+	}
+	return hi - lo
+}

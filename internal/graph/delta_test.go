@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// deltaModel is the test-side truth the overlay must agree with: the
+// dictionaries in intern order and the surviving edge multiset, kept as
+// a list so deletions can remove exactly one instance.
+type deltaModel struct {
+	names   []string
+	nameIDs map[string]VertexID
+	labels  []string
+	edges   []Triple
+}
+
+func (m *deltaModel) vertex(name string) VertexID {
+	if id, ok := m.nameIDs[name]; ok {
+		return id
+	}
+	id := VertexID(len(m.names))
+	m.names = append(m.names, name)
+	m.nameIDs[name] = id
+	return id
+}
+
+// build rebuilds the model from scratch through a Builder — the
+// "engine rebuilt on the final edge set" the overlay must match.
+func (m *deltaModel) build() *Graph {
+	b := NewBuilder()
+	for _, l := range m.labels {
+		b.Label(l)
+	}
+	for _, v := range m.names {
+		b.Vertex(v)
+	}
+	for _, e := range m.edges {
+		b.AddEdge(e.Subject, e.Label, e.Object)
+	}
+	return b.Build()
+}
+
+// runDeltaScript builds a random base graph, applies `batches` random
+// mutation batches through Delta.Commit (mirrored into the model), and
+// returns the final overlay view plus the model.
+func runDeltaScript(seed int64, n, m, nLabels, batches, opsPerBatch int) (*Graph, *deltaModel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b, edges := randomTriples(seed, n, m, nLabels)
+	g := b.Build()
+
+	model := &deltaModel{nameIDs: make(map[string]VertexID)}
+	for i := 0; i < n; i++ {
+		model.vertex(vname(i))
+	}
+	for i := 0; i < nLabels; i++ {
+		model.labels = append(model.labels, "l"+string(rune('a'+i)))
+	}
+	model.edges = append(model.edges, edges...)
+
+	for bi := 0; bi < batches; bi++ {
+		d := NewDelta(g)
+		for oi := 0; oi < opsPerBatch; oi++ {
+			if len(model.edges) > 0 && rng.Intn(3) == 0 {
+				// Delete one random surviving instance.
+				i := rng.Intn(len(model.edges))
+				e := model.edges[i]
+				if err := d.DeleteEdge(e.Subject, e.Label, e.Object); err != nil {
+					return nil, nil, fmt.Errorf("batch %d op %d: DeleteEdge(%v): %w", bi, oi, e, err)
+				}
+				model.edges = append(model.edges[:i], model.edges[i+1:]...)
+				continue
+			}
+			// Insert, sometimes via a brand-new vertex name.
+			sName := model.names[rng.Intn(len(model.names))]
+			tName := model.names[rng.Intn(len(model.names))]
+			if rng.Intn(4) == 0 {
+				sName = fmt.Sprintf("w%d_%d", bi, oi)
+			}
+			l := Label(rng.Intn(nLabels))
+			if err := d.AddEdgeNames(sName, "l"+string(rune('a'+int(l))), tName); err != nil {
+				return nil, nil, fmt.Errorf("batch %d op %d: AddEdgeNames: %w", bi, oi, err)
+			}
+			model.edges = append(model.edges, Triple{model.vertex(sName), l, model.vertex(tName)})
+		}
+		var err error
+		g, err = d.Commit()
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch %d: Commit: %w", bi, err)
+		}
+	}
+	return g, model, nil
+}
+
+// checkDeltaAgainstModel asserts the overlay view and its compaction are
+// both observationally identical to a from-scratch rebuild on the final
+// edge set: same dictionaries in the same ID order, same Out/In
+// multisets, ordered Triples, HasEdge relation and label-run purity
+// (via the shared CSR property checker), and byte-identical snapshots.
+func checkDeltaAgainstModel(t *testing.T, g *Graph, model *deltaModel) {
+	t.Helper()
+	built := model.build()
+	ref := newRefGraph(len(model.names), model.edges)
+
+	if g.NumVertices() != len(model.names) || g.NumLabels() != len(model.labels) {
+		t.Fatalf("overlay dims |V|=%d |L|=%d, want %d/%d",
+			g.NumVertices(), g.NumLabels(), len(model.names), len(model.labels))
+	}
+	for i, name := range model.names {
+		if g.VertexName(VertexID(i)) != name || g.Vertex(name) != VertexID(i) {
+			t.Fatalf("vertex dictionary diverges at %d (%q)", i, name)
+		}
+	}
+	for i, name := range model.labels {
+		if g.LabelName(Label(i)) != name {
+			t.Fatalf("label dictionary diverges at %d (%q)", i, name)
+		}
+		if l, ok := g.LabelByName(name); !ok || l != Label(i) {
+			t.Fatalf("LabelByName(%q) = %v,%v want %d", name, l, ok, i)
+		}
+	}
+
+	// The full CSR observational property suite, on the live overlay...
+	checkCSRAgainstRef(t, g, ref, model.edges, len(model.labels))
+	// ...and on its compaction.
+	compacted := g.Compact()
+	if compacted.HasOverlay() {
+		t.Fatal("Compact left an overlay behind")
+	}
+	checkCSRAgainstRef(t, compacted, ref, model.edges, len(model.labels))
+
+	// Apply-then-compact must equal build-from-final-edges bit for bit:
+	// the snapshot serialisation is a total observation of the graph.
+	var a, b bytes.Buffer
+	if _, err := compacted.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("apply-then-compact snapshot differs from build-from-final-edges")
+	}
+	// The overlay view itself snapshots identically too (WriteTo walks
+	// the merged observational state).
+	var c bytes.Buffer
+	if _, err := g.WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Bytes(), b.Bytes()) {
+		t.Fatal("overlay snapshot differs from build-from-final-edges")
+	}
+}
+
+// Property: for random mutation scripts, apply-then-compact is
+// observationally identical to building from the final edge set.
+func TestDeltaCompactEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 40; i++ {
+		n := rng.Intn(20) + 1
+		m := rng.Intn(128)
+		nLabels := rng.Intn(5) + 1
+		batches := rng.Intn(4) + 1
+		ops := rng.Intn(24) + 1
+		seed := rng.Int63()
+		t.Logf("shape %d: seed=%d n=%d m=%d labels=%d batches=%d ops=%d", i, seed, n, m, nLabels, batches, ops)
+		g, model, err := runDeltaScript(seed, n, m, nLabels, batches, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDeltaAgainstModel(t, g, model)
+	}
+}
+
+// FuzzDeltaCompactEquivalence drives the same equivalence from fuzzed
+// script shapes, mirroring FuzzCSREquivalence.
+func FuzzDeltaCompactEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(40), uint8(3), uint8(2), uint8(10))
+	f.Add(int64(42), uint8(1), uint8(0), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(19), uint8(200), uint8(5), uint8(3), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw, lRaw, bRaw, oRaw uint8) {
+		n := int(nRaw%20) + 1
+		m := int(mRaw % 128)
+		nLabels := int(lRaw%5) + 1
+		batches := int(bRaw%4) + 1
+		ops := int(oRaw%24) + 1
+		g, model, err := runDeltaScript(seed, n, m, nLabels, batches, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDeltaAgainstModel(t, g, model)
+	})
+}
+
+// TestDeltaValidation pins the staging error contract: deletes of absent
+// instances fail (multiset-aware against earlier staged ops), failed
+// batches publish nothing, and empty commits return the view itself.
+func TestDeltaValidation(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeNames("a", "l", "b")
+	b.AddEdgeNames("a", "l", "b") // parallel instance
+	g := b.Build()
+	a, l, bb := g.Vertex("a"), Label(0), g.Vertex("b")
+
+	d := NewDelta(g)
+	if err := d.DeleteEdge(a, l, bb); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	if err := d.DeleteEdge(a, l, bb); err != nil {
+		t.Fatalf("second delete (second instance): %v", err)
+	}
+	if err := d.DeleteEdge(a, l, bb); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("third delete: got %v, want ErrEdgeNotFound", err)
+	}
+	if err := d.DeleteEdge(a, Label(9), bb); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("unknown label delete: got %v, want ErrVertexRange", err)
+	}
+	h, err := d.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 0 || h.HasEdge(a, l, bb) {
+		t.Fatalf("both instances should be gone: |E|=%d", h.NumEdges())
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(a, l, bb) {
+		t.Fatal("commit mutated the staged-against view")
+	}
+
+	// A delete staged after an add in the same batch must see the add.
+	d2 := NewDelta(g)
+	if err := d2.AddEdgeNames("x", "l", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.DeleteEdge(d2.Vertex("x"), l, d2.Vertex("y")); err != nil {
+		t.Fatalf("delete of same-batch add: %v", err)
+	}
+
+	// Empty commit: the view is returned unchanged, no overlay appears.
+	d3 := NewDelta(g)
+	h3, err := d3.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != g {
+		t.Fatal("empty commit should return the view itself")
+	}
+}
+
+// TestDeltaChainOverlayLog pins OverlaySize accounting across chained
+// commits and the ReplayOnto catch-up path the compactor uses.
+func TestDeltaChainOverlayLog(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeNames("a", "l", "b")
+	g0 := b.Build()
+
+	d := NewDelta(g0)
+	if err := d.AddEdgeNames("b", "l", "c"); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := d.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = NewDelta(g1)
+	if err := d.AddEdgeNames("c", "m", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := g1.LabelByName("l"); !ok {
+		t.Fatal("label l missing")
+	} else if err := d.DeleteEdge(g1.Vertex("a"), l, g1.Vertex("b")); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.OverlaySize() != 1 || g2.OverlaySize() != 3 {
+		t.Fatalf("overlay sizes %d/%d, want 1/3", g1.OverlaySize(), g2.OverlaySize())
+	}
+
+	// Compact g1's state, then replay g2's suffix onto it: the result
+	// must snapshot identically to g2.
+	base := g1.Compact()
+	caught, err := ReplayOnto(base, g2, g1.OverlaySize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if _, err := g2.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caught.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("replayed suffix diverges from the live overlay view")
+	}
+}

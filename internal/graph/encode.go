@@ -35,16 +35,19 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	out := &snapWriter{w: io.MultiWriter(bw, crc)}
 
+	// The observational accessors (not the base arrays) drive the walk,
+	// so an overlay view snapshots its merged state; reloading yields the
+	// compacted graph.
 	out.raw([]byte(snapshotMagic))
-	out.u32(uint32(len(g.labelNames)))
-	for _, name := range g.labelNames {
-		out.str(name)
+	out.u32(uint32(g.NumLabels()))
+	for l := 0; l < g.NumLabels(); l++ {
+		out.str(g.LabelName(Label(l)))
 	}
-	out.u32(uint32(len(g.names)))
-	for _, name := range g.names {
-		out.str(name)
+	out.u32(uint32(g.NumVertices()))
+	for v := 0; v < g.NumVertices(); v++ {
+		out.str(g.VertexName(VertexID(v)))
 	}
-	out.u32(uint32(g.numEdges))
+	out.u32(uint32(g.NumEdges()))
 	g.Triples(func(tr Triple) bool {
 		out.u32(uint32(tr.Subject))
 		out.raw([]byte{byte(tr.Label)})

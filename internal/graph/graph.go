@@ -174,101 +174,197 @@ func (it *LabeledEdges) Next() (run []Edge, ok bool) {
 }
 
 // Graph is an immutable edge-labeled multigraph with dictionaries and an
-// RDFS schema. Build one with a Builder.
+// RDFS schema. Build one with a Builder. A Graph produced by
+// Delta.Commit additionally carries an overlay (see delta.go); every
+// accessor below answers for the merged view, and the base arrays are
+// shared untouched across commits.
 type Graph struct {
-	names      []string            // vertex id -> name
-	vertexIDs  map[string]VertexID // name -> vertex id
-	labelNames []string            // label id -> name
-	labelIDs   map[string]Label    // name -> label id
+	names      []string            // base vertex id -> name
+	vertexIDs  map[string]VertexID // base name -> vertex id
+	labelNames []string            // base label id -> name
+	labelIDs   map[string]Label    // base name -> label id
 
 	out adjacency
 	in  adjacency
 
-	numEdges int
+	ov *overlay // nil for a plain base CSR
+
+	numEdges int // base edge count; overlay adds/deletes tracked in ov
 	schema   *Schema
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.names) }
+func (g *Graph) NumVertices() int {
+	if g.ov != nil {
+		return len(g.names) + len(g.ov.names)
+	}
+	return len(g.names)
+}
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return g.numEdges }
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return g.numEdges + g.ov.added - g.ov.deleted
+	}
+	return g.numEdges
+}
 
 // NumLabels returns |ℒ|.
-func (g *Graph) NumLabels() int { return len(g.labelNames) }
+func (g *Graph) NumLabels() int {
+	if g.ov != nil {
+		return len(g.labelNames) + len(g.ov.labels)
+	}
+	return len(g.labelNames)
+}
 
 // LabelUniverse returns the label set containing every label of the graph.
 func (g *Graph) LabelUniverse() labelset.Set { return labelset.Universe(g.NumLabels()) }
 
 // VertexName returns the dictionary name of v.
-func (g *Graph) VertexName(v VertexID) string { return g.names[v] }
+func (g *Graph) VertexName(v VertexID) string {
+	if int(v) < len(g.names) {
+		return g.names[v]
+	}
+	return g.ov.names[int(v)-len(g.names)]
+}
 
 // Vertex looks up a vertex by name, returning NoVertex if absent.
 func (g *Graph) Vertex(name string) VertexID {
 	if id, ok := g.vertexIDs[name]; ok {
 		return id
 	}
+	if g.ov != nil {
+		if id, ok := g.ov.nameIDs[name]; ok {
+			return id
+		}
+	}
 	return NoVertex
 }
 
 // LabelName returns the dictionary name of l.
-func (g *Graph) LabelName(l Label) string { return g.labelNames[l] }
+func (g *Graph) LabelName(l Label) string {
+	if int(l) < len(g.labelNames) {
+		return g.labelNames[l]
+	}
+	return g.ov.labels[int(l)-len(g.labelNames)]
+}
 
 // LabelByName looks up a label by name. The second result reports whether
 // the label exists.
 func (g *Graph) LabelByName(name string) (Label, bool) {
-	l, ok := g.labelIDs[name]
-	return l, ok
+	if l, ok := g.labelIDs[name]; ok {
+		return l, true
+	}
+	if g.ov != nil {
+		if l, ok := g.ov.labelIDs[name]; ok {
+			return l, true
+		}
+	}
+	return 0, false
 }
 
 // Out returns the out-edges of v, sorted by (label, head). The slice is a
-// contiguous CSR run; it aliases internal storage and must not be mutated.
-func (g *Graph) Out(v VertexID) []Edge { return g.out.run(v) }
+// contiguous CSR run (base or patch row); it aliases internal storage and
+// must not be mutated.
+func (g *Graph) Out(v VertexID) []Edge {
+	if ov := g.ov; ov != nil {
+		return ov.out.row(v, &g.out, ov.baseV)
+	}
+	return g.out.run(v)
+}
 
 // In returns the in-edges of v (Edge.To is the source vertex), sorted by
 // (label, tail). The slice aliases internal storage and must not be
 // mutated.
-func (g *Graph) In(v VertexID) []Edge { return g.in.run(v) }
+func (g *Graph) In(v VertexID) []Edge {
+	if ov := g.ov; ov != nil {
+		return ov.in.row(v, &g.in, ov.baseV)
+	}
+	return g.in.run(v)
+}
 
 // OutLabeled iterates the out-edges of v whose label is in L, one
 // label-pure run at a time, skipping non-matching label runs entirely.
 // With L = LabelUniverse it enumerates every edge, grouped by label.
-func (g *Graph) OutLabeled(v VertexID, L labelset.Set) LabeledEdges { return g.out.labeled(v, L) }
+func (g *Graph) OutLabeled(v VertexID, L labelset.Set) LabeledEdges {
+	if ov := g.ov; ov != nil {
+		return ov.out.labeled(v, L, &g.out, ov.baseV)
+	}
+	return g.out.labeled(v, L)
+}
 
 // InLabeled is OutLabeled over the in-adjacency (Edge.To is the source
 // vertex).
-func (g *Graph) InLabeled(v VertexID, L labelset.Set) LabeledEdges { return g.in.labeled(v, L) }
+func (g *Graph) InLabeled(v VertexID, L labelset.Set) LabeledEdges {
+	if ov := g.ov; ov != nil {
+		return ov.in.labeled(v, L, &g.in, ov.baseV)
+	}
+	return g.in.labeled(v, L)
+}
 
 // OutRuns returns the raw label-run view of v's out-edges — the
 // zero-call-per-run form of OutLabeled for the innermost search loops
-// (see EdgeRuns).
-func (g *Graph) OutRuns(v VertexID) EdgeRuns { return g.out.runs(v) }
+// (see EdgeRuns). On an overlay view a mutated vertex answers from its
+// merged patch row (same run shape, deletions already masked) and an
+// untouched vertex from its base row.
+func (g *Graph) OutRuns(v VertexID) EdgeRuns {
+	if ov := g.ov; ov != nil {
+		return ov.out.runs(v, &g.out, ov.baseV)
+	}
+	return g.out.runs(v)
+}
 
 // InRuns is OutRuns over the in-adjacency.
-func (g *Graph) InRuns(v VertexID) EdgeRuns { return g.in.runs(v) }
+func (g *Graph) InRuns(v VertexID) EdgeRuns {
+	if ov := g.ov; ov != nil {
+		return ov.in.runs(v, &g.in, ov.baseV)
+	}
+	return g.in.runs(v)
+}
 
 // OutWith returns the out-edges of v labeled exactly l, located by binary
 // search — no edges outside the run are touched. The slice aliases
 // internal storage and must not be mutated.
-func (g *Graph) OutWith(v VertexID, l Label) []Edge { return g.out.with(v, l) }
+func (g *Graph) OutWith(v VertexID, l Label) []Edge {
+	if ov := g.ov; ov != nil {
+		return ov.out.with(v, l, &g.out, ov.baseV)
+	}
+	return g.out.with(v, l)
+}
 
 // InWith is OutWith over the in-adjacency.
-func (g *Graph) InWith(v VertexID, l Label) []Edge { return g.in.with(v, l) }
+func (g *Graph) InWith(v VertexID, l Label) []Edge {
+	if ov := g.ov; ov != nil {
+		return ov.in.with(v, l, &g.in, ov.baseV)
+	}
+	return g.in.with(v, l)
+}
 
 // OutDegree returns the number of out-edges of v.
-func (g *Graph) OutDegree(v VertexID) int { return int(g.out.off[v+1] - g.out.off[v]) }
+func (g *Graph) OutDegree(v VertexID) int {
+	if g.ov != nil {
+		return len(g.Out(v))
+	}
+	return int(g.out.off[v+1] - g.out.off[v])
+}
 
 // InDegree returns the number of in-edges of v.
-func (g *Graph) InDegree(v VertexID) int { return int(g.in.off[v+1] - g.in.off[v]) }
+func (g *Graph) InDegree(v VertexID) int {
+	if g.ov != nil {
+		return len(g.In(v))
+	}
+	return int(g.in.off[v+1] - g.in.off[v])
+}
 
 // Degree returns the total degree of v.
 func (g *Graph) Degree(v VertexID) int { return g.OutDegree(v) + g.InDegree(v) }
 
 // HasEdge reports whether the edge (s, l, t) exists, by binary search over
 // the (label, head)-sorted run of s — O(log deg) instead of the O(deg)
-// scan the slice-of-slices layout forced.
+// scan the slice-of-slices layout forced. On an overlay view the search
+// runs over s's merged row, so deleted instances do not count.
 func (g *Graph) HasEdge(s VertexID, l Label, t VertexID) bool {
-	es := g.out.run(s)
+	es := g.Out(s)
 	i := sort.Search(len(es), func(i int) bool {
 		e := es[i]
 		return e.Label > l || e.Label == l && e.To >= t
@@ -279,8 +375,9 @@ func (g *Graph) HasEdge(s VertexID, l Label, t VertexID) bool {
 // Triples calls fn for every edge of the graph, in (subject, label,
 // object) order. It stops early if fn returns false.
 func (g *Graph) Triples(fn func(Triple) bool) {
-	for s := 0; s < len(g.names); s++ {
-		for _, e := range g.out.run(VertexID(s)) {
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for _, e := range g.Out(VertexID(s)) {
 			if !fn(Triple{VertexID(s), e.Label, e.To}) {
 				return
 			}
@@ -300,6 +397,12 @@ func (g *Graph) WithoutLabelIndex() *Graph {
 	h := *g
 	h.out = degenerateRuns(g.out)
 	h.in = degenerateRuns(g.in)
+	if g.ov != nil {
+		ov := *g.ov
+		ov.out.a = degenerateRuns(g.ov.out.a)
+		ov.in.a = degenerateRuns(g.ov.in.a)
+		h.ov = &ov
+	}
 	return &h
 }
 
@@ -324,12 +427,12 @@ func (g *Graph) Density() float64 {
 	if g.NumVertices() == 0 {
 		return 0
 	}
-	return float64(g.numEdges) / float64(g.NumVertices())
+	return float64(g.NumEdges()) / float64(g.NumVertices())
 }
 
 // String summarises the graph for diagnostics.
 func (g *Graph) String() string {
-	return fmt.Sprintf("Graph(|V|=%d |E|=%d |L|=%d)", g.NumVertices(), g.numEdges, g.NumLabels())
+	return fmt.Sprintf("Graph(|V|=%d |E|=%d |L|=%d)", g.NumVertices(), g.NumEdges(), g.NumLabels())
 }
 
 // Builder accumulates vertices and edges and produces an immutable Graph.

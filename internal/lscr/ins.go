@@ -23,6 +23,17 @@ import (
 // Cut(II[w]) marks everything w reaches in its region, and Push(EIT[w])
 // enqueues the boundary exits (Theorem 5.1).
 //
+// On a graph carrying a mutation overlay (g.HasOverlay()) the index's
+// claims describe a stale edge set: a deletion can invalidate a positive
+// Check/Cut claim and an insertion can add reachability Push never
+// recorded, either of which would make the pruned search unsound or
+// incomplete. INS therefore disables the landmark shortcuts for overlay
+// views — landmarks are expanded like ordinary vertices over the exact
+// merged adjacency, while H and Q keep using the index's ρ/region
+// estimates as (deterministic) heuristics. Answers remain exact; the
+// full Theorem 5.1 pruning returns once the engine compacts the overlay
+// and rebuilds the index.
+//
 // vsOrder optionally supplies a precomputed V(S,G); pass nil to let the
 // engine compute it.
 func INS(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID) (bool, Stats, error) {
@@ -56,6 +67,7 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 		q:       q,
 		close:   newCloseMap(sc),
 		cutDone: sc.cutTable(len(idx.landmarks)),
+		noPrune: g.HasOverlay(),
 		tr:      tr,
 		ic:      interruptCheck{fn: q.Interrupt},
 	}
@@ -154,6 +166,11 @@ type insRun struct {
 	// run in the F phase (bit 0) or T phase (bit 1); the marking is
 	// idempotent per (w, L, B).
 	cutDone []uint8
+
+	// noPrune disables the landmark shortcuts (Check/Cut/Push): set when
+	// the graph carries a mutation overlay the index predates, so the
+	// index is only trusted as a priority heuristic (see the INS doc).
+	noPrune bool
 
 	tr Tracer
 	ic interruptCheck
@@ -267,11 +284,11 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error) {
 			for _, e := range run {
 				w := e.To
 				// Line 22-23: t* lives in w's region and w reaches it there.
-				if r.tStarAF == w && r.idx.Check(w, tStar, L) {
+				if !r.noPrune && r.tStarAF == w && r.idx.Check(w, tStar, L) {
 					r.requeue(u)
 					return true, nil
 				}
-				if r.idx.IsLandmark(w) { // Lines 24-25.
+				if !r.noPrune && r.idx.IsLandmark(w) { // Lines 24-25.
 					if r.cutPush(w, tStar, fromSat) {
 						r.requeue(u)
 						return true, nil

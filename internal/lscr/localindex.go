@@ -387,17 +387,35 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 // Landmarks returns the chosen landmarks I.
 func (idx *LocalIndex) Landmarks() []graph.VertexID { return idx.landmarks }
 
-// IsLandmark reports whether v ∈ I.
-func (idx *LocalIndex) IsLandmark(v graph.VertexID) bool { return idx.isLandmark[v] }
+// IsLandmark reports whether v ∈ I. Vertices beyond the indexed range —
+// interned by mutations after the index was built — are never landmarks.
+func (idx *LocalIndex) IsLandmark(v graph.VertexID) bool {
+	return int(v) < len(idx.isLandmark) && idx.isLandmark[v]
+}
 
 // Region returns v.AF — the landmark whose subgraph F contains v — or
-// NoVertex when the traversal did not assign v to any region.
-func (idx *LocalIndex) Region(v graph.VertexID) graph.VertexID { return idx.af[v] }
+// NoVertex when the traversal did not assign v to any region (including
+// vertices interned after the index was built).
+func (idx *LocalIndex) Region(v graph.VertexID) graph.VertexID {
+	if int(v) >= len(idx.af) {
+		return graph.NoVertex
+	}
+	return idx.af[v]
+}
+
+// lm returns the landmark index of u, or -1 for non-landmarks and
+// vertices beyond the indexed range.
+func (idx *LocalIndex) lm(u graph.VertexID) int32 {
+	if int(u) >= len(idx.lmIdx) {
+		return -1
+	}
+	return idx.lmIdx[u]
+}
 
 // II returns M(u, v | F(u)) for landmark u, or nil when u is not a
 // landmark or v is outside F(u).
 func (idx *LocalIndex) II(u, v graph.VertexID) *labelset.CMS {
-	li := idx.lmIdx[u]
+	li := idx.lm(u)
 	if li < 0 {
 		return nil
 	}
@@ -407,7 +425,7 @@ func (idx *LocalIndex) II(u, v graph.VertexID) *labelset.CMS {
 // Check implements the Check(II[w], t*) of Algorithm 4 line 22: whether
 // the landmark w reaches t (a vertex of F(w)) within its region under L.
 func (idx *LocalIndex) Check(w, t graph.VertexID, L labelset.Set) bool {
-	li := idx.lmIdx[w]
+	li := idx.lm(w)
 	return li >= 0 && idx.ii[li][t].Covers(L)
 }
 
@@ -416,7 +434,7 @@ func (idx *LocalIndex) Check(w, t graph.VertexID, L labelset.Set) bool {
 // materialised sorted order so a query's marking sequence (and thus
 // INS's Stats) is identical on every run.
 func (idx *LocalIndex) IIEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
-	li := idx.lmIdx[u]
+	li := idx.lm(u)
 	if li < 0 {
 		return
 	}
@@ -431,7 +449,7 @@ func (idx *LocalIndex) IIEntries(u graph.VertexID, L labelset.Set, fn func(graph
 // set is a subset of L — the vertices Push(EIT[u]) enqueues (Theorem 5.1).
 // Enumeration follows the materialised sorted order (see IIEntries).
 func (idx *LocalIndex) EITEntries(u graph.VertexID, L labelset.Set, fn func(graph.VertexID)) {
-	li := idx.lmIdx[u]
+	li := idx.lm(u)
 	if li < 0 {
 		return
 	}
@@ -448,7 +466,7 @@ func (idx *LocalIndex) EITEntries(u graph.VertexID, L labelset.Set, fn func(grap
 // D returns D(u, x): the boundary-pair count from F(u) into F(x). Zero
 // when unknown or when either vertex is not a landmark.
 func (idx *LocalIndex) D(u, x graph.VertexID) int {
-	iu, ix := idx.lmIdx[u], idx.lmIdx[x]
+	iu, ix := idx.lm(u), idx.lm(x)
 	if iu < 0 || ix < 0 {
 		return 0
 	}
@@ -462,7 +480,7 @@ func (idx *LocalIndex) D(u, x graph.VertexID) int {
 // connected" (see DESIGN.md §3 and the BenchmarkAblationRho bench).
 // Vertices outside every region get the worst estimate.
 func (idx *LocalIndex) Rho(u, t graph.VertexID) int {
-	au, at := idx.af[u], idx.af[t]
+	au, at := idx.Region(u), idx.Region(t)
 	if au == graph.NoVertex || at == graph.NoVertex {
 		return 0
 	}

@@ -35,25 +35,35 @@
 // contribution). Multi-constraint requests run the Conjunctive
 // generalisation of UIS.
 //
-// # Concurrency
+// # Concurrency and live updates
 //
 // NewEngine builds the local index in parallel across
 // Options.IndexWorkers goroutines (GOMAXPROCS by default); the result is
-// bit-for-bit identical for every worker count. Once NewEngine (or
-// NewEngineFromIndex) returns, the Engine is immutable: Query,
-// QueryBatch, Select, SelectAll and the deprecated wrappers may be
-// called from any number of goroutines on the same Engine. Per-query
-// state lives in pooled scratch, so concurrent queries do not contend on
-// locks in the search itself. Build at most one index per Engine at a
-// time — construction is the only mutating phase. QueryBatch answers a
-// slice of requests over a bounded worker pool and is the preferred way
-// to saturate all cores with one call.
+// bit-for-bit identical for every worker count. The Engine serves reads
+// through immutable epochs: every query resolves against one atomic
+// (graph view, index, constraint cache) snapshot, so Query, QueryBatch,
+// Select, SelectAll and the deprecated wrappers may be called from any
+// number of goroutines on the same Engine. Per-query state lives in
+// pooled scratch, so concurrent queries do not contend on locks in the
+// search itself. QueryBatch answers a slice of requests over a bounded
+// worker pool and is the preferred way to saturate all cores with one
+// call.
 //
-// Because the engine is immutable, compiled constraints never go stale:
-// every query path memoizes the parsed constraint and its V(S,G) vertex
-// set in a concurrency-safe LRU keyed by constraint text (see
+// Engine.Apply commits edge insertions and deletions (plus new-vertex
+// and new-label interning) into a small sorted delta overlay and
+// publishes a new epoch atomically — in-flight queries keep the epoch
+// they started on, so a query never observes half a mutation batch. A
+// background compactor folds the overlay into a fresh CSR and rebuilds
+// the local index once the overlay exceeds Options.CompactAfter; see
+// mutate.go for the full contract.
+//
+// Within one epoch compiled constraints never go stale: each epoch
+// memoizes the parsed constraint and its V(S,G) vertex set in a
+// concurrency-safe LRU keyed by constraint text (see
 // Options.ConstraintCacheSize and Engine.CacheStats), so repeated
-// constraints — the dominant production pattern — compile exactly once.
+// constraints — the dominant production pattern — compile exactly once
+// per epoch. Mutations invalidate the memoized V(S,G) wholesale by
+// giving the new epoch a fresh cache.
 package lscr
 
 import (
@@ -63,6 +73,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lscr/internal/graph"
@@ -189,13 +200,40 @@ type Options struct {
 	// with many distinct broad constraints, size the cache (or disable
 	// it) with that worst case — capacity × |V| IDs — in mind.
 	ConstraintCacheSize int
+	// CompactAfter bounds the mutation overlay: once an Apply leaves at
+	// least this many accumulated edge operations uncompacted, a
+	// background compaction folds them into a fresh CSR and rebuilds the
+	// local index. 0 selects DefaultCompactAfter; a negative value
+	// disables automatic compaction (Engine.Compact remains available).
+	CompactAfter int
 }
 
-// Engine answers LSCR queries over one KG. It is immutable after
-// construction and safe for concurrent use: any number of goroutines may
-// issue queries against the same Engine (see the package comment's
-// Concurrency section).
+// Engine answers LSCR queries over one KG and accepts live mutations.
+// Reads resolve against immutable epochs swapped atomically (RCU-style),
+// so any number of goroutines may query while Apply commits changes
+// (see the package comment's Concurrency section and mutate.go).
 type Engine struct {
+	opts Options
+
+	// ep is the current epoch; every read path loads it exactly once and
+	// works against that snapshot for its whole duration.
+	ep atomic.Pointer[epoch]
+
+	// mu serializes epoch publication (Apply and the compactor's swap).
+	mu sync.Mutex
+	// compactMu serializes whole compactions; compacting dedups the
+	// background trigger; compactions counts completed ones.
+	compactMu   sync.Mutex
+	compacting  atomic.Bool
+	compactions atomic.Int64
+}
+
+// epoch is one immutable serving snapshot: a graph view (base CSR plus
+// optional overlay), the local index built for its base, the SPARQL
+// engine over the view, and the constraint cache whose memoized V(S,G)
+// is valid exactly for this view.
+type epoch struct {
+	seq   uint64
 	kg    *KG
 	idx   *core.LocalIndex
 	eng   *sparql.Engine
@@ -204,23 +242,42 @@ type Engine struct {
 
 // NewEngine prepares an engine, building the local index unless opts
 // disables it. The build runs on opts.IndexWorkers goroutines
-// (GOMAXPROCS when zero) and is the only mutating phase of an Engine's
-// life.
+// (GOMAXPROCS when zero); once it returns the engine serves reads
+// lock-free and accepts Apply batches.
 func NewEngine(kg *KG, opts Options) *Engine {
-	e := &Engine{
-		kg:    kg,
-		eng:   sparql.NewEngine(kg.g),
-		cache: newConstraintCache(opts.ConstraintCacheSize),
-	}
+	e := &Engine{opts: opts}
+	var idx *core.LocalIndex
 	if !opts.SkipIndex {
-		e.idx = core.NewLocalIndex(kg.g, core.IndexParams{
-			K:       opts.Landmarks,
-			Seed:    opts.IndexSeed,
-			Workers: opts.IndexWorkers,
-		})
+		idx = core.NewLocalIndex(kg.g, e.indexParams())
 	}
+	e.ep.Store(e.newEpoch(0, kg.g, idx))
 	return e
 }
+
+// indexParams maps the engine options to index-build parameters; Apply's
+// compactor reuses them so a rebuilt index matches a from-scratch build.
+func (e *Engine) indexParams() core.IndexParams {
+	return core.IndexParams{
+		K:       e.opts.Landmarks,
+		Seed:    e.opts.IndexSeed,
+		Workers: e.opts.IndexWorkers,
+	}
+}
+
+// newEpoch assembles a serving snapshot for g with a fresh constraint
+// cache.
+func (e *Engine) newEpoch(seq uint64, g *graph.Graph, idx *core.LocalIndex) *epoch {
+	return &epoch{
+		seq:   seq,
+		kg:    &KG{g: g},
+		idx:   idx,
+		eng:   sparql.NewEngine(g),
+		cache: newConstraintCache(e.opts.ConstraintCacheSize),
+	}
+}
+
+// current returns the serving epoch.
+func (e *Engine) current() *epoch { return e.ep.Load() }
 
 // newConstraintCache maps the ConstraintCacheSize knob to a cache:
 // negative disables, zero selects the default capacity.
@@ -248,13 +305,20 @@ type CacheStats struct {
 	Capacity int `json:"capacity"`
 }
 
-// CacheStats reports the constraint cache's counters; the server's
-// /healthz endpoint surfaces them for operational monitoring.
+// CacheStats reports the current epoch's constraint-cache counters; the
+// server's /healthz endpoint surfaces them for operational monitoring.
+// Each Apply or compaction starts the new epoch with a fresh cache (its
+// memoized V(S,G) sets are only valid for one graph view), so the
+// counters reset on mutation.
 func (e *Engine) CacheStats() CacheStats {
-	if e.cache == nil {
+	return e.current().cacheStats()
+}
+
+func (ep *epoch) cacheStats() CacheStats {
+	if ep.cache == nil {
 		return CacheStats{}
 	}
-	st := e.cache.Stats()
+	st := ep.cache.Stats()
 	return CacheStats{
 		Enabled:  true,
 		Hits:     st.Hits,
@@ -271,16 +335,17 @@ type IndexStats struct {
 	SizeBytes int64
 }
 
-// Index returns statistics about the local index, or false when the
-// engine was built with SkipIndex.
+// Index returns statistics about the current epoch's local index, or
+// false when the engine was built with SkipIndex.
 func (e *Engine) Index() (IndexStats, bool) {
-	if e.idx == nil {
+	ep := e.current()
+	if ep.idx == nil {
 		return IndexStats{}, false
 	}
 	return IndexStats{
-		Landmarks: len(e.idx.Landmarks()),
-		Entries:   e.idx.Entries(),
-		SizeBytes: e.idx.SizeBytes(),
+		Landmarks: len(ep.idx.Landmarks()),
+		Entries:   ep.idx.Entries(),
+		SizeBytes: ep.idx.SizeBytes(),
 	}, true
 }
 
@@ -364,15 +429,15 @@ func (cc *compiledConstraint) vertexSet() []graph.VertexID {
 	return cc.vs
 }
 
-// compileConstraint is the single query-compile path behind Reach,
-// ReachTraced, ReachWithWitness and ReachAll: it parses the constraint
-// text, resolves it against the KG, validates it, and memoizes the
-// result (keyed by the exact constraint text) when the cache is enabled.
-// No invalidation exists because the KG and Engine are immutable after
-// construction.
-func (e *Engine) compileConstraint(text string) (*compiledConstraint, error) {
-	if e.cache != nil {
-		if cc, ok := e.cache.Get(text); ok {
+// compileConstraint is the single query-compile path behind every query
+// shape: it parses the constraint text, resolves it against the epoch's
+// graph view, validates it, and memoizes the result (keyed by the exact
+// constraint text) when the cache is enabled. The cache lives on the
+// epoch, whose view is immutable, so entries never go stale; a mutation
+// publishes a new epoch with a fresh cache.
+func (ep *epoch) compileConstraint(text string) (*compiledConstraint, error) {
+	if ep.cache != nil {
+		if cc, ok := ep.cache.Get(text); ok {
 			return cc, nil
 		}
 	}
@@ -380,7 +445,7 @@ func (e *Engine) compileConstraint(text string) (*compiledConstraint, error) {
 	if err != nil {
 		return nil, err
 	}
-	cons, sat, err := parsed.Compile(e.kg.g)
+	cons, sat, err := parsed.Compile(ep.kg.g)
 	if err != nil {
 		// Compile validates the pattern structure (Definition 2.2); its
 		// only errors are validation failures on the client's text.
@@ -390,15 +455,15 @@ func (e *Engine) compileConstraint(text string) (*compiledConstraint, error) {
 	if sat {
 		// Building the matcher here (it is just a validation pass plus a
 		// wrapper) means V(S,G) evaluation cannot fail at query time.
-		cc.m, err = pattern.NewMatcher(e.kg.g, cons)
+		cc.m, err = pattern.NewMatcher(ep.kg.g, cons)
 		if err != nil {
 			return nil, classifyConstraintErr(err)
 		}
 	}
-	if e.cache != nil {
+	if ep.cache != nil {
 		// Two goroutines may race to compile the same text; both publish
 		// equivalent immutable entries and the second Add wins harmlessly.
-		e.cache.Add(text, cc)
+		ep.cache.Add(text, cc)
 	}
 	return cc, nil
 }
@@ -417,8 +482,8 @@ func classifyConstraintErr(err error) error {
 
 // resolveLabels maps label names to the compiled label set; empty means
 // the whole label universe.
-func (e *Engine) resolveLabels(labels []string) (labelset.Set, error) {
-	g := e.kg.g
+func (ep *epoch) resolveLabels(labels []string) (labelset.Set, error) {
+	g := ep.kg.g
 	if len(labels) == 0 {
 		return g.LabelUniverse(), nil
 	}
@@ -435,8 +500,8 @@ func (e *Engine) resolveLabels(labels []string) (labelset.Set, error) {
 
 // resolveEndpoints maps the query's vertex and label names to IDs — the
 // name-resolution half of the compile path.
-func (e *Engine) resolveEndpoints(source, target string, labels []string) (core.Query, error) {
-	g := e.kg.g
+func (ep *epoch) resolveEndpoints(source, target string, labels []string) (core.Query, error) {
+	g := ep.kg.g
 	s := g.Vertex(source)
 	if s == graph.NoVertex {
 		return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownVertex, source)
@@ -445,7 +510,7 @@ func (e *Engine) resolveEndpoints(source, target string, labels []string) (core.
 	if t == graph.NoVertex {
 		return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownVertex, target)
 	}
-	L, err := e.resolveLabels(labels)
+	L, err := ep.resolveLabels(labels)
 	if err != nil {
 		return core.Query{}, err
 	}
@@ -599,14 +664,17 @@ func (e *Engine) ReachTraced(q Query, dot io.Writer) (Result, error) {
 	return resp.result(), nil
 }
 
-// SaveIndex serialises the engine's local index (format documented in the
-// internal encoder: versioned magic + CRC32 footer). It fails when the
-// engine was built with SkipIndex.
+// SaveIndex serialises the current epoch's local index (format
+// documented in the internal encoder: versioned magic + CRC32 footer).
+// It fails when the engine was built with SkipIndex. The saved index
+// describes the epoch's base CSR; if the epoch carries an uncompacted
+// overlay, call Compact first to save an index covering every mutation.
 func (e *Engine) SaveIndex(w io.Writer) error {
-	if e.idx == nil {
+	ep := e.current()
+	if ep.idx == nil {
 		return ErrNoIndex
 	}
-	_, err := e.idx.WriteTo(w)
+	_, err := ep.idx.WriteTo(w)
 	return err
 }
 
@@ -620,12 +688,9 @@ func NewEngineFromIndex(kg *KG, r io.Reader, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
-		kg:    kg,
-		idx:   idx,
-		eng:   sparql.NewEngine(kg.g),
-		cache: newConstraintCache(opts.ConstraintCacheSize),
-	}, nil
+	e := &Engine{opts: opts}
+	e.ep.Store(e.newEpoch(0, kg.g, idx))
+	return e, nil
 }
 
 // Select evaluates a SPARQL SELECT and returns the matching vertex names
@@ -633,13 +698,14 @@ func NewEngineFromIndex(kg *KG, r io.Reader, opts Options) (*Engine, error) {
 // usable standalone. Multi-variable queries project their first variable;
 // use SelectAll for full rows.
 func (e *Engine) Select(query string) ([]string, error) {
-	ids, err := e.eng.Select(query)
+	ep := e.current()
+	ids, err := ep.eng.Select(query)
 	if err != nil {
 		return nil, classifyConstraintErr(err)
 	}
 	out := make([]string, len(ids))
 	for i, v := range ids {
-		out[i] = e.kg.g.VertexName(v)
+		out[i] = ep.kg.g.VertexName(v)
 	}
 	return out, nil
 }
@@ -647,7 +713,8 @@ func (e *Engine) Select(query string) ([]string, error) {
 // SelectAll evaluates a (possibly multi-variable) SPARQL SELECT and
 // returns one map per distinct result row, keyed by variable name.
 func (e *Engine) SelectAll(query string) ([]map[string]string, error) {
-	vars, rows, err := e.eng.SelectTuples(query)
+	ep := e.current()
+	vars, rows, err := ep.eng.SelectTuples(query)
 	if err != nil {
 		return nil, classifyConstraintErr(err)
 	}
@@ -655,7 +722,7 @@ func (e *Engine) SelectAll(query string) ([]map[string]string, error) {
 	for _, r := range rows {
 		m := make(map[string]string, len(vars))
 		for i, v := range vars {
-			m[v] = e.kg.g.VertexName(r[i])
+			m[v] = ep.kg.g.VertexName(r[i])
 		}
 		out = append(out, m)
 	}

@@ -1,0 +1,363 @@
+package lscr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lscr/internal/graph"
+	core "lscr/internal/lscr"
+)
+
+// Live graph mutations.
+//
+// Engine.Apply commits a batch of edge insertions/deletions (plus
+// new-vertex and new-label interning) atomically: the whole batch is
+// validated against the current epoch first, then a new epoch — the
+// same base CSR with a small sorted delta overlay layered on top — is
+// published with one atomic pointer swap. Either every mutation of the
+// batch is visible or none is; a reader never observes a torn batch,
+// and queries already in flight keep the epoch they started on
+// (RCU-style snapshot isolation).
+//
+// Traversal reads the overlay through the same label-run scan shape as
+// the base CSR: a mutated vertex answers from its complete merged row
+// (insertions merged in, deletions masked, (label, head)-sorted), an
+// untouched vertex from its base row. UIS, UIS* and the conjunctive
+// search — which consult no precomputed index — therefore answer on an
+// overlay view exactly as they would on a from-scratch rebuild of the
+// same edge set, bit-identical Stats included. INS keeps its local
+// index as a priority heuristic but disables the landmark pruning
+// shortcuts while an overlay is present (a stale index's claims could
+// be unsound against deletions and incomplete against insertions), so
+// its answers stay exact at the cost of pruning; full pruning returns
+// with the next compaction.
+//
+// Once the overlay accumulates Options.CompactAfter edge operations, a
+// background compactor folds it into a fresh base CSR, rebuilds the
+// local index with the engine's original parameters, replays any
+// mutations that landed mid-rebuild, and swaps the result in. After a
+// compaction the engine is bit-for-bit the engine NewEngine would build
+// on the current edge set: compaction preserves vertex/label IDs and
+// the index build is deterministic per (graph, seed) — the property the
+// mutate equivalence tier pins under -race.
+
+// MutationOp names one mutation kind on the wire and in the Go API.
+type MutationOp string
+
+// Mutation operations.
+const (
+	// OpAddEdge inserts one edge instance (the graph is a multigraph;
+	// parallel edges accumulate). Unknown subject/object vertices and
+	// unknown labels are interned on first use.
+	OpAddEdge MutationOp = "add-edge"
+	// OpDeleteEdge removes one instance of the triple; it fails with
+	// ErrEdgeNotFound when no instance remains at that point of the
+	// batch.
+	OpDeleteEdge MutationOp = "delete-edge"
+	// OpAddVertex interns a (possibly isolated) vertex by name; a no-op
+	// when the name exists.
+	OpAddVertex MutationOp = "add-vertex"
+	// OpAddLabel interns a label by name; a no-op when the name exists.
+	OpAddLabel MutationOp = "add-label"
+)
+
+// Mutation is one operation of an Apply batch, in terms of names (like
+// every public surface of the engine). Subject/Label/Object are
+// required per Op: add-edge and delete-edge use all three, add-vertex
+// uses Subject, add-label uses Label.
+type Mutation struct {
+	Op      MutationOp `json:"op"`
+	Subject string     `json:"subject,omitempty"`
+	Label   string     `json:"label,omitempty"`
+	Object  string     `json:"object,omitempty"`
+}
+
+// Mutation errors.
+var (
+	// ErrEdgeNotFound marks the deletion of an edge with no remaining
+	// instance.
+	ErrEdgeNotFound = errors.New("lscr: edge not found")
+	// ErrInvalidMutation marks a mutation whose op is unknown or whose
+	// fields do not fit its op.
+	ErrInvalidMutation = errors.New("lscr: invalid mutation")
+)
+
+// DefaultCompactAfter is the overlay-size threshold selected when
+// Options.CompactAfter is zero: compaction (a full CSR + index rebuild)
+// is amortised over at least this many mutations.
+const DefaultCompactAfter = 4096
+
+// ApplyResult reports one committed batch.
+type ApplyResult struct {
+	// Epoch is the sequence number of the published epoch.
+	Epoch uint64 `json:"epoch"`
+	// Added and Deleted count the batch's edge operations.
+	Added   int `json:"added"`
+	Deleted int `json:"deleted"`
+	// NewVertices and NewLabels count names interned by the batch.
+	NewVertices int `json:"new_vertices"`
+	NewLabels   int `json:"new_labels"`
+	// OverlayOps is the total uncompacted operation count after the
+	// batch.
+	OverlayOps int `json:"overlay_ops"`
+	// CompactionStarted reports that this batch crossed the
+	// CompactAfter threshold and kicked off a background compaction.
+	CompactionStarted bool `json:"compaction_started"`
+}
+
+// EpochInfo is a point-in-time snapshot of the engine's epoch state,
+// surfaced by the server's /healthz.
+type EpochInfo struct {
+	// Epoch is the serving epoch's sequence number (0 at construction,
+	// +1 per Apply or compaction swap).
+	Epoch uint64 `json:"epoch"`
+	// OverlayOps is the serving epoch's uncompacted operation count.
+	OverlayOps int `json:"overlay_ops"`
+	// Compactions counts completed compactions.
+	Compactions int64 `json:"compactions"`
+}
+
+// KG returns the current epoch's knowledge-graph view. Like every read
+// it is a consistent immutable snapshot; mutations committed later
+// appear only in later KG() results.
+func (e *Engine) KG() *KG { return e.current().kg }
+
+// Epoch reports the engine's current epoch state.
+func (e *Engine) Epoch() EpochInfo {
+	return e.epochInfo(e.current())
+}
+
+func (e *Engine) epochInfo(ep *epoch) EpochInfo {
+	return EpochInfo{
+		Epoch:       ep.seq,
+		OverlayOps:  ep.kg.g.OverlaySize(),
+		Compactions: e.compactions.Load(),
+	}
+}
+
+// Health returns a mutually consistent snapshot for monitoring
+// surfaces: the KG view, the constraint-cache counters and the epoch
+// info are all derived from one epoch load, so the numbers describe
+// the same serving state even while mutations commit concurrently
+// (separate KG()/CacheStats()/Epoch() calls could each observe a
+// different epoch).
+func (e *Engine) Health() (*KG, CacheStats, EpochInfo) {
+	ep := e.current()
+	return ep.kg, ep.cacheStats(), e.epochInfo(ep)
+}
+
+// Apply atomically commits muts in order. On any error — an unknown
+// name or missing edge in a delete, a malformed mutation, a cancelled
+// ctx — nothing is published and the engine state is unchanged. On
+// success the new epoch is visible to every query started after Apply
+// returns (and to none started before).
+//
+// Apply batches serialize with each other and with compaction swaps;
+// reads are never blocked. The per-batch cost is proportional to the
+// overlay size plus the degrees of the touched vertices, not to |G|.
+func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return ApplyResult{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.ep.Load()
+	if len(muts) == 0 {
+		return ApplyResult{Epoch: cur.seq, OverlayOps: cur.kg.g.OverlaySize()}, nil
+	}
+	d := graph.NewDelta(cur.kg.g)
+	res := ApplyResult{}
+	for i, m := range muts {
+		if err := stage(d, m); err != nil {
+			return ApplyResult{}, fmt.Errorf("mutation %d: %w", i, err)
+		}
+		switch m.Op {
+		case OpAddEdge:
+			res.Added++
+		case OpDeleteEdge:
+			res.Deleted++
+		}
+	}
+	// Validation may have taken a while on a big batch; honour a
+	// cancellation that fired during it before publishing.
+	if err := ctx.Err(); err != nil {
+		return ApplyResult{}, err
+	}
+	res.NewVertices = d.NewVertices()
+	res.NewLabels = d.NewLabels()
+	g, err := d.Commit()
+	if err != nil {
+		// Staging validates every op; a Commit failure is an internal
+		// inconsistency and must not publish.
+		return ApplyResult{}, err
+	}
+	if g == cur.kg.g {
+		// Every mutation was an idempotent no-op (interning names that
+		// already exist): the view is unchanged, so publishing a new
+		// epoch would only throw away the constraint cache for nothing.
+		res.Epoch = cur.seq
+		res.OverlayOps = g.OverlaySize()
+		return res, nil
+	}
+	ep := e.newEpoch(cur.seq+1, g, cur.idx)
+	e.ep.Store(ep)
+	res.Epoch = ep.seq
+	res.OverlayOps = g.OverlaySize()
+	if t := e.compactThreshold(); t >= 0 && res.OverlayOps >= t {
+		res.CompactionStarted = e.startCompaction()
+	}
+	return res, nil
+}
+
+// stage translates one wire-level mutation into delta operations.
+func stage(d *graph.Delta, m Mutation) error {
+	switch m.Op {
+	case OpAddEdge:
+		if m.Subject == "" || m.Label == "" || m.Object == "" {
+			return fmt.Errorf("%w: add-edge needs subject, label and object", ErrInvalidMutation)
+		}
+		if err := d.AddEdgeNames(m.Subject, m.Label, m.Object); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidMutation, err)
+		}
+		return nil
+	case OpDeleteEdge:
+		if m.Subject == "" || m.Label == "" || m.Object == "" {
+			return fmt.Errorf("%w: delete-edge needs subject, label and object", ErrInvalidMutation)
+		}
+		s, ok := d.LookupVertex(m.Subject)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownVertex, m.Subject)
+		}
+		t, ok := d.LookupVertex(m.Object)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownVertex, m.Object)
+		}
+		l, ok := d.LookupLabel(m.Label)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownLabel, m.Label)
+		}
+		if err := d.DeleteEdge(s, l, t); err != nil {
+			if errors.Is(err, graph.ErrEdgeNotFound) {
+				return fmt.Errorf("%w: (%s, %s, %s)", ErrEdgeNotFound, m.Subject, m.Label, m.Object)
+			}
+			return err
+		}
+		return nil
+	case OpAddVertex:
+		if m.Subject == "" {
+			return fmt.Errorf("%w: add-vertex needs a subject name", ErrInvalidMutation)
+		}
+		d.Vertex(m.Subject)
+		return nil
+	case OpAddLabel:
+		if m.Label == "" {
+			return fmt.Errorf("%w: add-label needs a label name", ErrInvalidMutation)
+		}
+		if _, err := d.Label(m.Label); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidMutation, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: unknown op %q", ErrInvalidMutation, m.Op)
+}
+
+// compactThreshold resolves Options.CompactAfter: the default when
+// zero, -1 (disabled) when negative.
+func (e *Engine) compactThreshold() int {
+	switch {
+	case e.opts.CompactAfter < 0:
+		return -1
+	case e.opts.CompactAfter == 0:
+		return DefaultCompactAfter
+	}
+	return e.opts.CompactAfter
+}
+
+// startCompaction spawns the background compactor unless one is already
+// running.
+func (e *Engine) startCompaction() bool {
+	if !e.compacting.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		defer e.compacting.Store(false)
+		// A compaction failure can only come from an internal overlay
+		// inconsistency; it must never be silently dropped.
+		if _, err := e.compact(); err != nil {
+			panic(fmt.Sprintf("lscr: background compaction failed: %v", err))
+		}
+	}()
+	return true
+}
+
+// Compact synchronously folds the current overlay into a fresh base CSR
+// and rebuilds the local index, making INS's landmark pruning exact
+// again. It reports false when there was nothing to compact. Reads stay
+// unblocked for the whole rebuild; only the final pointer swap
+// serializes with Apply. If a background compaction is in flight,
+// Compact waits for it and then compacts whatever overlay remains.
+func (e *Engine) Compact(ctx context.Context) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return e.compact()
+}
+
+// compactBarrier, when non-nil, runs between the heavy rebuild phase
+// and the catch-up swap — a test-only seam that lets the race between
+// an in-flight compaction and a concurrent Apply be produced
+// deterministically (see TestMutateCompactionCatchUp*).
+var compactBarrier func()
+
+// compact is the shared compaction body: rebuild outside the locks,
+// catch up on mutations that landed mid-rebuild, swap.
+func (e *Engine) compact() (bool, error) {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+
+	snap := e.ep.Load()
+	if !snap.kg.g.HasOverlay() {
+		return false, nil
+	}
+	snapOps := snap.kg.g.OverlaySize()
+	// The heavy phase runs against the immutable snapshot with no lock
+	// held: fold the overlay into a fresh CSR, then rebuild the local
+	// index for it exactly as NewEngine would.
+	base := snap.kg.g.Compact()
+	var idx *core.LocalIndex
+	if !e.opts.SkipIndex {
+		idx = core.NewLocalIndex(base, e.indexParams())
+	}
+	if compactBarrier != nil {
+		compactBarrier()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.ep.Load()
+	g := base
+	if cur.seq != snap.seq {
+		// Applies landed while we rebuilt. Their edge ops are the
+		// suffix of the current overlay log (bases only change here,
+		// under compactMu), and a batch may also have grown only the
+		// dictionaries (add-vertex/add-label stage no log entry), so
+		// the seq comparison — not the log length — decides whether to
+		// catch up. Replay onto the fresh base is exact: IDs are stable
+		// across compaction.
+		var err error
+		g, err = graph.ReplayOnto(base, cur.kg.g, snapOps)
+		if err != nil {
+			return false, err
+		}
+	}
+	e.ep.Store(e.newEpoch(cur.seq+1, g, idx))
+	e.compactions.Add(1)
+	return true, nil
+}

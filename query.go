@@ -147,9 +147,11 @@ func (r Response) result() Result {
 }
 
 // interruptFrom derives the core layer's poll function from ctx. A
-// context that can never be cancelled (Background, TODO) yields nil,
-// which keeps the search loops on their zero-overhead path and makes
-// the answer bit-identical to the deprecated context-free methods.
+// context that can never be cancelled — one whose Done returns nil,
+// like context.Background() and context.TODO() — yields a nil poll
+// function, which keeps the search loops on their zero-overhead path
+// and makes the answer bit-identical to the deprecated context-free
+// methods.
 //
 // Deadlines are additionally checked against the clock, not just the
 // Done channel: closing Done relies on a runtime timer getting
@@ -176,10 +178,13 @@ func interruptFrom(ctx context.Context) func() error {
 
 // Query answers req, honouring ctx: cancellation or deadline expiry
 // aborts the search mid-flight (the hot loops poll every few thousand
-// edge expansions) and returns ctx.Err(). With a non-cancellable
-// context the answer is bit-identical to the deprecated Reach family.
+// edge expansions) and returns ctx.Err(). A non-cancellable context —
+// context.Background(), context.TODO(), or any context whose Done
+// channel is nil — skips the poll entirely, so the answer is
+// bit-identical to the deprecated Reach family at zero overhead.
 // Query is safe for concurrent use, like every read path of the
-// Engine.
+// Engine; it resolves against the epoch current when it starts, so a
+// concurrent Apply or compaction never changes an in-flight answer.
 func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -199,35 +204,38 @@ func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	cq, err := e.resolveEndpoints(req.Source, req.Target, req.Labels)
+	// The epoch is loaded exactly once: graph view, index, caches and
+	// name resolution all come from this snapshot for the whole query.
+	ep := e.current()
+	cq, err := ep.resolveEndpoints(req.Source, req.Target, req.Labels)
 	if err != nil {
 		return Response{}, err
 	}
 	cq.Interrupt = itr
 	if req.Algorithm == Conjunctive || len(texts) > 1 {
-		return e.queryMulti(req, cq, texts)
+		return ep.queryMulti(req, cq, texts)
 	}
-	return e.querySingle(req, cq, texts)
+	return ep.querySingle(req, cq, texts)
 }
 
 // querySingle runs a one-constraint request with the selected
 // single-constraint algorithm. It is the engine behind the deprecated
 // Reach, ReachWithWitness and ReachTraced.
-func (e *Engine) querySingle(req Request, cq core.Query, texts []string) (Response, error) {
-	g := e.kg.g
+func (ep *epoch) querySingle(req Request, cq core.Query, texts []string) (Response, error) {
+	g := ep.kg.g
 	switch req.Algorithm {
 	case INS, UIS, UISStar:
 	default:
 		return Response{}, fmt.Errorf("%w %v", ErrUnknownAlgorithm, req.Algorithm)
 	}
-	if req.Algorithm == INS && e.idx == nil {
+	if req.Algorithm == INS && ep.idx == nil {
 		return Response{}, ErrNoIndex
 	}
 	if len(texts) != 1 {
 		return Response{}, fmt.Errorf("%w: algorithm %v takes exactly one constraint, got %d",
 			ErrInvalidRequest, req.Algorithm, len(texts))
 	}
-	cc, err := e.compileConstraint(texts[0])
+	cc, err := ep.compileConstraint(texts[0])
 	if err != nil {
 		return Response{}, err
 	}
@@ -283,9 +291,9 @@ func (e *Engine) querySingle(req Request, cq core.Query, texts []string) (Respon
 		vs := cc.vertexSet()
 		nVS = len(vs)
 		if tree != nil {
-			ok, st, err = core.INSTraced(g, e.idx, cq, vs, tree)
+			ok, st, err = core.INSTraced(g, ep.idx, cq, vs, tree)
 		} else {
-			ok, st, err = core.INS(g, e.idx, cq, vs)
+			ok, st, err = core.INS(g, ep.idx, cq, vs)
 		}
 	}
 	if err != nil {
@@ -325,8 +333,8 @@ func (e *Engine) querySingle(req Request, cq core.Query, texts []string) (Respon
 // queryMulti runs a conjunctive request with the generalised
 // uninformed search. It is the engine behind the deprecated ReachAll
 // and ReachAllWithWitness.
-func (e *Engine) queryMulti(req Request, cq core.Query, texts []string) (Response, error) {
-	g := e.kg.g
+func (ep *epoch) queryMulti(req Request, cq core.Query, texts []string) (Response, error) {
+	g := ep.kg.g
 	if req.WantTrace {
 		return Response{}, fmt.Errorf("%w: trace is not supported for conjunctive requests", ErrInvalidRequest)
 	}
@@ -345,7 +353,7 @@ func (e *Engine) queryMulti(req Request, cq core.Query, texts []string) (Respons
 		Interrupt: cq.Interrupt,
 	}
 	for _, text := range texts {
-		cc, err := e.compileConstraint(text)
+		cc, err := ep.compileConstraint(text)
 		if err != nil {
 			return Response{}, err
 		}

@@ -5,9 +5,10 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz           — liveness, KG stats, cache counters, version
+//	GET  /healthz           — liveness, KG stats, cache counters, epoch, version
 //	POST /v1/query          — one unified query (api.QueryRequest)
 //	POST /v1/batch          — many queries over a worker pool (api.BatchRequest)
+//	POST /v1/mutate         — one atomic mutation batch (api.MutateRequest)
 //
 // plus the deprecated pre-v1 routes (/reach, /reachbatch, /reachall,
 // /select), which keep their original request/response shapes but now
@@ -15,13 +16,17 @@
 // disconnects or times out cancels the search instead of leaving it
 // running to completion.
 //
-// The handler is read-only: the Engine and KG are built once by the
-// caller and shared by concurrent requests — the Engine's concurrency
-// contract is what lets net/http fan requests out without any locking
-// here. Client mistakes — unknown names, malformed or invalid
-// constraints, impossible requests, and requesting INS from an
-// index-less server — answer 400; a query that exceeds its server-side
-// deadline answers 504; only genuine server faults answer 500.
+// Queries need no locking here: the Engine serves reads from immutable
+// epochs, so net/http can fan requests out freely, and /v1/mutate
+// batches commit atomically through Engine.Apply — a batch whose body
+// never fully arrives (client disconnect, size cap) is rejected before
+// anything is staged, so the graph is never torn. ReadOnly disables
+// /v1/mutate with 403 for deployments that want the pre-mutation
+// contract. Client mistakes — unknown names, malformed or invalid
+// constraints, impossible requests, deleting an absent edge, and
+// requesting INS from an index-less server — answer 400; a query that
+// exceeds its server-side deadline answers 504; only genuine server
+// faults answer 500.
 package server
 
 import (
@@ -55,14 +60,21 @@ const (
 // delivered; the code exists for the access log.
 const statusClientClosedRequest = 499
 
-// New wires every endpoint (v1 and deprecated) over eng and kg.
-func New(eng *lscr.Engine, kg *lscr.KG) http.Handler {
-	s := &server{eng: eng, kg: kg}
+// New wires every endpoint (v1 and deprecated) over eng. The kg
+// parameter is retained for signature compatibility; the handler reads
+// the engine's current view (eng.KG()) so /healthz and queries reflect
+// mutations as they land.
+func New(eng *lscr.Engine, kg *lscr.KG, opts ...Option) http.Handler {
+	s := &server{eng: eng}
+	for _, o := range opts {
+		o(s)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("POST /v1/query", s.v1Query)
 	mux.HandleFunc("POST /v1/batch", s.v1Batch)
+	mux.HandleFunc("POST /v1/mutate", s.v1Mutate)
 	// Deprecated pre-v1 routes, aliased onto the same engine paths.
 	mux.HandleFunc("POST /reach", s.legacyReach)
 	mux.HandleFunc("POST /reachbatch", s.legacyReachBatch)
@@ -71,21 +83,59 @@ func New(eng *lscr.Engine, kg *lscr.KG) http.Handler {
 	return mux
 }
 
+// Option customises the handler.
+type Option func(*server)
+
+// ReadOnly disables /v1/mutate: mutation batches answer 403 and the
+// engine state can only change through the embedding process itself.
+func ReadOnly() Option {
+	return func(s *server) { s.readOnly = true }
+}
+
 type server struct {
-	eng *lscr.Engine
-	kg  *lscr.KG
+	eng      *lscr.Engine
+	readOnly bool
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	// One consistent snapshot: KG stats, cache counters and epoch info
+	// must describe the same serving state even mid-mutation.
+	kg, cache, epoch := s.eng.Health()
 	writeJSON(w, http.StatusOK, api.Health{
 		Status:   "ok",
 		Version:  buildinfo.Version(),
 		API:      api.Version,
-		Vertices: s.kg.NumVertices(),
-		Edges:    s.kg.NumEdges(),
-		Labels:   s.kg.NumLabels(),
-		Cache:    s.eng.CacheStats(),
+		Vertices: kg.NumVertices(),
+		Edges:    kg.NumEdges(),
+		Labels:   kg.NumLabels(),
+		Cache:    cache,
+		Epoch:    epoch,
 	})
+}
+
+func (s *server) v1Mutate(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeError(w, http.StatusForbidden, fmt.Errorf("server is read-only"))
+		return
+	}
+	// The whole body must decode before anything is staged, and
+	// Engine.Apply validates the whole batch before publishing — a
+	// disconnect mid-body or a bad op means nothing is applied.
+	var wire api.MutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(wire.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty mutation batch"))
+		return
+	}
+	res, err := s.eng.Apply(r.Context(), wire.ToMutations())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromApplyResult(res))
 }
 
 func (s *server) v1Query(w http.ResponseWriter, r *http.Request) {
@@ -339,6 +389,8 @@ func statusFor(err error) int {
 		errors.Is(err, lscr.ErrUnknownAlgorithm),
 		errors.Is(err, lscr.ErrNoConstraints),
 		errors.Is(err, lscr.ErrTooManyConstraints),
+		errors.Is(err, lscr.ErrEdgeNotFound),
+		errors.Is(err, lscr.ErrInvalidMutation),
 		errors.Is(err, lscr.ErrNoIndex):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
