@@ -128,6 +128,10 @@ type Health struct {
 	Labels   int             `json:"labels"`
 	Cache    lscr.CacheStats `json:"cache"`
 	Epoch    lscr.EpochInfo  `json:"epoch"`
+	// Maintenance reports incremental index maintenance: cumulative
+	// counters plus the serving epoch's dirty-landmark count and index
+	// epoch, consistent with Epoch.
+	Maintenance lscr.MaintStats `json:"maintenance"`
 }
 
 // Error is the body of every non-2xx reply.

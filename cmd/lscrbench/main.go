@@ -17,16 +17,20 @@
 //	lscrbench -exp csr-json         # same, as BENCH_csr.json
 //	lscrbench -exp mutate           # mixed read/write workload over Engine.Apply
 //	lscrbench -exp mutate-json      # same, as BENCH_mutate.json
+//	lscrbench -exp insdyn           # maintained vs stale-index INS over a growing overlay
+//	lscrbench -exp insdyn-json      # same, as BENCH_insdyn.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
 // cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json,
-// all. "all" runs the paper experiments only — the machine-dependent
-// scaling sweeps (parallel*, throughput, cachespeedup*, serverclient,
-// csr*, mutate*) are invoked explicitly. The mutate experiments exit
-// nonzero unless the mutated engine answered identically to a rebuild
-// on the final edge set.
+// insdyn, insdyn-json, all. "all" runs the paper experiments only — the
+// machine-dependent scaling sweeps (parallel*, throughput, cachespeedup*,
+// serverclient, csr*, mutate*, insdyn*) are invoked explicitly. The
+// mutate experiments exit nonzero unless the mutated engine answered
+// identically to a rebuild on the final edge set; the insdyn experiments
+// exit nonzero unless the maintained and maintenance-disabled engines
+// answered identically at every overlay size.
 package main
 
 import (
@@ -96,6 +100,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"mutate-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunMutateJSON(w, cfg, concurrency)
+		},
+		"insdyn": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunInsDyn(w, cfg, concurrency)
+		},
+		"insdyn-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunInsDynJSON(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

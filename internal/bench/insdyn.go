@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	pub "lscr"
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+	"lscr/internal/lubm"
+	"lscr/internal/workload"
+)
+
+// The insdyn harness measures the dynamic-index tentpole: with
+// incremental maintenance on (the default), INS keeps its landmark
+// pruning live while the mutation overlay grows; with maintenance off
+// (Options.NoIndexMaintenance — the PR 5 behaviour), the first overlay
+// op downgrades INS to unpruned search until the next compaction. Two
+// engines replay the same insert-only script batch by batch, never
+// compacting, and the harness samples INS throughput on both (plus UIS
+// as the index-free floor) at each overlay size. At every step the two
+// engines' answers — Reachable and |V(S,G)| — must be identical
+// (maintained pruning is exact; only the visit counts may differ), and
+// the run fails otherwise. cmd/lscrbench exposes it as -exp insdyn /
+// insdyn-json (the BENCH_insdyn.json format).
+
+// InsDynStep is one sampled overlay size.
+type InsDynStep struct {
+	// OverlayOps is the accumulated uncompacted edge-op count.
+	OverlayOps int `json:"overlay_ops"`
+	// MaintainedINSQPS: INS throughput with live maintenance;
+	// BaselineINSQPS: same queries, maintenance disabled (stale index,
+	// pruning off); UISQPS: the index-free algorithm as the floor.
+	MaintainedINSQPS float64 `json:"maintained_ins_qps"`
+	BaselineINSQPS   float64 `json:"baseline_ins_qps"`
+	UISQPS           float64 `json:"uis_qps"`
+	// Speedup = MaintainedINSQPS / BaselineINSQPS.
+	Speedup float64 `json:"ins_speedup"`
+}
+
+// InsDynReport is the machine-readable baseline (BENCH_insdyn.json).
+type InsDynReport struct {
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Dataset     string `json:"dataset"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Queries     int    `json:"queries"`
+	Concurrency int    `json:"concurrency"`
+	Batches     int    `json:"batches"`
+	OpsPerBatch int    `json:"ops_per_batch"`
+
+	// Steps samples throughput at each overlay size, starting at 0.
+	Steps []InsDynStep `json:"steps"`
+
+	// OverlaySpeedup is the headline number — the geometric mean of the
+	// maintained/baseline INS ratio over every step with a non-empty
+	// overlay (step 0 has two identical engines; any deviation from 1.0
+	// there is pure measurement noise): what live maintenance is worth
+	// once the overlay has real size.
+	OverlaySpeedup float64 `json:"overlay_ins_speedup"`
+
+	// Maintenance counters after the full script (mirrors the /healthz
+	// surface): propagated entries and batches, and the dirty-landmark
+	// count — zero here, because the script is insert-only.
+	MaintBatches   int64 `json:"maint_batches"`
+	EntriesAdded   int64 `json:"maint_entries_added"`
+	DirtyLandmarks int   `json:"dirty_landmarks"`
+
+	// Identical confirms the maintained and baseline engines agreed on
+	// every answer (Reachable and |V(S,G)|) at every overlay size.
+	Identical bool `json:"identical"`
+}
+
+// insDynScript precomputes insert-only batches between existing
+// vertices: every insert lands in some landmark's region with
+// probability ~|F|/|V|, so the maintained index genuinely propagates.
+func insDynScript(g *graph.Graph, seed int64, batches, opsPerBatch int) [][]pub.Mutation {
+	r := rng(seed, "insdyn")
+	script := make([][]pub.Mutation, batches)
+	for bi := range script {
+		batch := make([]pub.Mutation, 0, opsPerBatch)
+		for oi := 0; oi < opsPerBatch; oi++ {
+			batch = append(batch, pub.Mutation{
+				Op:      pub.OpAddEdge,
+				Subject: g.VertexName(graph.VertexID(r.Intn(g.NumVertices()))),
+				Label:   g.LabelName(graph.Label(r.Intn(g.NumLabels()))),
+				Object:  g.VertexName(graph.VertexID(r.Intn(g.NumVertices()))),
+			})
+		}
+		script[bi] = batch
+	}
+	return script
+}
+
+// MeasureInsDyn runs the maintained-vs-disabled INS comparison across a
+// growing overlay and returns the report.
+func MeasureInsDyn(cfg Config, concurrency int) (*InsDynReport, error) {
+	cfg = cfg.withDefaults()
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	ctx := context.Background()
+
+	rep := &InsDynReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Dataset:     spec.Name,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Concurrency: concurrency,
+		Batches:     6,
+		OpsPerBatch: cfg.QueriesPerGroup * 48,
+		Identical:   true,
+	}
+
+	// INS workload: the paper's generated true/false query groups over
+	// the Table 3 constraints — the query population where landmark
+	// pruning is designed to pay (the random-pair workload of the mutate
+	// harness terminates too quickly to exercise it). The same requests
+	// re-run as UIS give the index-free floor.
+	var insReqs, uisReqs []pub.Request
+	for si, sName := range []string{"S1", "S2", "S3"} {
+		nc, _ := lubm.Constraint(sName)
+		cons, vs, err := compileConstraint(g, sName)
+		if err != nil {
+			return nil, err
+		}
+		trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+			Count: cfg.QueriesPerGroup,
+			Seed:  cfg.Seed + int64(si),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload %s: %w", sName, err)
+		}
+		for _, wq := range append(trueQ, falseQ...) {
+			var labels []string
+			for l := 0; l < g.NumLabels(); l++ {
+				if wq.Labels.Contains(labelset.Label(l)) {
+					labels = append(labels, g.LabelName(graph.Label(l)))
+				}
+			}
+			req := pub.Request{
+				Source:     g.VertexName(wq.Source),
+				Target:     g.VertexName(wq.Target),
+				Labels:     labels,
+				Constraint: nc.SPARQL,
+				Algorithm:  pub.INS,
+			}
+			insReqs = append(insReqs, req)
+			req.Algorithm = pub.UIS
+			uisReqs = append(uisReqs, req)
+		}
+	}
+	rep.Queries = len(insReqs)
+
+	opts := pub.Options{IndexSeed: cfg.Seed, CompactAfter: -1}
+	maintained := pub.NewEngine(pub.FromGraph(g), opts)
+	base := opts
+	base.NoIndexMaintenance = true
+	baseline := pub.NewEngine(pub.FromGraph(g), base)
+
+	// One warmup pass per engine fills the epoch's constraint cache so
+	// the timed passes measure search, not SPARQL evaluation. The timed
+	// passes interleave the engines (maintained, baseline, maintained,
+	// …) and keep each engine's best, so frequency drift and cache
+	// warming hit both sides equally instead of biasing whichever runs
+	// later.
+	bo := pub.BatchOptions{Concurrency: concurrency}
+	warm := func(e *pub.Engine, reqs []pub.Request) ([]pub.QueryOutcome, error) {
+		out := e.QueryBatch(ctx, reqs, bo)
+		for i, o := range out {
+			if o.Err != nil {
+				return nil, fmt.Errorf("query %d: %w", i, o.Err)
+			}
+		}
+		return out, nil
+	}
+	timed := func(e *pub.Engine, reqs []pub.Request) float64 {
+		start := time.Now()
+		e.QueryBatch(ctx, reqs, bo)
+		return float64(len(reqs)) / time.Since(start).Seconds()
+	}
+	const passes = 3
+
+	script := insDynScript(g, cfg.Seed, rep.Batches, rep.OpsPerBatch)
+	sample := func() error {
+		var step InsDynStep
+		step.OverlayOps = maintained.Epoch().OverlayOps
+		mOut, err := warm(maintained, insReqs)
+		if err != nil {
+			return fmt.Errorf("bench: maintained INS: %w", err)
+		}
+		bOut, err := warm(baseline, insReqs)
+		if err != nil {
+			return fmt.Errorf("bench: baseline INS: %w", err)
+		}
+		uOut, err := warm(maintained, uisReqs)
+		if err != nil {
+			return fmt.Errorf("bench: UIS: %w", err)
+		}
+		for pass := 0; pass < passes; pass++ {
+			step.MaintainedINSQPS = max(step.MaintainedINSQPS, timed(maintained, insReqs))
+			step.BaselineINSQPS = max(step.BaselineINSQPS, timed(baseline, insReqs))
+			step.UISQPS = max(step.UISQPS, timed(maintained, uisReqs))
+		}
+		step.Speedup = step.MaintainedINSQPS / step.BaselineINSQPS
+		for i := range insReqs {
+			m, b, u := mOut[i].Response, bOut[i].Response, uOut[i].Response
+			if m.Reachable != b.Reachable || m.SatisfyingVertices != b.SatisfyingVertices ||
+				m.Reachable != u.Reachable {
+				rep.Identical = false
+			}
+		}
+		rep.Steps = append(rep.Steps, step)
+		return nil
+	}
+
+	if err := sample(); err != nil {
+		return nil, err
+	}
+	for _, batch := range script {
+		if _, err := maintained.Apply(ctx, batch); err != nil {
+			return nil, fmt.Errorf("bench: apply (maintained): %w", err)
+		}
+		if _, err := baseline.Apply(ctx, batch); err != nil {
+			return nil, fmt.Errorf("bench: apply (baseline): %w", err)
+		}
+		if err := sample(); err != nil {
+			return nil, err
+		}
+	}
+	logMean := 0.0
+	for _, s := range rep.Steps[1:] {
+		logMean += math.Log(s.Speedup)
+	}
+	rep.OverlaySpeedup = math.Exp(logMean / float64(len(rep.Steps)-1))
+
+	maint := maintained.IndexMaintenance()
+	rep.MaintBatches = maint.Batches
+	rep.EntriesAdded = maint.EntriesAdded
+	rep.DirtyLandmarks = maint.DirtyLandmarks
+	if !maint.IndexCurrent || maint.DirtyLandmarks != 0 {
+		return nil, fmt.Errorf("bench: insert-only script left maintenance state %+v", maint)
+	}
+	if bm := baseline.IndexMaintenance(); bm.Batches != 0 || bm.IndexCurrent {
+		return nil, fmt.Errorf("bench: baseline engine unexpectedly maintained its index: %+v", bm)
+	}
+	return rep, nil
+}
+
+// RunInsDyn prints the dynamic-maintenance report (cmd/lscrbench -exp
+// insdyn) and fails unless maintained and baseline answers agreed at
+// every overlay size.
+func RunInsDyn(w io.Writer, cfg Config, concurrency int) error {
+	rep, err := MeasureInsDyn(cfg, concurrency)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynamic INS on %s (|V|=%d |E|=%d): %d batches x %d inserts, %d queries, %d workers\n",
+		rep.Dataset, rep.Vertices, rep.Edges, rep.Batches, rep.OpsPerBatch, rep.Queries, rep.Concurrency)
+	fmt.Fprintf(w, "%12s %16s %16s %12s %9s\n", "overlay", "maintained-INS", "baseline-INS", "UIS", "speedup")
+	for _, s := range rep.Steps {
+		fmt.Fprintf(w, "%12d %12.0f qps %12.0f qps %8.0f qps %8.2fx\n",
+			s.OverlayOps, s.MaintainedINSQPS, s.BaselineINSQPS, s.UISQPS, s.Speedup)
+	}
+	fmt.Fprintf(w, "overlay speedup %.2fx (geomean over non-empty-overlay steps); %d entries propagated over %d batches, %d dirty landmarks\n",
+		rep.OverlaySpeedup, rep.EntriesAdded, rep.MaintBatches, rep.DirtyLandmarks)
+	fmt.Fprintf(w, "maintained-vs-baseline answers identical: %v\n", rep.Identical)
+	if !rep.Identical {
+		return fmt.Errorf("bench: maintained and baseline answers diverged")
+	}
+	return nil
+}
+
+// RunInsDynJSON writes the report as indented JSON — the format
+// committed to BENCH_insdyn.json so later PRs can track the trajectory.
+func RunInsDynJSON(w io.Writer, cfg Config, concurrency int) error {
+	rep, err := MeasureInsDyn(cfg, concurrency)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Identical {
+		return fmt.Errorf("bench: maintained and baseline answers diverged")
+	}
+	return nil
+}

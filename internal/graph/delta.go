@@ -165,6 +165,39 @@ func NewDelta(g *Graph) *Delta {
 // Ops returns the number of staged edge operations.
 func (d *Delta) Ops() int { return len(d.ops) }
 
+// EdgeOp is one resolved edge mutation in commit order, exported for the
+// index-maintenance layer: incremental index updates consume exactly the
+// validated op stream a batch commits.
+type EdgeOp struct {
+	Del bool
+	T   Triple
+}
+
+// EdgeOps returns the staged edge operations in commit order.
+func (d *Delta) EdgeOps() []EdgeOp {
+	ops := make([]EdgeOp, len(d.ops))
+	for i, op := range d.ops {
+		ops[i] = EdgeOp{Del: op.del, T: op.t}
+	}
+	return ops
+}
+
+// OverlayEdgeOps returns the overlay log suffix log[from:] as edge
+// operations — the mutations that landed after a compactor snapshotted
+// its epoch at from logged ops, which its rebuilt index must be
+// maintained through.
+func (g *Graph) OverlayEdgeOps(from int) []EdgeOp {
+	if g.ov == nil || from >= len(g.ov.log) {
+		return nil
+	}
+	log := g.ov.log[from:]
+	ops := make([]EdgeOp, len(log))
+	for i, op := range log {
+		ops[i] = EdgeOp{Del: op.del, T: op.t}
+	}
+	return ops
+}
+
 // NewVertices returns the number of vertices staged beyond the view.
 func (d *Delta) NewVertices() int { return len(d.names) }
 

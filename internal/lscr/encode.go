@@ -17,18 +17,23 @@ import (
 // "Settings"); this file implements a compact little-endian binary format
 // with a CRC32 footer:
 //
-//	magic "LSCRIDX1" | flags | |V| | k
-//	landmarks [k]u32 | af [|V|]u32
+//	magic "LSCRIDX2" | flags | view |V| | indexed |V| | k
+//	landmarks [k]u32 | af [indexed |V|]u32 | dirty bitmap [ceil(k/8)]u8
 //	per landmark: II count, (vertex u32, cms len u32, sets [..]u64)
 //	              EIT count, (labelset u64, count u32, vertices [..]u32)
-//	dmat [k*k]i32
+//	dmat [k*k]i32 (row-major)
 //	crc32 of everything above
 //
-// The format is versioned by the magic; readers reject unknown versions,
-// truncated input, corrupt payloads and indexes built for a different
-// graph size.
+// The format is versioned by the magic; readers reject unknown versions
+// (including the pre-maintenance LSCRIDX1), truncated input, corrupt
+// payloads and indexes built for a different graph size. Version 2 adds
+// the per-landmark dirty bitmap and splits the vertex count into the
+// bound view's |V| and the indexed range (the two differ for a
+// maintained index whose view grew vertices after the build), so an
+// index saved mid-life round-trips with its deletion-invalidated
+// landmarks still excluded from pruning.
 
-const indexMagic = "LSCRIDX1"
+const indexMagic = "LSCRIDX2"
 
 // Encoding errors.
 var (
@@ -52,6 +57,7 @@ func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
 		flags |= 1
 	}
 	put32(flags)
+	put32(uint32(idx.g.NumVertices()))
 	put32(uint32(len(idx.af)))
 	put32(uint32(len(idx.landmarks)))
 	for _, u := range idx.landmarks {
@@ -60,6 +66,13 @@ func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
 	for _, a := range idx.af {
 		put32(uint32(a))
 	}
+	dirtyBits := make([]byte, (len(idx.landmarks)+7)/8)
+	for li := range idx.landmarks {
+		if idx.dirty != nil && idx.dirty[li] {
+			dirtyBits[li>>3] |= 1 << (li & 7)
+		}
+	}
+	cw.write(dirtyBits)
 	for li := range idx.landmarks {
 		ii := idx.ii[li]
 		put32(uint32(len(ii)))
@@ -82,8 +95,10 @@ func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	for _, d := range idx.dmat {
-		put32(uint32(d))
+	for _, row := range idx.dmat {
+		for _, d := range row {
+			put32(uint32(d))
+		}
 	}
 	if cw.err != nil {
 		return cw.n, cw.err
@@ -134,19 +149,26 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	viewV, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if int(viewV) != g.NumVertices() {
+		return nil, fmt.Errorf("%w: index view |V|=%d, graph |V|=%d", ErrIndexMismatch, viewV, g.NumVertices())
+	}
 	n, err := get32()
 	if err != nil {
 		return nil, err
 	}
-	if int(n) != g.NumVertices() {
-		return nil, fmt.Errorf("%w: index |V|=%d, graph |V|=%d", ErrIndexMismatch, n, g.NumVertices())
+	if n > viewV {
+		return nil, fmt.Errorf("%w: indexed range %d exceeds view |V|=%d", ErrIndexMismatch, n, viewV)
 	}
 	k, err := get32()
 	if err != nil {
 		return nil, err
 	}
-	if int(k) > g.NumVertices() {
-		return nil, fmt.Errorf("%w: k=%d exceeds |V|", ErrIndexMismatch, k)
+	if k > n {
+		return nil, fmt.Errorf("%w: k=%d exceeds indexed |V|", ErrIndexMismatch, k)
 	}
 	idx := &LocalIndex{
 		g:          g,
@@ -179,6 +201,18 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 			return nil, err
 		}
 		idx.af[i] = graph.VertexID(a)
+	}
+	dirtyBits := make([]byte, (int(k)+7)/8)
+	if _, err := io.ReadFull(cr, dirtyBits); err != nil {
+		return nil, err
+	}
+	for li := 0; li < int(k); li++ {
+		if dirtyBits[li>>3]&(1<<(li&7)) != 0 {
+			if idx.dirty == nil {
+				idx.dirty = make([]bool, k)
+			}
+			idx.dirty[li] = true
+		}
 	}
 	for li := range idx.landmarks {
 		nii, err := get32()
@@ -232,13 +266,15 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 		}
 		idx.eit[li] = eit
 	}
-	idx.dmat = make([]int32, int(k)*int(k))
-	for i := range idx.dmat {
-		d, err := get32()
-		if err != nil {
-			return nil, err
+	idx.dmat = newDMat(int(k))
+	for _, row := range idx.dmat {
+		for i := range row {
+			d, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = int32(d)
 		}
-		idx.dmat[i] = int32(d)
 	}
 	want := crc.Sum32()
 	var foot [4]byte

@@ -63,6 +63,38 @@ func TestIndexRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIndexRoundTripMaintained: a maintained index — derived through
+// insert propagation and a deletion-dirtied landmark — round-trips with
+// its full structure, including the LSCRIDX2 dirty bitmap, so a
+// reloaded index keeps excluding invalidated landmarks from pruning.
+func TestIndexRoundTripMaintained(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testkg.Random(rng, 40, 160, 3)
+	idx := NewLocalIndex(g, IndexParams{K: 8, Seed: 17})
+	cur := idx
+	for batch := 0; batch < 4; batch++ {
+		g2, ops := mutStep(rng, cur.Graph(), 8)
+		cur, _ = cur.ApplyMutations(g2, ops)
+	}
+	if cur.DirtyLandmarks() == 0 {
+		t.Fatal("script produced no dirty landmark; strengthen it")
+	}
+	var buf bytes.Buffer
+	if _, err := cur.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLocalIndex(&buf, cur.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.EqualStructure(cur); err != nil {
+		t.Fatalf("round-trip changed the maintained index: %v", err)
+	}
+	if got.DirtyLandmarks() != cur.DirtyLandmarks() {
+		t.Fatalf("dirty landmarks: %d != %d", got.DirtyLandmarks(), cur.DirtyLandmarks())
+	}
+}
+
 // TestIndexRoundTripBehaviour: a loaded index must answer INS queries
 // identically to the index it was saved from.
 func TestIndexRoundTripBehaviour(t *testing.T) {

@@ -23,16 +23,18 @@ import (
 // Cut(II[w]) marks everything w reaches in its region, and Push(EIT[w])
 // enqueues the boundary exits (Theorem 5.1).
 //
-// On a graph carrying a mutation overlay (g.HasOverlay()) the index's
-// claims describe a stale edge set: a deletion can invalidate a positive
-// Check/Cut claim and an insertion can add reachability Push never
-// recorded, either of which would make the pruned search unsound or
-// incomplete. INS therefore disables the landmark shortcuts for overlay
-// views — landmarks are expanded like ordinary vertices over the exact
-// merged adjacency, while H and Q keep using the index's ρ/region
-// estimates as (deterministic) heuristics. Answers remain exact; the
-// full Theorem 5.1 pruning returns once the engine compacts the overlay
-// and rebuilds the index.
+// Under live mutations the shortcuts stay sound as long as the index
+// describes the queried graph view exactly. The engine maintains the
+// index incrementally through every committed batch (see maintain.go),
+// so the gate is per landmark, not per graph: a landmark invalidated by
+// a deletion (idx.Dirty) is expanded like an ordinary vertex over the
+// exact merged adjacency, while every clean landmark keeps the full
+// Check/Cut/Push pruning. Only when the index is stale for the view as a
+// whole (!idx.ExactFor(g) — maintenance disabled, or an index loaded for
+// a different view) are the shortcuts disabled outright; H and Q keep
+// using the index's ρ/region estimates as (deterministic) heuristics
+// either way, and answers remain exact in every mode. Compaction
+// rebuilds the index and clears all dirtiness.
 //
 // vsOrder optionally supplies a precomputed V(S,G); pass nil to let the
 // engine compute it.
@@ -67,7 +69,7 @@ func insImpl(g *graph.Graph, idx *LocalIndex, q Query, vsOrder []graph.VertexID,
 		q:       q,
 		close:   newCloseMap(sc),
 		cutDone: sc.cutTable(len(idx.landmarks)),
-		noPrune: g.HasOverlay(),
+		noPrune: !idx.ExactFor(g),
 		tr:      tr,
 		ic:      interruptCheck{fn: q.Interrupt},
 	}
@@ -167,9 +169,11 @@ type insRun struct {
 	// idempotent per (w, L, B).
 	cutDone []uint8
 
-	// noPrune disables the landmark shortcuts (Check/Cut/Push): set when
-	// the graph carries a mutation overlay the index predates, so the
-	// index is only trusted as a priority heuristic (see the INS doc).
+	// noPrune disables the landmark shortcuts (Check/Cut/Push) wholesale:
+	// set when the index is not exact for the queried view, so it is only
+	// trusted as a priority heuristic (see the INS doc). With an exact
+	// index, deletion-invalidated landmarks are still excluded per
+	// landmark via idx.Dirty.
 	noPrune bool
 
 	tr Tracer
@@ -284,11 +288,11 @@ func (r *insRun) lcs(sStar, tStar graph.VertexID, fromSat bool) (bool, error) {
 			for _, e := range run {
 				w := e.To
 				// Line 22-23: t* lives in w's region and w reaches it there.
-				if !r.noPrune && r.tStarAF == w && r.idx.Check(w, tStar, L) {
+				if !r.noPrune && r.tStarAF == w && !r.idx.Dirty(w) && r.idx.Check(w, tStar, L) {
 					r.requeue(u)
 					return true, nil
 				}
-				if !r.noPrune && r.idx.IsLandmark(w) { // Lines 24-25.
+				if !r.noPrune && r.idx.IsLandmark(w) && !r.idx.Dirty(w) { // Lines 24-25.
 					if r.cutPush(w, tStar, fromSat) {
 						r.requeue(u)
 						return true, nil

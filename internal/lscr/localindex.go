@@ -28,7 +28,9 @@ import (
 //
 // A LocalIndex is immutable once NewLocalIndex returns; every accessor
 // (II, Check, IIEntries, EITEntries, D, Rho, ...) only reads, so one
-// index may serve any number of concurrent queries.
+// index may serve any number of concurrent queries. ApplyMutations never
+// modifies its receiver either: it returns a derived index sharing every
+// untouched per-landmark structure (see maintain.go).
 type LocalIndex struct {
 	g          *graph.Graph
 	landmarks  []graph.VertexID
@@ -51,13 +53,35 @@ type LocalIndex struct {
 	iiSorted  [][]iiEntry
 	eitSorted [][]eitEntry
 
-	// D as a dense k×k matrix over landmark indices; lmIdx maps a
-	// landmark vertex to its row/column, -1 for non-landmarks. Query-time
-	// ρ lookups are on the hot path of INS's priority queue.
-	dmat  []int32
+	// D as a dense k×k matrix over landmark indices, stored as one row
+	// slice per landmark (all rows of a fresh build share one backing
+	// array for locality); lmIdx maps a landmark vertex to its
+	// row/column, -1 for non-landmarks. Query-time ρ lookups are on the
+	// hot path of INS's priority queue. Per-row storage lets incremental
+	// maintenance replace a single landmark's row without copying the
+	// whole k×k matrix.
+	dmat  [][]int32
 	lmIdx []int32
 
+	// dirty marks landmarks whose entries were invalidated by an edge
+	// deletion since the last full (re)build; nil when no landmark is
+	// dirty. A dirty landmark's II/EIT/D entries are stale upper bounds
+	// and must not drive pruning; clean landmarks stay exact because a
+	// landmark's entries depend only on edges whose source lies in its
+	// own region (see maintain.go).
+	dirty []bool
+
 	literalRho bool
+}
+
+// newDMat allocates k rows of k int32 over a single backing array.
+func newDMat(k int) [][]int32 {
+	backing := make([]int32, k*k)
+	rows := make([][]int32, k)
+	for i := range rows {
+		rows[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
 }
 
 // IndexParams configures construction.
@@ -124,7 +148,7 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	}
 	idx.ii = make([]map[graph.VertexID]*labelset.CMS, len(idx.landmarks))
 	idx.eit = make([]map[labelset.Set][]graph.VertexID, len(idx.landmarks))
-	idx.dmat = make([]int32, len(idx.landmarks)*len(idx.landmarks))
+	idx.dmat = newDMat(len(idx.landmarks))
 	idx.bfsTraverse() // Line 2.
 
 	// Lines 3-4: LocalFullIndex per landmark, parallelised. The passes
@@ -188,17 +212,24 @@ func (idx *LocalIndex) finalize() {
 	idx.iiSorted = make([][]iiEntry, len(idx.landmarks))
 	idx.eitSorted = make([][]eitEntry, len(idx.landmarks))
 	for li := range idx.landmarks {
-		ii := make([]iiEntry, 0, len(idx.ii[li]))
-		for _, v := range sortedVertices(idx.ii[li]) {
-			ii = append(ii, iiEntry{v: v, cms: idx.ii[li][v]})
-		}
-		idx.iiSorted[li] = ii
-		eit := make([]eitEntry, 0, len(idx.eit[li]))
-		for _, key := range sortedKeys(idx.eit[li]) {
-			eit = append(eit, eitEntry{key: key, ws: idx.eit[li][key]})
-		}
-		idx.eitSorted[li] = eit
+		idx.finalizeLandmark(li)
 	}
+}
+
+// finalizeLandmark rebuilds one landmark's materialised sorted orders
+// from its ii/eit maps. Incremental maintenance calls it for exactly the
+// landmarks a mutation batch extended.
+func (idx *LocalIndex) finalizeLandmark(li int) {
+	ii := make([]iiEntry, 0, len(idx.ii[li]))
+	for _, v := range sortedVertices(idx.ii[li]) {
+		ii = append(ii, iiEntry{v: v, cms: idx.ii[li][v]})
+	}
+	idx.iiSorted[li] = ii
+	eit := make([]eitEntry, 0, len(idx.eit[li]))
+	for _, key := range sortedKeys(idx.eit[li]) {
+		eit = append(eit, eitEntry{key: key, ws: idx.eit[li][key]})
+	}
+	idx.eitSorted[li] = eit
 }
 
 // landmarkSelect implements the schema-driven selection of §5.1.2: pick a
@@ -357,7 +388,7 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 		for ri, n := 0, rs.Len(); ri < n; ri++ { // Lines 11-14.
 			nl := st.l.Add(rs.Label(ri))
 			for _, e := range rs.Run(ri) {
-				if idx.af[e.To] == u {
+				if idx.regionIs(e.To, u) {
 					queue = append(queue, liState{e.To, nl})
 				} else {
 					insert(ei, e.To, nl)
@@ -369,13 +400,13 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 
 	// Line 15: EIT[u] and D[u] from EI[u].
 	eit := make(map[labelset.Set][]graph.VertexID)
-	row := int(idx.lmIdx[u]) * len(idx.landmarks)
+	row := idx.dmat[idx.lmIdx[u]]
 	for w, c := range ei {
 		for _, l := range c.Sets() {
 			eit[l] = append(eit[l], w)
 		}
-		if a := idx.af[w]; a != graph.NoVertex {
-			idx.dmat[row+int(idx.lmIdx[a])]++
+		if a := idx.Region(w); a != graph.NoVertex {
+			row[idx.lmIdx[a]]++
 		}
 	}
 	for _, ws := range eit {
@@ -401,6 +432,50 @@ func (idx *LocalIndex) Region(v graph.VertexID) graph.VertexID {
 		return graph.NoVertex
 	}
 	return idx.af[v]
+}
+
+// regionIs reports Region(v) == u; bounds-safe for vertices interned
+// after the index was built (their region is NoVertex, never a
+// landmark).
+func (idx *LocalIndex) regionIs(v, u graph.VertexID) bool {
+	return int(v) < len(idx.af) && idx.af[v] == u
+}
+
+// Graph returns the graph view the index's entries describe: the build
+// graph for a fresh index, the post-batch view for one derived by
+// ApplyMutations.
+func (idx *LocalIndex) Graph() *graph.Graph { return idx.g }
+
+// ExactFor reports whether the index's clean-landmark entries describe
+// exactly the graph view g — it was either built for g or incrementally
+// maintained up to g. A stale index (g has moved on without the index
+// being maintained) must not drive pruning.
+func (idx *LocalIndex) ExactFor(g *graph.Graph) bool {
+	return idx != nil && idx.g == g
+}
+
+// Dirty reports whether landmark w's entries were invalidated by an edge
+// deletion since the last full (re)build. Dirty landmarks are excluded
+// from INS's Check/Cut/Push pruning and expanded like ordinary vertices;
+// compaction rebuilds the index and clears all dirtiness.
+func (idx *LocalIndex) Dirty(w graph.VertexID) bool {
+	if idx.dirty == nil {
+		return false
+	}
+	li := idx.lm(w)
+	return li >= 0 && idx.dirty[li]
+}
+
+// DirtyLandmarks returns the number of landmarks currently invalidated
+// by deletions.
+func (idx *LocalIndex) DirtyLandmarks() int {
+	n := 0
+	for _, d := range idx.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // lm returns the landmark index of u, or -1 for non-landmarks and
@@ -470,7 +545,7 @@ func (idx *LocalIndex) D(u, x graph.VertexID) int {
 	if iu < 0 || ix < 0 {
 		return 0
 	}
-	return int(idx.dmat[int(iu)*len(idx.landmarks)+int(ix)])
+	return int(idx.dmat[iu][ix])
 }
 
 // Rho is the estimated closeness used by INS's evaluation function. The
@@ -487,7 +562,7 @@ func (idx *LocalIndex) Rho(u, t graph.VertexID) int {
 	if au == at {
 		return -1 << 30 // same region: closest under either reading
 	}
-	d := int(idx.dmat[int(idx.lmIdx[au])*len(idx.landmarks)+int(idx.lmIdx[at])])
+	d := int(idx.dmat[idx.lmIdx[au]][idx.lmIdx[at]])
 	if idx.literalRho {
 		return d
 	}
@@ -525,6 +600,6 @@ func (idx *LocalIndex) SizeBytes() int64 {
 			sz += 8 + int64(len(ws))*4
 		}
 	}
-	sz += int64(len(idx.dmat)) * 4
+	sz += int64(len(idx.dmat)*len(idx.dmat)) * 4
 	return sz
 }

@@ -206,6 +206,15 @@ type Options struct {
 	// local index. 0 selects DefaultCompactAfter; a negative value
 	// disables automatic compaction (Engine.Compact remains available).
 	CompactAfter int
+	// NoIndexMaintenance disables incremental local-index maintenance:
+	// Apply then publishes epochs that keep the pre-mutation index as a
+	// heuristic only, so INS loses its landmark pruning until the next
+	// compaction (the PR 5 behaviour). The default — maintenance on —
+	// extends the index through every committed batch (insertions by
+	// monotone propagation, deletions by per-landmark invalidation) so
+	// INS keeps pruning against a current index. Exposed mainly for
+	// benchmarking the maintenance win and as an escape hatch.
+	NoIndexMaintenance bool
 }
 
 // Engine answers LSCR queries over one KG and accepts live mutations.
@@ -226,18 +235,32 @@ type Engine struct {
 	compactMu   sync.Mutex
 	compacting  atomic.Bool
 	compactions atomic.Int64
+
+	// Cumulative index-maintenance counters (see MaintStats). They only
+	// grow — per-epoch state (dirty landmarks, index epoch) lives on the
+	// epoch itself.
+	maintBatches     atomic.Int64
+	maintExtended    atomic.Int64
+	maintEntries     atomic.Int64
+	maintInvalidated atomic.Int64
 }
 
 // epoch is one immutable serving snapshot: a graph view (base CSR plus
-// optional overlay), the local index built for its base, the SPARQL
-// engine over the view, and the constraint cache whose memoized V(S,G)
-// is valid exactly for this view.
+// optional overlay), the local index for the view, the SPARQL engine
+// over the view, and the constraint cache whose memoized V(S,G) is
+// valid exactly for this view. idxSeq is the index epoch threaded
+// alongside the graph epoch: the seq of the last epoch whose view the
+// index is exact for. With maintenance on it tracks seq; with
+// maintenance off it lags until the next compaction, and idx is then
+// only a heuristic (readers always get the (kg, idx, idxSeq) triple
+// from one atomic load, so the pair they see is mutually consistent).
 type epoch struct {
-	seq   uint64
-	kg    *KG
-	idx   *core.LocalIndex
-	eng   *sparql.Engine
-	cache *qcache.Cache[*compiledConstraint] // nil when disabled
+	seq    uint64
+	idxSeq uint64
+	kg     *KG
+	idx    *core.LocalIndex
+	eng    *sparql.Engine
+	cache  *qcache.Cache[*compiledConstraint] // nil when disabled
 }
 
 // NewEngine prepares an engine, building the local index unless opts
@@ -250,7 +273,7 @@ func NewEngine(kg *KG, opts Options) *Engine {
 	if !opts.SkipIndex {
 		idx = core.NewLocalIndex(kg.g, e.indexParams())
 	}
-	e.ep.Store(e.newEpoch(0, kg.g, idx))
+	e.ep.Store(e.newEpoch(0, kg.g, idx, 0))
 	return e
 }
 
@@ -265,14 +288,21 @@ func (e *Engine) indexParams() core.IndexParams {
 }
 
 // newEpoch assembles a serving snapshot for g with a fresh constraint
-// cache.
-func (e *Engine) newEpoch(seq uint64, g *graph.Graph, idx *core.LocalIndex) *epoch {
+// cache. prevIdxSeq carries the previous epoch's index epoch; it is
+// advanced to seq whenever idx is exact for g (fresh build, maintained
+// batch, or clean compaction).
+func (e *Engine) newEpoch(seq uint64, g *graph.Graph, idx *core.LocalIndex, prevIdxSeq uint64) *epoch {
+	idxSeq := prevIdxSeq
+	if idx.ExactFor(g) {
+		idxSeq = seq
+	}
 	return &epoch{
-		seq:   seq,
-		kg:    &KG{g: g},
-		idx:   idx,
-		eng:   sparql.NewEngine(g),
-		cache: newConstraintCache(e.opts.ConstraintCacheSize),
+		seq:    seq,
+		idxSeq: idxSeq,
+		kg:     &KG{g: g},
+		idx:    idx,
+		eng:    sparql.NewEngine(g),
+		cache:  newConstraintCache(e.opts.ConstraintCacheSize),
 	}
 }
 
@@ -312,6 +342,58 @@ type CacheStats struct {
 // counters reset on mutation.
 func (e *Engine) CacheStats() CacheStats {
 	return e.current().cacheStats()
+}
+
+// MaintStats is a point-in-time snapshot of incremental index
+// maintenance (see mutate.go): cumulative counters since construction
+// plus the serving epoch's index state. The server's /healthz surfaces
+// it next to CacheStats.
+type MaintStats struct {
+	// Enabled is false when the engine has no index (SkipIndex) or was
+	// built with NoIndexMaintenance; the cumulative counters are then
+	// zero.
+	Enabled bool `json:"enabled"`
+	// Batches counts Apply batches whose index was maintained through.
+	Batches int64 `json:"batches"`
+	// LandmarksExtended counts per-batch landmarks extended by insert
+	// propagation; EntriesAdded the minimal label sets accepted.
+	LandmarksExtended int64 `json:"landmarks_extended"`
+	EntriesAdded      int64 `json:"entries_added"`
+	// LandmarksInvalidated counts landmarks marked dirty by deletions
+	// (cumulative; compactions clear the dirty state but not this
+	// counter).
+	LandmarksInvalidated int64 `json:"landmarks_invalidated"`
+	// DirtyLandmarks is the serving epoch's count of
+	// deletion-invalidated landmarks currently excluded from pruning.
+	DirtyLandmarks int `json:"dirty_landmarks"`
+	// IndexEpoch is the index epoch: the last epoch whose graph view
+	// the index is exact for. IndexCurrent reports IndexEpoch == Epoch,
+	// i.e. INS is serving with live pruning (dirty landmarks aside).
+	IndexEpoch   uint64 `json:"index_epoch"`
+	IndexCurrent bool   `json:"index_current"`
+}
+
+// IndexMaintenance reports the index-maintenance counters for the
+// serving epoch. The cumulative counters are monotonic across epochs;
+// the per-epoch fields come from one atomic epoch load.
+func (e *Engine) IndexMaintenance() MaintStats {
+	return e.maintStats(e.current())
+}
+
+func (e *Engine) maintStats(ep *epoch) MaintStats {
+	ms := MaintStats{
+		Enabled:              ep.idx != nil && !e.opts.NoIndexMaintenance,
+		Batches:              e.maintBatches.Load(),
+		LandmarksExtended:    e.maintExtended.Load(),
+		EntriesAdded:         e.maintEntries.Load(),
+		LandmarksInvalidated: e.maintInvalidated.Load(),
+		IndexEpoch:           ep.idxSeq,
+	}
+	if ep.idx != nil {
+		ms.DirtyLandmarks = ep.idx.DirtyLandmarks()
+		ms.IndexCurrent = ep.idx.ExactFor(ep.kg.g)
+	}
+	return ms
 }
 
 func (ep *epoch) cacheStats() CacheStats {
@@ -689,7 +771,7 @@ func NewEngineFromIndex(kg *KG, r io.Reader, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{opts: opts}
-	e.ep.Store(e.newEpoch(0, kg.g, idx))
+	e.ep.Store(e.newEpoch(0, kg.g, idx, 0))
 	return e, nil
 }
 

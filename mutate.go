@@ -26,12 +26,23 @@ import (
 // untouched vertex from its base row. UIS, UIS* and the conjunctive
 // search — which consult no precomputed index — therefore answer on an
 // overlay view exactly as they would on a from-scratch rebuild of the
-// same edge set, bit-identical Stats included. INS keeps its local
-// index as a priority heuristic but disables the landmark pruning
-// shortcuts while an overlay is present (a stale index's claims could
-// be unsound against deletions and incomplete against insertions), so
-// its answers stay exact at the cost of pruning; full pruning returns
-// with the next compaction.
+// same edge set, bit-identical Stats included.
+//
+// INS stays index-guided under writes: unless Options.NoIndexMaintenance
+// is set, the commit path derives a maintained local index for every
+// published epoch (core.ApplyMutations). Insertions extend the affected
+// landmark's II/EIT entries by monotone propagation — exactly the
+// entries a frozen-assignment rebuild on the new view would hold, the
+// property the maintained-equivalence tier and the maintenance fuzz
+// target pin — while a deletion invalidates only the one landmark whose
+// region sources the deleted edge; INS excludes dirty landmarks from its
+// Check/Cut/Push shortcuts and keeps pruning with every clean one. The
+// derivation is copy-on-write (untouched landmarks share storage across
+// epochs) and costs time proportional to the affected regions, not |G|.
+// Compaction rebuilds the index from scratch, clearing all dirtiness.
+// The epoch carries an index epoch (idxSeq) alongside the graph epoch,
+// so a reader's single atomic load always yields a mutually consistent
+// (graph, index) pair.
 //
 // Once the overlay accumulates Options.CompactAfter edge operations, a
 // background compactor folds it into a fresh base CSR, rebuilds the
@@ -112,6 +123,11 @@ type EpochInfo struct {
 	// Epoch is the serving epoch's sequence number (0 at construction,
 	// +1 per Apply or compaction swap).
 	Epoch uint64 `json:"epoch"`
+	// IndexEpoch is the last epoch whose graph view the local index is
+	// exact for; it equals Epoch while incremental maintenance keeps up
+	// (always, unless disabled) and lags until the next compaction
+	// otherwise.
+	IndexEpoch uint64 `json:"index_epoch"`
 	// OverlayOps is the serving epoch's uncompacted operation count.
 	OverlayOps int `json:"overlay_ops"`
 	// Compactions counts completed compactions.
@@ -131,20 +147,21 @@ func (e *Engine) Epoch() EpochInfo {
 func (e *Engine) epochInfo(ep *epoch) EpochInfo {
 	return EpochInfo{
 		Epoch:       ep.seq,
+		IndexEpoch:  ep.idxSeq,
 		OverlayOps:  ep.kg.g.OverlaySize(),
 		Compactions: e.compactions.Load(),
 	}
 }
 
 // Health returns a mutually consistent snapshot for monitoring
-// surfaces: the KG view, the constraint-cache counters and the epoch
-// info are all derived from one epoch load, so the numbers describe
-// the same serving state even while mutations commit concurrently
-// (separate KG()/CacheStats()/Epoch() calls could each observe a
-// different epoch).
-func (e *Engine) Health() (*KG, CacheStats, EpochInfo) {
+// surfaces: the KG view, the constraint-cache counters, the epoch info
+// and the maintenance stats are all derived from one epoch load, so the
+// numbers describe the same serving state even while mutations commit
+// concurrently (separate KG()/CacheStats()/Epoch()/IndexMaintenance()
+// calls could each observe a different epoch).
+func (e *Engine) Health() (*KG, CacheStats, EpochInfo, MaintStats) {
 	ep := e.current()
-	return ep.kg, ep.cacheStats(), e.epochInfo(ep)
+	return ep.kg, ep.cacheStats(), e.epochInfo(ep), e.maintStats(ep)
 }
 
 // Apply atomically commits muts in order. On any error — an unknown
@@ -203,7 +220,22 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 		res.OverlayOps = g.OverlaySize()
 		return res, nil
 	}
-	ep := e.newEpoch(cur.seq+1, g, cur.idx)
+	// Maintain the local index through the batch so the published epoch
+	// pairs the new view with an index exact for it. The derivation never
+	// touches cur.idx, so readers on older epochs are unaffected. If the
+	// index already lagged (maintenance off, or an index loaded for
+	// another view), it is left as-is — deriving from a stale base would
+	// launder staleness into an index INS would trust.
+	idx := cur.idx
+	if idx != nil && !e.opts.NoIndexMaintenance && idx.ExactFor(cur.kg.g) {
+		var mb core.MaintBatch
+		idx, mb = idx.ApplyMutations(g, d.EdgeOps())
+		e.maintBatches.Add(1)
+		e.maintExtended.Add(int64(mb.LandmarksExtended))
+		e.maintEntries.Add(int64(mb.EntriesAdded))
+		e.maintInvalidated.Add(int64(mb.LandmarksInvalidated))
+	}
+	ep := e.newEpoch(cur.seq+1, g, idx, cur.idxSeq)
 	e.ep.Store(ep)
 	res.Epoch = ep.seq
 	res.OverlayOps = g.OverlaySize()
@@ -356,8 +388,14 @@ func (e *Engine) compact() (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		// The fresh index describes base; maintain it through the
+		// caught-up suffix so pruning is live immediately after a racy
+		// compaction too, not just after a quiet one.
+		if idx != nil && !e.opts.NoIndexMaintenance {
+			idx, _ = idx.ApplyMutations(g, cur.kg.g.OverlayEdgeOps(snapOps))
+		}
 	}
-	e.ep.Store(e.newEpoch(cur.seq+1, g, idx))
+	e.ep.Store(e.newEpoch(cur.seq+1, g, idx, cur.idxSeq))
 	e.compactions.Add(1)
 	return true, nil
 }

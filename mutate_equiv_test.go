@@ -586,9 +586,122 @@ func TestMutateNoOpBatchKeepsEpoch(t *testing.T) {
 
 	// Engine.Health reads one epoch: its numbers must be mutually
 	// consistent by construction.
-	kg, _, info := eng.Health()
+	kg, _, info, maint := eng.Health()
 	if kg.Graph().OverlaySize() != info.OverlayOps {
 		t.Fatalf("Health inconsistent: kg overlay %d vs info %d", kg.Graph().OverlaySize(), info.OverlayOps)
+	}
+	if maint.IndexEpoch != info.IndexEpoch {
+		t.Fatalf("Health inconsistent: maint index epoch %d vs info %d", maint.IndexEpoch, info.IndexEpoch)
+	}
+}
+
+// TestMutateMaintenanceCounters walks the maintenance lifecycle through
+// the public surface (IndexMaintenance / Health, what /healthz serves):
+// insert-only batches keep every landmark clean with the index epoch
+// tracking the graph epoch; a deletion invalidates at least one
+// landmark; compaction clears the dirty set and the index is current
+// again.
+func TestMutateMaintenanceCounters(t *testing.T) {
+	const n, nLabels = 60, 3
+	g0, model := mutSeedGraph(23, n, nLabels, 300)
+	eng := pub.NewEngine(pub.FromGraph(g0), mutOpts)
+	ctx := context.Background()
+
+	if m := eng.IndexMaintenance(); !m.Enabled || m.Batches != 0 || m.DirtyLandmarks != 0 || !m.IndexCurrent {
+		t.Fatalf("fresh engine maintenance state: %+v", m)
+	}
+
+	// Insert-only: maintenance runs, nothing goes dirty, index current.
+	var inserts []pub.Mutation
+	for i := 0; i < 12; i++ {
+		mut := pub.Mutation{
+			Op:      pub.OpAddEdge,
+			Subject: fmt.Sprintf("v%d", (i*5)%n),
+			Label:   fmt.Sprintf("l%d", i%nLabels),
+			Object:  fmt.Sprintf("v%d", (i*9+2)%n),
+		}
+		inserts = append(inserts, mut)
+		model.apply(mut)
+	}
+	if _, err := eng.Apply(ctx, inserts); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.IndexMaintenance()
+	if m.Batches != 1 || m.DirtyLandmarks != 0 || !m.IndexCurrent || m.LandmarksInvalidated != 0 {
+		t.Fatalf("after insert-only batch: %+v", m)
+	}
+	if info := eng.Epoch(); m.IndexEpoch != info.Epoch {
+		t.Fatalf("index epoch %d lags graph epoch %d after insert-only batch", m.IndexEpoch, info.Epoch)
+	}
+
+	// Deletions: at least one landmark must eventually go dirty (edges
+	// sourced outside every region are the only exception, so a handful
+	// of deletes is plenty at K=24 on 60 vertices).
+	for i := 0; i < 10 && eng.IndexMaintenance().DirtyLandmarks == 0; i++ {
+		e := model.edges[0]
+		mut := pub.Mutation{Op: pub.OpDeleteEdge, Subject: e.s, Label: e.l, Object: e.t}
+		model.apply(mut)
+		if _, err := eng.Apply(ctx, []pub.Mutation{mut}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m = eng.IndexMaintenance()
+	if m.DirtyLandmarks == 0 || m.LandmarksInvalidated == 0 {
+		t.Fatalf("deletions never invalidated a landmark: %+v", m)
+	}
+	if !m.IndexCurrent {
+		t.Fatalf("maintained index must stay current (dirty landmarks are excluded, not stale): %+v", m)
+	}
+
+	// Compaction rebuilds invalidated landmarks: dirty set clears.
+	if did, err := eng.Compact(ctx); err != nil || !did {
+		t.Fatalf("Compact = %v, %v", did, err)
+	}
+	m = eng.IndexMaintenance()
+	if m.DirtyLandmarks != 0 || !m.IndexCurrent {
+		t.Fatalf("after compaction: %+v", m)
+	}
+	if _, _, info, maint := eng.Health(); maint.DirtyLandmarks != 0 || maint.IndexEpoch != info.IndexEpoch {
+		t.Fatalf("Health disagrees with IndexMaintenance: %+v vs epoch %+v", maint, info)
+	}
+}
+
+// TestMutateMaintainedDeterminism: two engines fed the identical script
+// answer bit-identically at every prefix — all four algorithms, Stats
+// included (INS's Stats are a function of the maintained index, so this
+// pins maintenance determinism end to end).
+func TestMutateMaintainedDeterminism(t *testing.T) {
+	const n, nLabels = 50, 3
+	g0a, model := mutSeedGraph(61, n, nLabels, 250)
+	g0b, _ := mutSeedGraph(61, n, nLabels, 250)
+	ea := pub.NewEngine(pub.FromGraph(g0a), mutOpts)
+	eb := pub.NewEngine(pub.FromGraph(g0b), mutOpts)
+	script := mutScript(62, model, 6, 10)
+	reqs := mutRequests(n, nLabels)
+	ctx := context.Background()
+	bo := pub.BatchOptions{Concurrency: 4}
+
+	for step, batch := range script {
+		if _, err := ea.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eb.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		ra := ea.QueryBatch(ctx, reqs, bo)
+		rb := eb.QueryBatch(ctx, reqs, bo)
+		for i := range reqs {
+			if err := answersEqual(ra[i], rb[i], true); err != nil {
+				t.Fatalf("step %d, request %d (%v): %v", step, i, reqs[i].Algorithm, err)
+			}
+		}
+		ma, mb := ea.IndexMaintenance(), eb.IndexMaintenance()
+		if ma != mb {
+			t.Fatalf("step %d: maintenance state diverged: %+v vs %+v", step, ma, mb)
+		}
+	}
+	if ea.IndexMaintenance().Batches == 0 {
+		t.Fatal("script never exercised maintenance")
 	}
 }
 

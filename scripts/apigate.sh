@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 # Non-query methods (stats, index persistence, SPARQL standalone, and
 # the mutation family Apply/Compact with its KG/Epoch observers) are
 # part of the stable surface and listed explicitly.
-ALLOW='^(Query|QueryBatch|CacheStats|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health)$'
+ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health)$'
 
 status=0
 for f in *.go; do

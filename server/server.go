@@ -98,18 +98,20 @@ type server struct {
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	// One consistent snapshot: KG stats, cache counters and epoch info
-	// must describe the same serving state even mid-mutation.
-	kg, cache, epoch := s.eng.Health()
+	// One consistent snapshot: KG stats, cache counters, epoch info and
+	// maintenance stats must describe the same serving state even
+	// mid-mutation.
+	kg, cache, epoch, maint := s.eng.Health()
 	writeJSON(w, http.StatusOK, api.Health{
-		Status:   "ok",
-		Version:  buildinfo.Version(),
-		API:      api.Version,
-		Vertices: kg.NumVertices(),
-		Edges:    kg.NumEdges(),
-		Labels:   kg.NumLabels(),
-		Cache:    cache,
-		Epoch:    epoch,
+		Status:      "ok",
+		Version:     buildinfo.Version(),
+		API:         api.Version,
+		Vertices:    kg.NumVertices(),
+		Edges:       kg.NumEdges(),
+		Labels:      kg.NumLabels(),
+		Cache:       cache,
+		Epoch:       epoch,
+		Maintenance: maint,
 	})
 }
 
