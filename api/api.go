@@ -132,6 +132,10 @@ type Health struct {
 	// counters plus the serving epoch's dirty-landmark count and index
 	// epoch, consistent with Epoch.
 	Maintenance lscr.MaintStats `json:"maintenance"`
+	// Durability reports the persistence state: sealed-segment epoch,
+	// WAL tail size and last-fsync time for a persistent engine
+	// (lscrd -data), Persistent=false for an in-memory one.
+	Durability lscr.DurabilityInfo `json:"durability"`
 }
 
 // Error is the body of every non-2xx reply.

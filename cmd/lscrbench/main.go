@@ -19,18 +19,23 @@
 //	lscrbench -exp mutate-json      # same, as BENCH_mutate.json
 //	lscrbench -exp insdyn           # maintained vs stale-index INS over a growing overlay
 //	lscrbench -exp insdyn-json      # same, as BENCH_insdyn.json
+//	lscrbench -exp restart          # cold boot: parse+rebuild vs segment mmap vs crash recovery
+//	lscrbench -exp restart-json     # same, as BENCH_restart.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
 // cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json,
-// insdyn, insdyn-json, all. "all" runs the paper experiments only — the
-// machine-dependent scaling sweeps (parallel*, throughput, cachespeedup*,
-// serverclient, csr*, mutate*, insdyn*) are invoked explicitly. The
-// mutate experiments exit nonzero unless the mutated engine answered
-// identically to a rebuild on the final edge set; the insdyn experiments
-// exit nonzero unless the maintained and maintenance-disabled engines
-// answered identically at every overlay size.
+// insdyn, insdyn-json, restart, restart-json, all. "all" runs the paper
+// experiments only — the machine-dependent scaling sweeps (parallel*,
+// throughput, cachespeedup*, serverclient, csr*, mutate*, insdyn*,
+// restart*) are invoked explicitly. The mutate experiments exit nonzero
+// unless the mutated engine answered identically to a rebuild on the
+// final edge set; the insdyn experiments exit nonzero unless the
+// maintained and maintenance-disabled engines answered identically at
+// every overlay size; the restart experiments exit nonzero unless the
+// segment-booted engine was bit-identical to the rebuilt one and the
+// crash-recovered engine matched a rebuild on the final edge set.
 package main
 
 import (
@@ -45,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json, all)")
+		exp         = flag.String("exp", "all", "experiment id (table2, fig5a, fig5b, fig10..fig15, ablation-rho, ablation-landmarks, ablation-queue, parallel, parallel-json, throughput, cachespeedup, cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json, restart, restart-json, all)")
 		scale       = flag.Int("scale", 1, "dataset scale multiplier")
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
@@ -106,6 +111,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"insdyn-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunInsDynJSON(w, cfg, concurrency)
+		},
+		"restart": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunRestart(w, cfg, concurrency)
+		},
+		"restart-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunRestartJSON(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

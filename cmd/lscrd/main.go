@@ -1,14 +1,22 @@
 // Command lscrd serves LSCR queries over HTTP.
 //
-//	lscrd -kg graph.nt -addr :8080
+//	lscrd -data /var/lib/lscr -kg graph.nt -addr :8080
 //
 // The endpoints — /v1/query, /v1/batch, /v1/mutate, /healthz, plus the
 // deprecated pre-v1 routes — are implemented by package lscr/server;
-// this command only loads the KG, builds the engine and manages the
-// listener lifecycle. The KG and index are built once at startup
-// (across -workers goroutines); /v1/mutate then commits live edge
-// changes into the engine's delta overlay (compacted in the background
-// after -compact-after operations) unless -readonly disables it.
+// this command only provisions the engine and manages the listener
+// lifecycle.
+//
+// With -data the engine is persistent: the first boot parses -kg,
+// builds the index and seals both into an on-disk segment; every later
+// boot mmaps the newest segment and replays the mutation WAL tail —
+// near-instant restart, crash recovery included. /v1/mutate batches
+// are WAL-logged (fsynced per batch unless -durability lazy) before
+// they are acknowledged, and a clean shutdown re-seals so the next
+// boot replays nothing. Without -data the engine is purely in-memory:
+// the KG and index are built at startup (across -workers goroutines)
+// and mutations do not survive the process.
+//
 // Request bodies are size-capped, the listener runs with read/write
 // timeouts, in-flight requests drain gracefully on SIGINT/SIGTERM, and
 // every search runs under the request's context so disconnected
@@ -49,7 +57,10 @@ const (
 
 func main() {
 	var (
-		kgPath       = flag.String("kg", "", "path to the KG (triples or snapshot; required)")
+		kgPath       = flag.String("kg", "", "path to the KG (triples or snapshot; required unless -data holds a store)")
+		dataDir      = flag.String("data", "", "data directory: open the store there, or create one from -kg on first boot")
+		durability   = flag.String("durability", "sync", "WAL fsync policy for -data: sync (per batch) or lazy")
+		indexPath    = flag.String("index", "", "deprecated: load a SaveIndex file instead of building the index; superseded by -data")
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "index-build goroutines (0 = all cores)")
 		cacheSize    = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
@@ -62,15 +73,26 @@ func main() {
 		fmt.Println("lscrd", buildinfo.Version())
 		return
 	}
-	if *kgPath == "" {
-		fmt.Fprintln(os.Stderr, "lscrd: -kg is required")
+	opts := lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize, CompactAfter: *compactAfter}
+	switch *durability {
+	case "sync":
+		opts.Durability = lscr.DurabilitySync
+	case "lazy":
+		opts.Durability = lscr.DurabilityLazy
+	default:
+		fmt.Fprintf(os.Stderr, "lscrd: -durability must be sync or lazy, got %q\n", *durability)
 		os.Exit(2)
 	}
-	eng, kg, err := load(*kgPath, *workers, *cacheSize, *compactAfter)
+	if *kgPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "lscrd: -kg or -data is required")
+		os.Exit(2)
+	}
+	eng, err := provision(*dataDir, *kgPath, *indexPath, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
 		os.Exit(2)
 	}
+	kg := eng.KG()
 	var srvOpts []server.Option
 	if *readonly {
 		srvOpts = append(srvOpts, server.ReadOnly())
@@ -94,7 +116,62 @@ func main() {
 	if err := serve(ctx, srv, ln); err != nil {
 		log.Fatal("lscrd: ", err)
 	}
+	// Graceful-shutdown seal: with -data, fold whatever overlay the run
+	// accumulated into a fresh segment so the next boot replays nothing,
+	// then release the WAL and mapping. In-flight requests have drained.
+	if *dataDir != "" {
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		if _, err := eng.Compact(sctx); err != nil {
+			log.Print("lscrd: shutdown seal failed: ", err)
+		}
+		cancel()
+		if err := eng.Close(); err != nil {
+			log.Print("lscrd: close: ", err)
+		}
+	}
 	log.Print("lscrd: shut down cleanly")
+}
+
+// provision builds the engine: from a data directory (opening the
+// store, or creating one from -kg on first boot), from a saved index
+// (deprecated -index path), or in-memory from -kg alone.
+func provision(dataDir, kgPath, indexPath string, opts lscr.Options) (*lscr.Engine, error) {
+	if dataDir != "" {
+		if indexPath != "" {
+			return nil, errors.New("-index cannot be combined with -data (the store carries its own index)")
+		}
+		eng, err := lscr.Open(dataDir, opts)
+		if err == nil {
+			log.Printf("lscrd: opened store %s", dataDir)
+			return eng, nil
+		}
+		if !errors.Is(err, lscr.ErrNoStore) {
+			return nil, err
+		}
+		if kgPath == "" {
+			return nil, fmt.Errorf("%s holds no store and -kg was not given", dataDir)
+		}
+		kg, err := loadKG(kgPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("lscrd: creating store %s from %s", dataDir, kgPath)
+		return lscr.Create(dataDir, kg, opts)
+	}
+	kg, err := loadKG(kgPath)
+	if err != nil {
+		return nil, err
+	}
+	if indexPath != "" {
+		log.Print("lscrd: -index is deprecated; use -data for persistent state")
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return lscr.NewEngineFromIndex(kg, bufio.NewReader(f), opts)
+	}
+	return lscr.NewEngine(kg, opts), nil
 }
 
 // serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
@@ -116,25 +193,16 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener) error {
 	}
 }
 
-func load(path string, workers, cacheSize, compactAfter int) (*lscr.Engine, *lscr.KG, error) {
+// loadKG reads a KG file, sniffing the binary-snapshot magic.
+func loadKG(path string) (*lscr.KG, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	var kg *lscr.KG
 	if head, err := br.Peek(8); err == nil && string(head) == "LSCRKG01" {
-		kg, err = lscr.LoadSnapshot(br)
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		kg, err = lscr.Load(br)
-		if err != nil {
-			return nil, nil, err
-		}
+		return lscr.LoadSnapshot(br)
 	}
-	opts := lscr.Options{IndexWorkers: workers, ConstraintCacheSize: cacheSize, CompactAfter: compactAfter}
-	return lscr.NewEngine(kg, opts), kg, nil
+	return lscr.Load(br)
 }

@@ -69,8 +69,8 @@ func TestLoadHelper(t *testing.T) {
 	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	eng, kg, err := load(triples, 1, 0, 0)
-	if err != nil || eng == nil || kg.NumVertices() != 4 {
+	kg, err := loadKG(triples)
+	if err != nil || kg.NumVertices() != 4 {
 		t.Fatalf("triples load: %v", err)
 	}
 	// Snapshot path.
@@ -83,10 +83,67 @@ func TestLoadHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if _, kg2, err := load(snap, 0, 0, 0); err != nil || kg2.NumVertices() != kg.NumVertices() {
+	if kg2, err := loadKG(snap); err != nil || kg2.NumVertices() != kg.NumVertices() {
 		t.Fatalf("snapshot load: %v", err)
 	}
-	if _, _, err := load(filepath.Join(dir, "missing"), 0, 0, 0); err == nil {
+	if _, err := loadKG(filepath.Join(dir, "missing")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestProvisionDataDir: first boot creates the store from -kg, the
+// second opens it without -kg, the saved-index path stays available
+// and refuses to combine with -data.
+func TestProvisionDataDir(t *testing.T) {
+	dir := t.TempDir()
+	triples := filepath.Join(dir, "kg.nt")
+	if err := os.WriteFile(triples, []byte(testKG), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "store")
+	opts := lscr.Options{IndexWorkers: 1}
+
+	if _, err := provision(data, "", "", opts); err == nil {
+		t.Fatal("empty dir without -kg accepted")
+	}
+	eng, err := provision(data, triples, "", opts)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	eng2, err := provision(data, "", "", opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	if n := eng2.KG().NumVertices(); n != 4 {
+		t.Fatalf("reopened store has %d vertices, want 4", n)
+	}
+	if !eng2.Durability().Persistent {
+		t.Fatal("reopened engine not persistent")
+	}
+	if _, err := provision(data, "", filepath.Join(dir, "idx"), opts); err == nil {
+		t.Fatal("-index with -data accepted")
+	}
+
+	// Deprecated saved-index path, without -data.
+	idxPath := filepath.Join(dir, "kg.idx")
+	f, err := os.Create(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, _ := loadKG(triples)
+	if err := lscr.NewEngine(kg, opts).SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	eng3, err := provision("", triples, idxPath, opts)
+	if err != nil {
+		t.Fatalf("saved-index provision: %v", err)
+	}
+	if _, ok := eng3.Index(); !ok {
+		t.Fatal("saved-index engine has no index")
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+
+	"lscr/internal/labelset"
 )
 
 // Binary KG snapshots. Loading a large KG from triples re-parses and
@@ -23,8 +25,15 @@ import (
 //	schema: classes, instances per class, subclass pairs, domains, ranges
 //	crc32 of everything above
 var (
-	// ErrBadSnapshot reports a malformed or corrupt snapshot stream.
-	ErrBadSnapshot = errors.New("graph: bad snapshot")
+	// ErrCorrupt reports untrusted input (a snapshot, index or segment
+	// stream) that is truncated, malformed or hostile. Every decoder in
+	// the persistence stack wraps it, so callers can classify any
+	// bad-bytes failure with one errors.Is regardless of which layer
+	// noticed first.
+	ErrCorrupt = errors.New("graph: corrupt or truncated input")
+	// ErrBadSnapshot reports a malformed or corrupt snapshot stream. It
+	// wraps ErrCorrupt.
+	ErrBadSnapshot = fmt.Errorf("bad snapshot: %w", ErrCorrupt)
 )
 
 const snapshotMagic = "LSCRKG01"
@@ -54,8 +63,31 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		out.u32(uint32(tr.Object))
 		return true
 	})
+	g.schema.writeTo(out)
+	if out.err != nil {
+		return out.n, out.err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return out.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return out.n, err
+	}
+	return out.n + 4, nil
+}
 
-	s := g.schema
+// WriteSchema serialises s alone (classes, instances, subclass pairs,
+// domains, ranges) — the schema section of a segment. It implements the
+// same byte layout the snapshot format embeds.
+func WriteSchema(w io.Writer, s *Schema) (int64, error) {
+	out := &snapWriter{w: w}
+	s.writeTo(out)
+	return out.n, out.err
+}
+
+func (s *Schema) writeTo(out *snapWriter) {
 	classes := s.Classes()
 	out.u32(uint32(len(classes)))
 	for _, c := range classes {
@@ -81,21 +113,13 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		out.str(p)
 		out.str(s.ranges[p])
 	}
-	if out.err != nil {
-		return out.n, out.err
-	}
-	var foot [4]byte
-	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
-	if _, err := bw.Write(foot[:]); err != nil {
-		return out.n, err
-	}
-	if err := bw.Flush(); err != nil {
-		return out.n, err
-	}
-	return out.n + 4, nil
 }
 
-// ReadSnapshot deserialises a graph written by WriteTo.
+// ReadSnapshot deserialises a graph written by WriteTo. Length prefixes
+// are untrusted: every count is either bounded up front (the label
+// universe) or consumed incrementally so a hostile count fails with
+// ErrBadSnapshot after reading at most the bytes actually present,
+// never by allocating what the prefix promises.
 func ReadSnapshot(r io.Reader) (*Graph, error) {
 	crc := crc32.NewIEEE()
 	br := bufio.NewReader(r)
@@ -107,6 +131,9 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	}
 	b := NewBuilder()
 	nLabels := int(in.u32())
+	if in.err == nil && nLabels > labelset.MaxLabels {
+		return nil, fmt.Errorf("%w: label count %d exceeds universe %d", ErrBadSnapshot, nLabels, labelset.MaxLabels)
+	}
 	for i := 0; i < nLabels && in.err == nil; i++ {
 		b.Label(in.str())
 	}
@@ -127,34 +154,13 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		}
 		b.AddEdge(VertexID(s), Label(l[0]), VertexID(o))
 	}
-	nClasses := int(in.u32())
-	for i := 0; i < nClasses && in.err == nil; i++ {
-		class := in.str()
-		b.Schema().AddClass(class)
-		nInst := int(in.u32())
-		for j := 0; j < nInst && in.err == nil; j++ {
-			v := in.u32()
-			if int(v) >= nVerts {
-				return nil, fmt.Errorf("%w: instance out of range", ErrBadSnapshot)
-			}
-			b.Schema().AddInstance(class, VertexID(v))
-		}
-		nSup := int(in.u32())
-		for j := 0; j < nSup && in.err == nil; j++ {
-			b.Schema().AddSubClassOf(class, in.str())
-		}
-	}
-	nDom := int(in.u32())
-	for i := 0; i < nDom && in.err == nil; i++ {
-		p := in.str()
-		b.Schema().SetDomain(p, in.str())
-	}
-	nRan := int(in.u32())
-	for i := 0; i < nRan && in.err == nil; i++ {
-		p := in.str()
-		b.Schema().SetRange(p, in.str())
+	if in.err == nil {
+		in.err = readSchemaInto(in, b.Schema(), nVerts)
 	}
 	if in.err != nil {
+		if errors.Is(in.err, ErrCorrupt) {
+			return nil, in.err
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, in.err)
 	}
 	want := crc.Sum32()
@@ -166,6 +172,184 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
 	}
 	return b.Build(), nil
+}
+
+// ReadSchema deserialises a schema written by WriteSchema from its
+// exact section bytes, validating instance vertices against nVerts. It
+// is the segment boot path's schema decoder: a flat cursor over b (the
+// snapshot path keeps its streaming reader), instance lists decoded in
+// bulk, and the per-vertex class lists carved out of one backing array
+// — tens of thousands of per-vertex appends otherwise dominate opening
+// a segment. Every count is validated against the bytes remaining
+// before anything is allocated for it.
+func ReadSchema(b []byte, nVerts int) (*Schema, error) {
+	in := &sectionCursor{b: b}
+	s := NewSchema()
+	type classRec struct {
+		name string
+		inst []VertexID
+	}
+	nClasses := int(in.count(8)) // per class ≥ name len u32 + instance count u32
+	var recs []classRec
+	for i := 0; i < nClasses && in.err == nil; i++ {
+		class := in.str()
+		if in.err != nil {
+			break
+		}
+		s.AddClass(class)
+		nInst := int(in.count(4))
+		inst := make([]VertexID, nInst)
+		for j := range inst {
+			v := in.u32()
+			if in.err == nil && int(v) >= nVerts {
+				return nil, fmt.Errorf("%w: schema instance out of range", ErrCorrupt)
+			}
+			inst[j] = VertexID(v)
+		}
+		if len(inst) > 0 {
+			s.instances[class] = inst
+			recs = append(recs, classRec{class, inst})
+		}
+		nSup := int(in.count(4))
+		for j := 0; j < nSup && in.err == nil; j++ {
+			s.AddSubClassOf(class, in.str())
+		}
+	}
+	nDom := int(in.count(8))
+	for i := 0; i < nDom && in.err == nil; i++ {
+		p := in.str()
+		s.SetDomain(p, in.str())
+	}
+	nRan := int(in.count(8))
+	for i := 0; i < nRan && in.err == nil; i++ {
+		p := in.str()
+		s.SetRange(p, in.str())
+	}
+	if in.err != nil {
+		return nil, fmt.Errorf("%w: schema: %v", ErrCorrupt, in.err)
+	}
+	if in.off != len(in.b) {
+		return nil, fmt.Errorf("%w: schema: %d trailing bytes", ErrCorrupt, len(in.b)-in.off)
+	}
+
+	// classOf: a counting pass sizes one shared backing array; the fill
+	// pass preserves the per-vertex class order AddInstance would have
+	// produced (classes in serialised order). Sub-slices are
+	// capacity-trimmed so a later AddInstance reallocates instead of
+	// clobbering a neighbouring vertex's list.
+	cnt := make([]int32, nVerts)
+	total := 0
+	for _, r := range recs {
+		for _, v := range r.inst {
+			cnt[v]++
+		}
+		total += len(r.inst)
+	}
+	backing := make([]string, total)
+	start := make([]int32, nVerts)
+	sum := int32(0)
+	nWith := 0
+	for v, c := range cnt {
+		start[v] = sum
+		sum += c
+		if c > 0 {
+			nWith++
+		}
+	}
+	next := append([]int32(nil), start...)
+	for _, r := range recs {
+		for _, v := range r.inst {
+			backing[next[v]] = r.name
+			next[v]++
+		}
+	}
+	s.classOf = make(map[VertexID][]string, nWith)
+	for v := 0; v < nVerts; v++ {
+		if cnt[v] == 0 {
+			continue
+		}
+		lo, hi := start[v], start[v]+cnt[v]
+		s.classOf[VertexID(v)] = backing[lo:hi:hi]
+	}
+	return s, nil
+}
+
+// sectionCursor walks a section's bytes with bounds-checked slice
+// reads; the first failure sticks in err.
+type sectionCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *sectionCursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b)-c.off < 4 {
+		c.err = fmt.Errorf("%w: section truncated", ErrCorrupt)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *sectionCursor) str() string {
+	n := int(c.u32())
+	if c.err != nil {
+		return ""
+	}
+	if n > len(c.b)-c.off {
+		c.err = fmt.Errorf("%w: string past section end", ErrCorrupt)
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+// count reads a u32 element count whose elements occupy at least
+// minElemBytes each and rejects counts the remaining bytes cannot
+// possibly back.
+func (c *sectionCursor) count(minElemBytes int) uint32 {
+	n := c.u32()
+	if c.err == nil && int64(n)*int64(minElemBytes) > int64(len(c.b)-c.off) {
+		c.err = fmt.Errorf("%w: count %d exceeds remaining section", ErrCorrupt, n)
+		return 0
+	}
+	return n
+}
+
+func readSchemaInto(in *snapReader, s *Schema, nVerts int) error {
+	nClasses := int(in.u32())
+	for i := 0; i < nClasses && in.err == nil; i++ {
+		class := in.str()
+		s.AddClass(class)
+		nInst := int(in.u32())
+		for j := 0; j < nInst && in.err == nil; j++ {
+			v := in.u32()
+			if in.err == nil && int(v) >= nVerts {
+				return fmt.Errorf("%w: instance out of range", ErrBadSnapshot)
+			}
+			s.AddInstance(class, VertexID(v))
+		}
+		nSup := int(in.u32())
+		for j := 0; j < nSup && in.err == nil; j++ {
+			s.AddSubClassOf(class, in.str())
+		}
+	}
+	nDom := int(in.u32())
+	for i := 0; i < nDom && in.err == nil; i++ {
+		p := in.str()
+		s.SetDomain(p, in.str())
+	}
+	nRan := int(in.u32())
+	for i := 0; i < nRan && in.err == nil; i++ {
+		p := in.str()
+		s.SetRange(p, in.str())
+	}
+	return in.err
 }
 
 type snapWriter struct {
@@ -227,7 +411,7 @@ func (s *snapReader) str() string {
 	n := s.u32()
 	if s.err != nil || n > 1<<24 {
 		if s.err == nil {
-			s.err = fmt.Errorf("string length %d too large", n)
+			s.err = fmt.Errorf("%w: string length %d too large", ErrCorrupt, n)
 		}
 		return ""
 	}

@@ -180,7 +180,8 @@ func (it *LabeledEdges) Next() (run []Edge, ok bool) {
 // shared untouched across commits.
 type Graph struct {
 	names      []string            // base vertex id -> name
-	vertexIDs  map[string]VertexID // base name -> vertex id
+	vertexIDs  map[string]VertexID // base name -> vertex id; nil when nameOrder serves lookups
+	nameOrder  []uint32            // base ids in ascending-name order; the segment boot path's map replacement
 	labelNames []string            // base label id -> name
 	labelIDs   map[string]Label    // base name -> label id
 
@@ -230,7 +231,11 @@ func (g *Graph) VertexName(v VertexID) string {
 
 // Vertex looks up a vertex by name, returning NoVertex if absent.
 func (g *Graph) Vertex(name string) VertexID {
-	if id, ok := g.vertexIDs[name]; ok {
+	if g.vertexIDs != nil {
+		if id, ok := g.vertexIDs[name]; ok {
+			return id
+		}
+	} else if id, ok := g.searchName(name); ok {
 		return id
 	}
 	if g.ov != nil {
@@ -239,6 +244,28 @@ func (g *Graph) Vertex(name string) VertexID {
 		}
 	}
 	return NoVertex
+}
+
+// searchName resolves a base vertex name through nameOrder, the sorted
+// permutation a segment carries so boot never has to build (or allocate)
+// a hash map over the dictionary. A lookup is log2|V| string probes of
+// the mmap'd dictionary — nanoseconds against a query's traversal work.
+func (g *Graph) searchName(name string) (VertexID, bool) {
+	lo, hi := 0, len(g.nameOrder)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.names[g.nameOrder[mid]] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.nameOrder) {
+		if id := g.nameOrder[lo]; g.names[id] == name {
+			return VertexID(id), true
+		}
+	}
+	return 0, false
 }
 
 // LabelName returns the dictionary name of l.

@@ -128,6 +128,14 @@ func NewCMS(sets ...Set) *CMS {
 	return c
 }
 
+// AdoptSets returns a CMS that takes ownership of sets verbatim,
+// skipping Insert's per-set subset filtering. The caller asserts that
+// sets is already a minimal antichain — the form Sorted() emits and
+// the index serialisation writes — and must not mutate the slice
+// afterwards. The index boot path decodes millions of CMS values; this
+// is its constructor.
+func AdoptSets(sets []Set) CMS { return CMS{sets: sets} }
+
 // Insert adds s to the collection, maintaining minimality. It reports
 // whether s was added: false means an existing member is a subset of s
 // (s is redundant). Members that are proper supersets of s are removed.

@@ -7,99 +7,90 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
+	"unsafe"
 
 	"lscr/internal/graph"
 	"lscr/internal/labelset"
 )
 
 // Local-index persistence. The paper stores its indexes on disk (§6
-// "Settings"); this file implements a compact little-endian binary format
-// with a CRC32 footer:
+// "Settings"); this file implements a compact little-endian binary
+// payload:
 //
-//	magic "LSCRIDX2" | flags | view |V| | indexed |V| | k
-//	landmarks [k]u32 | af [indexed |V|]u32 | dirty bitmap [ceil(k/8)]u8
+//	flags | view |V| | indexed |V| | k
+//	landmarks [k]u32 | af [indexed |V|]u32
+//	dirty bitmap [ceil(k/8), zero-padded to a multiple of 8]u8
 //	per landmark: II count, (vertex u32, cms len u32, sets [..]u64)
 //	              EIT count, (labelset u64, count u32, vertices [..]u32)
 //	dmat [k*k]i32 (row-major)
-//	crc32 of everything above
 //
-// The format is versioned by the magic; readers reject unknown versions
-// (including the pre-maintenance LSCRIDX1), truncated input, corrupt
-// payloads and indexes built for a different graph size. Version 2 adds
-// the per-landmark dirty bitmap and splits the vertex count into the
-// bound view's |V| and the indexed range (the two differ for a
-// maintained index whose view grew vertices after the build), so an
-// index saved mid-life round-trips with its deletion-invalidated
-// landmarks still excluded from pruning.
+// The standalone file format (WriteTo/ReadLocalIndex) frames the payload
+// with the magic "LSCRIDX3" and a CRC32 footer; the segment layer
+// embeds the bare payload as a checksummed section instead
+// (WriteIndexPayload/ReadIndexPayload). The format is versioned by the
+// magic; readers reject unknown versions (including the
+// pre-maintenance LSCRIDX1), truncated input, corrupt payloads and
+// indexes built for a different graph size. Version 2 added the
+// per-landmark dirty bitmap and split the vertex count into the bound
+// view's |V| and the indexed range (the two differ for a maintained
+// index whose view grew vertices after the build), so an index saved
+// mid-life round-trips with its deletion-invalidated landmarks still
+// excluded from pruning. Version 3 pads the dirty bitmap so every
+// later field — and in particular the k×k distance matrix, which
+// dominates the payload — sits at a 4-aligned offset: the boot path
+// adopts the matrix as a read-only view straight over the mmap'd
+// section instead of copying it out.
+//
+// Two layout properties are load-bearing for the boot path:
+//
+//   - II entries are written in ascending vertex order and EIT entries
+//     in ascending label-set order, so the reader materialises the
+//     index's sorted enumeration arrays (iiSorted/eitSorted) straight
+//     off the stream instead of re-sorting, and rejects out-of-order
+//     input as corrupt.
+//   - each CMS is written as its Sorted() antichain, so the reader
+//     adopts the decoded sets verbatim (labelset.AdoptSets) instead of
+//     re-running Insert's subset filtering per set.
+//
+// Every count in the payload is untrusted: the decoder works over the
+// full payload bytes, so each count is validated against the bytes
+// remaining before anything is allocated for it — a hostile length
+// prefix fails with ErrIndexCorrupt, never by allocating what the
+// prefix promises.
 
-const indexMagic = "LSCRIDX2"
+const indexMagic = "LSCRIDX3"
 
 // Encoding errors.
 var (
 	ErrBadIndexMagic = errors.New("lscr: not a local-index file (bad magic)")
-	ErrIndexChecksum = errors.New("lscr: local-index file corrupt (checksum mismatch)")
+	// ErrIndexCorrupt reports a truncated, malformed or hostile index
+	// payload. It wraps graph.ErrCorrupt so callers can classify any
+	// persistence-stack corruption with one errors.Is.
+	ErrIndexCorrupt = fmt.Errorf("lscr: local-index payload corrupt: %w", graph.ErrCorrupt)
+	// ErrIndexChecksum reports a payload whose CRC32 footer does not
+	// match. It wraps graph.ErrCorrupt.
+	ErrIndexChecksum = fmt.Errorf("lscr: local-index file corrupt (checksum mismatch): %w", graph.ErrCorrupt)
 	ErrIndexMismatch = errors.New("lscr: local index was built for a different graph")
+
+	errPayloadEnd = fmt.Errorf("lscr: read past payload end: %w", ErrIndexCorrupt)
 )
 
-// WriteTo serialises the index. It implements io.WriterTo.
+// hostLittleEndian mirrors the segment layer's aliasing gate: bulk
+// moves between the on-disk little-endian arrays and in-memory []int32
+// are plain copies only when the host byte order matches the format's.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// WriteTo serialises the index as a standalone file: magic, payload,
+// CRC32 footer. It implements io.WriterTo.
 func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: io.MultiWriter(bw, crc)}
-
-	put32 := func(v uint32) { cw.write(binary.LittleEndian.AppendUint32(cw.buf[:0], v)) }
-	put64 := func(v uint64) { cw.write(binary.LittleEndian.AppendUint64(cw.buf[:0], v)) }
-
 	cw.write([]byte(indexMagic))
-	var flags uint32
-	if idx.literalRho {
-		flags |= 1
-	}
-	put32(flags)
-	put32(uint32(idx.g.NumVertices()))
-	put32(uint32(len(idx.af)))
-	put32(uint32(len(idx.landmarks)))
-	for _, u := range idx.landmarks {
-		put32(uint32(u))
-	}
-	for _, a := range idx.af {
-		put32(uint32(a))
-	}
-	dirtyBits := make([]byte, (len(idx.landmarks)+7)/8)
-	for li := range idx.landmarks {
-		if idx.dirty != nil && idx.dirty[li] {
-			dirtyBits[li>>3] |= 1 << (li & 7)
-		}
-	}
-	cw.write(dirtyBits)
-	for li := range idx.landmarks {
-		ii := idx.ii[li]
-		put32(uint32(len(ii)))
-		for _, v := range sortedVertices(ii) {
-			put32(uint32(v))
-			sets := ii[v].Sorted()
-			put32(uint32(len(sets)))
-			for _, s := range sets {
-				put64(uint64(s))
-			}
-		}
-		eit := idx.eit[li]
-		put32(uint32(len(eit)))
-		for _, key := range sortedKeys(eit) {
-			put64(uint64(key))
-			ws := eit[key]
-			put32(uint32(len(ws)))
-			for _, w := range ws {
-				put32(uint32(w))
-			}
-		}
-	}
-	for _, row := range idx.dmat {
-		for _, d := range row {
-			put32(uint32(d))
-		}
-	}
+	idx.writePayload(cw)
 	if cw.err != nil {
 		return cw.n, cw.err
 	}
@@ -115,68 +106,146 @@ func (idx *LocalIndex) WriteTo(w io.Writer) (int64, error) {
 	return cw.n + 4, nil
 }
 
+// WriteIndexPayload serialises the bare index payload (no magic, no
+// footer) — the segment layer's index section, whose framing and
+// checksum live in the section table.
+func WriteIndexPayload(w io.Writer, idx *LocalIndex) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	idx.writePayload(cw)
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+func (idx *LocalIndex) writePayload(cw *countWriter) {
+	put32 := func(v uint32) { cw.write(binary.LittleEndian.AppendUint32(cw.buf[:0], v)) }
+	put64 := func(v uint64) { cw.write(binary.LittleEndian.AppendUint64(cw.buf[:0], v)) }
+
+	var flags uint32
+	if idx.literalRho {
+		flags |= 1
+	}
+	put32(flags)
+	put32(uint32(idx.g.NumVertices()))
+	put32(uint32(len(idx.af)))
+	put32(uint32(len(idx.landmarks)))
+	for _, u := range idx.landmarks {
+		put32(uint32(u))
+	}
+	for _, a := range idx.af {
+		put32(uint32(a))
+	}
+	dirtyBits := make([]byte, ((len(idx.landmarks)+7)/8+7)&^7)
+	for li := range idx.landmarks {
+		if idx.dirty != nil && idx.dirty[li] {
+			dirtyBits[li>>3] |= 1 << (li & 7)
+		}
+	}
+	cw.write(dirtyBits)
+	// The stored entry arrays are already in ascending key order — the
+	// exact order the format mandates — so the writer is a straight walk.
+	for li := range idx.landmarks {
+		ii := idx.iiSorted[li]
+		put32(uint32(len(ii)))
+		for _, e := range ii {
+			put32(uint32(e.v))
+			sets := e.cms.Sorted()
+			put32(uint32(len(sets)))
+			for _, s := range sets {
+				put64(uint64(s))
+			}
+		}
+		eit := idx.eitSorted[li]
+		put32(uint32(len(eit)))
+		for _, e := range eit {
+			put64(uint64(e.key))
+			put32(uint32(len(e.ws)))
+			for _, w := range e.ws {
+				put32(uint32(w))
+			}
+		}
+	}
+	// The dense k×k matrix dominates the payload; write each row as one
+	// bulk move instead of k round-trips through the buffer.
+	var rowBuf []byte
+	for _, row := range idx.dmat {
+		if len(row) == 0 {
+			continue
+		}
+		if hostLittleEndian {
+			cw.write(unsafe.Slice((*byte)(unsafe.Pointer(&row[0])), 4*len(row)))
+			continue
+		}
+		rowBuf = rowBuf[:0]
+		for _, d := range row {
+			rowBuf = binary.LittleEndian.AppendUint32(rowBuf, uint32(d))
+		}
+		cw.write(rowBuf)
+	}
+}
+
 // ReadLocalIndex deserialises an index previously written by WriteTo and
 // binds it to g. The graph must have the same vertex count the index was
 // built for.
 func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
-	crc := crc32.NewIEEE()
-	br := bufio.NewReader(r)
-	cr := &crcReader{r: br, crc: crc}
-
-	magic := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(cr, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadIndexMagic, err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 	}
-	if string(magic) != indexMagic {
+	if len(data) < len(indexMagic) || string(data[:len(indexMagic)]) != indexMagic {
 		return nil, ErrBadIndexMagic
 	}
-	get32 := func() (uint32, error) {
-		var b [4]byte
-		if _, err := io.ReadFull(cr, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(b[:]), nil
+	if len(data) < len(indexMagic)+4 {
+		return nil, fmt.Errorf("%w: missing footer", ErrIndexChecksum)
 	}
-	get64 := func() (uint64, error) {
-		var b [8]byte
-		if _, err := io.ReadFull(cr, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(b[:]), nil
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(foot) != crc32.ChecksumIEEE(body) {
+		return nil, ErrIndexChecksum
 	}
+	return ReadIndexPayload(body[len(indexMagic):], g)
+}
 
-	flags, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	viewV, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if int(viewV) != g.NumVertices() {
+// ReadIndexPayload deserialises a bare index payload (as written by
+// WriteIndexPayload) and binds it to g. b is the exact payload — for a
+// segment it is the checksummed index section, decoded in place off the
+// mapping. Integrity checking (magic, checksum) is the caller's
+// framing; this decoder guarantees only that it fails with a typed
+// error instead of panicking or over-allocating on bad bytes. It is the
+// cold-boot hot path: counts validate against the bytes that actually
+// back them, CMS antichains are adopted verbatim, the sorted
+// enumeration arrays are materialised straight from the payload's
+// ascending-key layout and the distance matrix is adopted as a view
+// over b itself when alignment allows. The returned index may
+// therefore alias b, which must stay live and unmodified for the
+// index's lifetime — the segment mapping contract.
+func ReadIndexPayload(b []byte, g *graph.Graph) (*LocalIndex, error) {
+	in := &byteCursor{b: b}
+
+	flags := in.u32()
+	viewV := in.u32()
+	if in.err == nil && int(viewV) != g.NumVertices() {
 		return nil, fmt.Errorf("%w: index view |V|=%d, graph |V|=%d", ErrIndexMismatch, viewV, g.NumVertices())
 	}
-	n, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if n > viewV {
+	n := in.u32()
+	if in.err == nil && n > viewV {
 		return nil, fmt.Errorf("%w: indexed range %d exceeds view |V|=%d", ErrIndexMismatch, n, viewV)
 	}
-	k, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if k > n {
+	k := in.u32()
+	if in.err == nil && k > n {
 		return nil, fmt.Errorf("%w: k=%d exceeds indexed |V|", ErrIndexMismatch, k)
+	}
+	if in.err != nil {
+		return nil, in.fail()
 	}
 	idx := &LocalIndex{
 		g:          g,
 		isLandmark: make([]bool, n),
 		af:         make([]graph.VertexID, n),
 		lmIdx:      make([]int32, n),
-		ii:         make([]map[graph.VertexID]*labelset.CMS, k),
-		eit:        make([]map[labelset.Set][]graph.VertexID, k),
+		iiSorted:   make([][]iiEntry, k),
+		eitSorted:  make([][]eitEntry, k),
 		literalRho: flags&1 != 0,
 	}
 	for i := range idx.lmIdx {
@@ -184,9 +253,9 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 	}
 	idx.landmarks = make([]graph.VertexID, k)
 	for i := range idx.landmarks {
-		v, err := get32()
-		if err != nil {
-			return nil, err
+		v := in.u32()
+		if in.err != nil {
+			return nil, in.fail()
 		}
 		if v >= n {
 			return nil, fmt.Errorf("%w: landmark %d out of range", ErrIndexMismatch, v)
@@ -195,16 +264,27 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 		idx.isLandmark[v] = true
 		idx.lmIdx[v] = int32(i)
 	}
-	for i := range idx.af {
-		a, err := get32()
-		if err != nil {
-			return nil, err
-		}
-		idx.af[i] = graph.VertexID(a)
+	afBytes := in.bytes(4 * int(n))
+	if in.err != nil {
+		return nil, in.fail()
 	}
-	dirtyBits := make([]byte, (int(k)+7)/8)
-	if _, err := io.ReadFull(cr, dirtyBits); err != nil {
-		return nil, err
+	if hostLittleEndian && n > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&idx.af[0])), len(afBytes)), afBytes)
+	} else {
+		for i := range idx.af {
+			idx.af[i] = graph.VertexID(binary.LittleEndian.Uint32(afBytes[4*i:]))
+		}
+	}
+	// Region assignments index lmIdx downstream (Rho, maintenance
+	// grouping), so every assigned region must actually be a landmark.
+	for _, a := range idx.af {
+		if a != graph.NoVertex && (uint32(a) >= n || !idx.isLandmark[a]) {
+			return nil, fmt.Errorf("%w: region assignment is not a landmark", ErrIndexCorrupt)
+		}
+	}
+	dirtyBits := in.bytes(((int(k)+7)/8 + 7) &^ 7)
+	if in.err != nil {
+		return nil, in.fail()
 	}
 	for li := 0; li < int(k); li++ {
 		if dirtyBits[li>>3]&(1<<(li&7)) != 0 {
@@ -214,78 +294,197 @@ func ReadLocalIndex(r io.Reader, g *graph.Graph) (*LocalIndex, error) {
 			idx.dirty[li] = true
 		}
 	}
+
+	// Arena allocation for the per-entry slices: chunks amortise the
+	// roughly one allocation per II/EIT entry a naive decode would pay.
+	// Every handed-out sub-slice is capacity-trimmed, so a later append
+	// (CMS.Insert during maintenance, EIT growth) reallocates instead of
+	// clobbering a neighbouring entry's adopted storage.
+	var (
+		setArena []labelset.Set
+		wsArena  []graph.VertexID
+		cmsArena []labelset.CMS
+	)
+	takeSets := func(n int) []labelset.Set {
+		if n > cap(setArena)-len(setArena) {
+			setArena = make([]labelset.Set, 0, max(1<<12, n))
+		}
+		lo := len(setArena)
+		setArena = setArena[: lo+n : cap(setArena)]
+		return setArena[lo : lo+n : lo+n]
+	}
+	takeWS := func(n int) []graph.VertexID {
+		if n > cap(wsArena)-len(wsArena) {
+			wsArena = make([]graph.VertexID, 0, max(1<<12, n))
+		}
+		lo := len(wsArena)
+		wsArena = wsArena[: lo+n : cap(wsArena)]
+		return wsArena[lo : lo+n : lo+n]
+	}
+	adoptCMS := func(sets []labelset.Set) *labelset.CMS {
+		if len(cmsArena) == cap(cmsArena) {
+			cmsArena = make([]labelset.CMS, 0, 1<<12)
+		}
+		cmsArena = append(cmsArena, labelset.AdoptSets(sets))
+		return &cmsArena[len(cmsArena)-1]
+	}
+
 	for li := range idx.landmarks {
-		nii, err := get32()
-		if err != nil {
-			return nil, err
+		nii := in.count(8) // per entry ≥ vertex u32 + cms len u32
+		order := make([]iiEntry, 0, capHint(nii))
+		prev := int64(-1)
+		for j := uint32(0); j < nii && in.err == nil; j++ {
+			v := in.u32()
+			if in.err != nil {
+				break
+			}
+			if v >= viewV || int64(v) <= prev {
+				return nil, fmt.Errorf("%w: II vertex out of range or order", ErrIndexCorrupt)
+			}
+			prev = int64(v)
+			ns := in.count(8) // per entry one u64 set
+			sets := takeSets(int(ns))
+			for x := range sets {
+				sets[x] = labelset.Set(in.u64())
+			}
+			order = append(order, iiEntry{v: graph.VertexID(v), cms: adoptCMS(sets)})
 		}
-		ii := make(map[graph.VertexID]*labelset.CMS, nii)
-		for j := uint32(0); j < nii; j++ {
-			v, err := get32()
-			if err != nil {
-				return nil, err
-			}
-			ns, err := get32()
-			if err != nil {
-				return nil, err
-			}
-			c := labelset.NewCMS()
-			for x := uint32(0); x < ns; x++ {
-				s, err := get64()
-				if err != nil {
-					return nil, err
-				}
-				c.Insert(labelset.Set(s))
-			}
-			ii[graph.VertexID(v)] = c
+		if in.err != nil {
+			return nil, in.fail()
 		}
-		idx.ii[li] = ii
-		neit, err := get32()
-		if err != nil {
-			return nil, err
-		}
-		eit := make(map[labelset.Set][]graph.VertexID, neit)
-		for j := uint32(0); j < neit; j++ {
-			key, err := get64()
-			if err != nil {
-				return nil, err
+		idx.iiSorted[li] = order
+
+		neit := in.count(12) // per entry ≥ labelset u64 + count u32
+		eorder := make([]eitEntry, 0, capHint(neit))
+		var prevKey uint64
+		for j := uint32(0); j < neit && in.err == nil; j++ {
+			key := in.u64()
+			if in.err != nil {
+				break
 			}
-			nw, err := get32()
-			if err != nil {
-				return nil, err
+			if j > 0 && key <= prevKey {
+				return nil, fmt.Errorf("%w: EIT keys out of order", ErrIndexCorrupt)
 			}
-			ws := make([]graph.VertexID, nw)
+			prevKey = key
+			nw := in.count(4) // per entry one vertex u32
+			ws := takeWS(int(nw))
 			for x := range ws {
-				wv, err := get32()
-				if err != nil {
-					return nil, err
+				wv := in.u32()
+				if in.err == nil && wv >= viewV {
+					return nil, fmt.Errorf("%w: EIT vertex out of range", ErrIndexCorrupt)
 				}
 				ws[x] = graph.VertexID(wv)
 			}
-			eit[labelset.Set(key)] = ws
+			eorder = append(eorder, eitEntry{key: labelset.Set(key), ws: ws})
 		}
-		idx.eit[li] = eit
+		if in.err != nil {
+			return nil, in.fail()
+		}
+		idx.eitSorted[li] = eorder
 	}
-	idx.dmat = newDMat(int(k))
-	for _, row := range idx.dmat {
-		for i := range row {
-			d, err := get32()
-			if err != nil {
-				return nil, err
-			}
-			row[i] = int32(d)
+
+	kk := int(k) * int(k)
+	raw := in.bytes(4 * kk)
+	if in.err != nil {
+		return nil, in.fail()
+	}
+	var backing []int32
+	switch {
+	case kk == 0:
+	case hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0:
+		// Adopt the matrix as a read-only view over the payload — it
+		// dominates the payload's size and is never written in place
+		// after a load (maintenance swaps whole rows; see
+		// extendLandmark). The format guarantees the 4-alignment on any
+		// 8-aligned input; the runtime check keeps odd inputs (and odd
+		// hosts) on the copying path.
+		backing = unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), kk)
+	default:
+		backing = make([]int32, kk)
+		for i := range backing {
+			backing[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
 		}
 	}
-	want := crc.Sum32()
-	var foot [4]byte
-	if _, err := io.ReadFull(br, foot[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing footer", ErrIndexChecksum)
+	idx.dmat = dmatRows(backing, int(k))
+	if in.off != len(in.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIndexCorrupt, len(in.b)-in.off)
 	}
-	if binary.LittleEndian.Uint32(foot[:]) != want {
-		return nil, ErrIndexChecksum
-	}
-	idx.finalize()
 	return idx, nil
+}
+
+// capHint bounds a map/slice pre-size taken from an untrusted count: a
+// hostile prefix buys at most 64Ki pre-allocated slots; real data past
+// that grows incrementally as bytes actually arrive.
+func capHint(n uint32) int { return int(min(n, 1<<16)) }
+
+// byteCursor walks the payload with bounds-checked plain slice reads.
+// Every read validates against the bytes actually present, so a hostile
+// length prefix can never cause an allocation larger than the input
+// that backs it; the first failure sticks in err.
+type byteCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *byteCursor) fail() error {
+	if errors.Is(c.err, graph.ErrCorrupt) {
+		return c.err
+	}
+	return fmt.Errorf("%w: %v", ErrIndexCorrupt, c.err)
+}
+
+func (c *byteCursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b)-c.off < 4 {
+		c.err = errPayloadEnd
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *byteCursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b)-c.off < 8 {
+		c.err = errPayloadEnd
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// bytes returns the next n payload bytes without copying; the slice
+// aliases the input and is only valid while it is.
+func (c *byteCursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.b)-c.off < n {
+		c.err = errPayloadEnd
+		return nil
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+// count reads a u32 element count whose elements occupy at least
+// minElemBytes each and rejects counts the remaining bytes cannot
+// possibly back.
+func (c *byteCursor) count(minElemBytes int) uint32 {
+	n := c.u32()
+	if c.err == nil && int64(n)*int64(minElemBytes) > int64(len(c.b)-c.off) {
+		c.err = fmt.Errorf("%w: count %d exceeds remaining payload", ErrIndexCorrupt, n)
+		return 0
+	}
+	return n
 }
 
 // countWriter tracks bytes written and the first error.
@@ -303,36 +502,4 @@ func (c *countWriter) write(p []byte) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	c.err = err
-}
-
-// crcReader feeds everything read through the checksum.
-type crcReader struct {
-	r   io.Reader
-	crc io.Writer
-}
-
-func (c *crcReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	if n > 0 {
-		c.crc.Write(p[:n])
-	}
-	return n, err
-}
-
-func sortedVertices(m map[graph.VertexID]*labelset.CMS) []graph.VertexID {
-	out := make([]graph.VertexID, 0, len(m))
-	for v := range m {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedKeys(m map[labelset.Set][]graph.VertexID) []labelset.Set {
-	out := make([]labelset.Set, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

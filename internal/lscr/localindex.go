@@ -37,19 +37,17 @@ type LocalIndex struct {
 	isLandmark []bool
 	af         []graph.VertexID // AF attribute: region landmark, NoVertex if unassigned
 
-	// ii and eit are indexed by landmark index (lmIdx), so parallel
-	// construction writes disjoint slice slots.
-	ii  []map[graph.VertexID]*labelset.CMS
-	eit []map[labelset.Set][]graph.VertexID
-
-	// iiSorted and eitSorted fix the enumeration order of ii/eit per
-	// landmark (sorted by key, materialised once by finalize):
-	// IIEntries and EITEntries drive INS's Cut/Push marking, and
-	// marking order feeds the frontier queue's FIFO tie-break —
-	// iterating the Go maps directly would make INS's search order
-	// (and thus its Stats) different on every run. Values are
-	// materialised alongside the keys so the query-time walk does no
-	// map lookups at all.
+	// iiSorted and eitSorted ARE the per-landmark II/EIT stores: flat
+	// entry arrays in ascending key order, indexed by landmark index
+	// (lmIdx), so parallel construction writes disjoint slice slots.
+	// The sorted order is load-bearing twice over. IIEntries and
+	// EITEntries drive INS's Cut/Push marking, and marking order feeds
+	// the frontier queue's FIFO tie-break — enumerating a Go map here
+	// would make INS's search order (and thus its Stats) different on
+	// every run. And point lookups (II, Check) binary-search the same
+	// arrays, so no map shadow of the entries needs to be built — which
+	// is what lets a segment boot decode the index as a straight
+	// sequential fill (see ReadIndexPayload).
 	iiSorted  [][]iiEntry
 	eitSorted [][]eitEntry
 
@@ -76,7 +74,12 @@ type LocalIndex struct {
 
 // newDMat allocates k rows of k int32 over a single backing array.
 func newDMat(k int) [][]int32 {
-	backing := make([]int32, k*k)
+	return dmatRows(make([]int32, k*k), k)
+}
+
+// dmatRows slices a k*k backing array into k capacity-trimmed rows, so
+// a maintenance row swap can never scribble past its own row.
+func dmatRows(backing []int32, k int) [][]int32 {
 	rows := make([][]int32, k)
 	for i := range rows {
 		rows[i] = backing[i*k : (i+1)*k : (i+1)*k]
@@ -146,8 +149,8 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	for i, u := range idx.landmarks {
 		idx.lmIdx[u] = int32(i)
 	}
-	idx.ii = make([]map[graph.VertexID]*labelset.CMS, len(idx.landmarks))
-	idx.eit = make([]map[labelset.Set][]graph.VertexID, len(idx.landmarks))
+	idx.iiSorted = make([][]iiEntry, len(idx.landmarks))
+	idx.eitSorted = make([][]eitEntry, len(idx.landmarks))
 	idx.dmat = newDMat(len(idx.landmarks))
 	idx.bfsTraverse() // Line 2.
 
@@ -156,7 +159,8 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	// and D row, and reads only the immutable af/lmIdx arrays and the
 	// graph, so no locking is needed beyond the work queue. Each worker
 	// owns one liScratch, reused across its landmarks, so steady-state
-	// construction allocates only the maps that end up in the index.
+	// construction allocates little beyond the entries that end up in
+	// the index.
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -169,7 +173,6 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 		for _, u := range idx.landmarks {
 			idx.localFullIndex(u, &sc)
 		}
-		idx.finalize()
 		return idx
 	}
 	var wg sync.WaitGroup
@@ -189,7 +192,6 @@ func NewLocalIndex(g *graph.Graph, p IndexParams) *LocalIndex {
 	}
 	close(work)
 	wg.Wait()
-	idx.finalize()
 	return idx
 }
 
@@ -205,31 +207,27 @@ type eitEntry struct {
 	ws  []graph.VertexID
 }
 
-// finalize materialises the sorted ii/eit enumeration orders. It runs
-// once, after every per-landmark slot is populated (construction or
-// snapshot load); the index is immutable from then on.
-func (idx *LocalIndex) finalize() {
-	idx.iiSorted = make([][]iiEntry, len(idx.landmarks))
-	idx.eitSorted = make([][]eitEntry, len(idx.landmarks))
-	for li := range idx.landmarks {
-		idx.finalizeLandmark(li)
+// sortedIIEntries flattens a landmark's scratch II map into the stored
+// ascending-vertex entry array. Construction and maintenance both work
+// over a map (the BFS inserts by vertex key) and finalise through here.
+func sortedIIEntries(m map[graph.VertexID]*labelset.CMS) []iiEntry {
+	out := make([]iiEntry, 0, len(m))
+	for v, c := range m {
+		out = append(out, iiEntry{v: v, cms: c})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	return out
 }
 
-// finalizeLandmark rebuilds one landmark's materialised sorted orders
-// from its ii/eit maps. Incremental maintenance calls it for exactly the
-// landmarks a mutation batch extended.
-func (idx *LocalIndex) finalizeLandmark(li int) {
-	ii := make([]iiEntry, 0, len(idx.ii[li]))
-	for _, v := range sortedVertices(idx.ii[li]) {
-		ii = append(ii, iiEntry{v: v, cms: idx.ii[li][v]})
+// sortedEITEntries flattens a landmark's scratch EIT map into the stored
+// ascending-key entry array.
+func sortedEITEntries(m map[labelset.Set][]graph.VertexID) []eitEntry {
+	out := make([]eitEntry, 0, len(m))
+	for key, ws := range m {
+		out = append(out, eitEntry{key: key, ws: ws})
 	}
-	idx.iiSorted[li] = ii
-	eit := make([]eitEntry, 0, len(idx.eit[li]))
-	for _, key := range sortedKeys(idx.eit[li]) {
-		eit = append(eit, eitEntry{key: key, ws: idx.eit[li][key]})
-	}
-	idx.eitSorted[li] = eit
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
 }
 
 // landmarkSelect implements the schema-driven selection of §5.1.2: pick a
@@ -396,7 +394,7 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 			}
 		}
 	}
-	idx.ii[idx.lmIdx[u]] = ii
+	idx.iiSorted[idx.lmIdx[u]] = sortedIIEntries(ii)
 
 	// Line 15: EIT[u] and D[u] from EI[u].
 	eit := make(map[labelset.Set][]graph.VertexID)
@@ -412,7 +410,7 @@ func (idx *LocalIndex) localFullIndex(u graph.VertexID, sc *liScratch) {
 	for _, ws := range eit {
 		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
 	}
-	idx.eit[idx.lmIdx[u]] = eit
+	idx.eitSorted[idx.lmIdx[u]] = sortedEITEntries(eit)
 }
 
 // Landmarks returns the chosen landmarks I.
@@ -487,6 +485,28 @@ func (idx *LocalIndex) lm(u graph.VertexID) int32 {
 	return idx.lmIdx[u]
 }
 
+// iiAt binary-searches landmark li's II entries for vertex v; nil when
+// v is outside F(landmarks[li]). The array replaces the map the index
+// used to carry: II holds ~|F(u)| entries, so the search is a dozen
+// probes of one cache-resident slice — and boot-time decode never has
+// to populate a hash table.
+func (idx *LocalIndex) iiAt(li int32, v graph.VertexID) *labelset.CMS {
+	s := idx.iiSorted[li]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].v < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].v == v {
+		return s[lo].cms
+	}
+	return nil
+}
+
 // II returns M(u, v | F(u)) for landmark u, or nil when u is not a
 // landmark or v is outside F(u).
 func (idx *LocalIndex) II(u, v graph.VertexID) *labelset.CMS {
@@ -494,14 +514,14 @@ func (idx *LocalIndex) II(u, v graph.VertexID) *labelset.CMS {
 	if li < 0 {
 		return nil
 	}
-	return idx.ii[li][v]
+	return idx.iiAt(li, v)
 }
 
 // Check implements the Check(II[w], t*) of Algorithm 4 line 22: whether
 // the landmark w reaches t (a vertex of F(w)) within its region under L.
 func (idx *LocalIndex) Check(w, t graph.VertexID, L labelset.Set) bool {
 	li := idx.lm(w)
-	return li >= 0 && idx.ii[li][t].Covers(L)
+	return li >= 0 && idx.iiAt(li, t).Covers(L)
 }
 
 // IIEntries calls fn for every (vertex, CMS) pair of II[u] whose CMS
@@ -573,14 +593,14 @@ func (idx *LocalIndex) Rho(u, t graph.VertexID) int {
 // boundary slots across EIT.
 func (idx *LocalIndex) Entries() int {
 	n := 0
-	for _, m := range idx.ii {
-		for _, c := range m {
-			n += c.Len()
+	for _, entries := range idx.iiSorted {
+		for _, e := range entries {
+			n += e.cms.Len()
 		}
 	}
-	for _, m := range idx.eit {
-		for _, ws := range m {
-			n += len(ws)
+	for _, entries := range idx.eitSorted {
+		for _, e := range entries {
+			n += len(e.ws)
 		}
 	}
 	return n
@@ -590,14 +610,14 @@ func (idx *LocalIndex) Entries() int {
 // stored label set, 16 bytes per map slot, 4 bytes per boundary vertex.
 func (idx *LocalIndex) SizeBytes() int64 {
 	sz := int64(len(idx.af)) * 5 // af + isLandmark
-	for _, m := range idx.ii {
-		for _, c := range m {
-			sz += 16 + int64(c.Len())*8
+	for _, entries := range idx.iiSorted {
+		for _, e := range entries {
+			sz += 16 + int64(e.cms.Len())*8
 		}
 	}
-	for _, m := range idx.eit {
-		for _, ws := range m {
-			sz += 8 + int64(len(ws))*4
+	for _, entries := range idx.eitSorted {
+		for _, e := range entries {
+			sz += 8 + int64(len(e.ws))*4
 		}
 	}
 	sz += int64(len(idx.dmat)*len(idx.dmat)) * 4

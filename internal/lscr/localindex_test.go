@@ -136,9 +136,9 @@ func TestEITSoundness(t *testing.T) {
 		g := testkg.Random(rng, n, rng.Intn(60), rng.Intn(4)+1)
 		idx := NewLocalIndex(g, IndexParams{K: rng.Intn(4) + 1, Seed: seed})
 		for _, u := range idx.Landmarks() {
-			for key, ws := range idx.eit[idx.lmIdx[u]] {
-				for _, w := range ws {
-					if !lcr.Reach(g, u, w, key) {
+			for _, e := range idx.eitSorted[idx.lmIdx[u]] {
+				for _, w := range e.ws {
+					if !lcr.Reach(g, u, w, e.key) {
 						return false
 					}
 					if idx.Region(w) == u {
@@ -168,8 +168,8 @@ func TestEITCompleteness(t *testing.T) {
 			}
 			// Some EIT entry must name tr.Object.
 			found := false
-			for _, ws := range idx.eit[idx.lmIdx[u]] {
-				for _, w := range ws {
+			for _, e := range idx.eitSorted[idx.lmIdx[u]] {
+				for _, w := range e.ws {
 					if w == tr.Object {
 						found = true
 					}
@@ -195,8 +195,8 @@ func TestDConsistency(t *testing.T) {
 			}
 			// D counts boundary targets of EI[u] inside F(x): recount.
 			targets := map[graph.VertexID]bool{}
-			for _, ws := range idx.eit[idx.lmIdx[u]] {
-				for _, w := range ws {
+			for _, e := range idx.eitSorted[idx.lmIdx[u]] {
+				for _, w := range e.ws {
 					targets[w] = true
 				}
 			}
@@ -315,7 +315,7 @@ func TestIndexWorkerInvariance(t *testing.T) {
 		if !reflect.DeepEqual(par.dmat, seq.dmat) {
 			t.Fatalf("workers=%d: D matrix differs", workers)
 		}
-		if !reflect.DeepEqual(par.eit, seq.eit) {
+		if !reflect.DeepEqual(par.eitSorted, seq.eitSorted) {
 			t.Fatalf("workers=%d: EIT differs", workers)
 		}
 		for _, u := range seq.Landmarks() {
@@ -452,8 +452,8 @@ func TestCheckAndEntriesHelpers(t *testing.T) {
 	// With one landmark whose region is its reachable set, EIT may be
 	// empty; just ensure the call is safe and consistent with eit size.
 	want := 0
-	for _, ws := range idx.eit[idx.lmIdx[u]] {
-		want += len(ws)
+	for _, e := range idx.eitSorted[idx.lmIdx[u]] {
+		want += len(e.ws)
 	}
 	if outside != want {
 		t.Errorf("EITEntries visited %d, want %d", outside, want)

@@ -126,7 +126,7 @@ func (idx *LocalIndex) ApplyMutations(g2 *graph.Graph, ops []graph.EdgeOp) (*Loc
 
 // derive returns a copy-on-write child of idx bound to g2: the outer
 // per-landmark slices are cloned so extendLandmark/markDirty can swap
-// individual slots, while every per-landmark map, sorted order and D row
+// individual slots, while every per-landmark entry array and D row
 // stays shared with the parent until actually replaced.
 func (idx *LocalIndex) derive(g2 *graph.Graph) *LocalIndex {
 	d := &LocalIndex{
@@ -135,8 +135,6 @@ func (idx *LocalIndex) derive(g2 *graph.Graph) *LocalIndex {
 		isLandmark: idx.isLandmark,
 		af:         idx.af,
 		lmIdx:      idx.lmIdx,
-		ii:         slices.Clone(idx.ii),
-		eit:        slices.Clone(idx.eit),
 		iiSorted:   slices.Clone(idx.iiSorted),
 		eitSorted:  slices.Clone(idx.eitSorted),
 		dmat:       slices.Clone(idx.dmat),
@@ -162,17 +160,18 @@ func (idx *LocalIndex) markDirty(li int32) bool {
 
 // extendLandmark folds a batch of inserted edges into landmark li's
 // entries by monotone propagation and returns the number of minimal
-// label sets accepted. The landmark's maps are deep-copied first (EI is
-// reconstructed from EIT, its exact reversal), then the LocalFullIndex
-// BFS runs over the post-batch graph seeded with the new edges applied
-// to the pre-batch label sets of their sources.
+// label sets accepted. The landmark's entries are deep-copied into
+// scratch maps first (EI is reconstructed from EIT, its exact
+// reversal), then the LocalFullIndex BFS runs over the post-batch graph
+// seeded with the new edges applied to the pre-batch label sets of
+// their sources.
 func (idx *LocalIndex) extendLandmark(li int32, ins []graph.Triple) int {
 	u := idx.landmarks[li]
 	g := idx.g
 
-	ii := make(map[graph.VertexID]*labelset.CMS, len(idx.ii[li])+len(ins))
-	for v, c := range idx.ii[li] {
-		ii[v] = c.Clone()
+	ii := make(map[graph.VertexID]*labelset.CMS, len(idx.iiSorted[li])+len(ins))
+	for _, e := range idx.iiSorted[li] {
+		ii[e.v] = e.cms.Clone()
 	}
 	// EI[u] was reversed into EIT[u] at build time set-by-set, so
 	// re-inserting every (key, w) pair reconstructs exactly the same
@@ -248,7 +247,7 @@ func (idx *LocalIndex) extendLandmark(li int32, ins []graph.Triple) int {
 
 	// Rebuild EIT[u] and the D row from the updated EI[u], exactly as
 	// the build tail does.
-	eit := make(map[labelset.Set][]graph.VertexID, len(idx.eit[li]))
+	eit := make(map[labelset.Set][]graph.VertexID, len(idx.eitSorted[li]))
 	row := make([]int32, len(idx.landmarks))
 	for w, c := range ei {
 		for _, l := range c.Sets() {
@@ -261,10 +260,9 @@ func (idx *LocalIndex) extendLandmark(li int32, ins []graph.Triple) int {
 	for _, ws := range eit {
 		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
 	}
-	idx.ii[li] = ii
-	idx.eit[li] = eit
+	idx.iiSorted[li] = sortedIIEntries(ii)
+	idx.eitSorted[li] = sortedEITEntries(eit)
 	idx.dmat[li] = row
-	idx.finalizeLandmark(int(li))
 	return added
 }
 
@@ -283,8 +281,8 @@ func (idx *LocalIndex) RebuildFrozen(g *graph.Graph) *LocalIndex {
 		isLandmark: idx.isLandmark,
 		af:         idx.af,
 		lmIdx:      idx.lmIdx,
-		ii:         make([]map[graph.VertexID]*labelset.CMS, len(idx.landmarks)),
-		eit:        make([]map[labelset.Set][]graph.VertexID, len(idx.landmarks)),
+		iiSorted:   make([][]iiEntry, len(idx.landmarks)),
+		eitSorted:  make([][]eitEntry, len(idx.landmarks)),
 		dmat:       newDMat(len(idx.landmarks)),
 		literalRho: idx.literalRho,
 	}
@@ -294,14 +292,13 @@ func (idx *LocalIndex) RebuildFrozen(g *graph.Graph) *LocalIndex {
 	var sc liScratch
 	for li, u := range o.landmarks {
 		if o.dirty != nil && o.dirty[li] {
-			o.ii[li] = idx.ii[li]
-			o.eit[li] = idx.eit[li]
+			o.iiSorted[li] = idx.iiSorted[li]
+			o.eitSorted[li] = idx.eitSorted[li]
 			copy(o.dmat[li], idx.dmat[li])
 			continue
 		}
 		o.localFullIndex(u, &sc)
 	}
-	o.finalize()
 	return o
 }
 

@@ -1,0 +1,102 @@
+package segment
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"lscr/internal/graph"
+	"lscr/internal/labelset"
+)
+
+// Zero-copy section views. The file format is little-endian with every
+// numeric array 8-byte aligned, which is exactly the in-memory layout
+// of the graph's flat arrays on little-endian hosts — so Open can alias
+// []uint32 and []graph.Edge views straight over the mmap'd bytes
+// instead of decoding element by element. The aliasing is gated three
+// ways at runtime: host endianness, the compiler's actual Edge struct
+// layout, and the alignment of the specific byte slice (an mmap base is
+// page-aligned and sections are 8-aligned, but fuzz inputs need not
+// be); whenever a gate fails the helpers fall back to an allocate+decode
+// copy with identical results. The write path never relies on the
+// struct layout — it encodes fields explicitly (To u32, Label u8, three
+// zero padding bytes) so the on-disk bytes are deterministic.
+
+// hostLittleEndian reports the byte order of the running machine.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// edgeLayoutOK reports whether graph.Edge has the layout the file
+// format mirrors: 8 bytes total, To at offset 0, Label at offset 4.
+var edgeLayoutOK = unsafe.Sizeof(graph.Edge{}) == 8 &&
+	unsafe.Offsetof(graph.Edge{}.To) == 0 &&
+	unsafe.Offsetof(graph.Edge{}.Label) == 4
+
+const edgeBytes = 8
+
+func aligned(b []byte, align uintptr) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+// u32View returns b's first n little-endian uint32s, aliasing when the
+// host allows it.
+func u32View(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned(b, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// edgeView returns b's first n encoded edges, aliasing when the host
+// allows it. The three padding bytes per edge are zero on disk; the
+// decode path ignores them.
+func edgeView(b []byte, n int) []graph.Edge {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && edgeLayoutOK && aligned(b, 8) {
+		return unsafe.Slice((*graph.Edge)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]graph.Edge, n)
+	for i := range out {
+		e := b[i*edgeBytes:]
+		out[i] = graph.Edge{
+			To:    graph.VertexID(binary.LittleEndian.Uint32(e[0:4])),
+			Label: graph.Label(e[4]),
+		}
+	}
+	return out
+}
+
+// labelView returns b's first n labels. Labels are single bytes, so the
+// view aliases unconditionally.
+func labelView(b []byte, n int) []labelset.Label {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*labelset.Label)(unsafe.Pointer(&b[0])), n)
+}
+
+// stringView returns b as a string without copying. The caller owns the
+// aliasing contract: the backing bytes must stay mapped and unmodified
+// for the lifetime of the string.
+func stringView(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// appendEdge encodes one edge in the on-disk layout.
+func appendEdge(dst []byte, e graph.Edge) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.To))
+	return append(dst, byte(e.Label), 0, 0, 0)
+}

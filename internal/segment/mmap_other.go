@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapFile reads path into memory on platforms without the mmap path;
+// Open behaves identically, minus the zero-copy startup.
+func mapFile(path string) ([]byte, func() error, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, nil, nil
+}

@@ -1,0 +1,99 @@
+package segment
+
+import (
+	"encoding/binary"
+)
+
+// Mutation-batch codec for WAL batch records. The engine logs batches
+// in the same name-level terms as its public Apply API — replay then
+// re-interns names through the identical code path, which is what makes
+// recovered vertex/label IDs bit-identical to the pre-crash run.
+//
+// Layout: count u32, then per op: kind u8 | subject | label | object,
+// each string u32-length-prefixed.
+
+// Op kinds mirror the engine's MutationOp values.
+const (
+	OpAddEdge    byte = 1
+	OpDeleteEdge byte = 2
+	OpAddVertex  byte = 3
+	OpAddLabel   byte = 4
+)
+
+// Op is one logged mutation.
+type Op struct {
+	Kind                   byte
+	Subject, Label, Object string
+}
+
+const opMinBytes = 13 // kind + three empty length-prefixed strings
+
+// EncodeOps serialises a batch.
+func EncodeOps(ops []Op) []byte {
+	n := 4
+	for _, op := range ops {
+		n += opMinBytes + len(op.Subject) + len(op.Label) + len(op.Object)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ops)))
+	for _, op := range ops {
+		out = append(out, op.Kind)
+		out = appendStr(out, op.Subject)
+		out = appendStr(out, op.Label)
+		out = appendStr(out, op.Object)
+	}
+	return out
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeOps deserialises a batch. Counts and lengths are untrusted and
+// validated against the remaining input before any allocation.
+func DecodeOps(b []byte) ([]Op, error) {
+	if len(b) < 4 {
+		return nil, corruptf("ops payload truncated")
+	}
+	n := int64(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n*opMinBytes > int64(len(b)) {
+		return nil, corruptf("ops count %d exceeds payload", n)
+	}
+	ops := make([]Op, 0, n)
+	for i := int64(0); i < n; i++ {
+		if len(b) < 1 {
+			return nil, corruptf("ops payload truncated")
+		}
+		op := Op{Kind: b[0]}
+		b = b[1:]
+		var err error
+		if op.Subject, b, err = takeStr(b); err != nil {
+			return nil, err
+		}
+		if op.Label, b, err = takeStr(b); err != nil {
+			return nil, err
+		}
+		if op.Object, b, err = takeStr(b); err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(b) != 0 {
+		return nil, corruptf("ops payload has %d trailing bytes", len(b))
+	}
+	return ops, nil
+}
+
+func takeStr(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, corruptf("ops string truncated")
+	}
+	n := int64(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n > int64(len(b)) {
+		return "", nil, corruptf("ops string length %d exceeds payload", n)
+	}
+	return string(b[:n]), b[n:], nil
+}

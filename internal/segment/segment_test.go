@@ -1,0 +1,321 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lscr/internal/graph"
+	lscrcore "lscr/internal/lscr"
+)
+
+// testGraph builds a small multigraph with a schema, enough structure
+// to exercise every section: several labels, parallel edges, an
+// isolated vertex, class instances and subclass pairs.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < 40; i++ {
+		b.AddEdgeNames(fmt.Sprintf("v%d", i), fmt.Sprintf("l%d", i%5), fmt.Sprintf("v%d", (i*7+3)%23))
+	}
+	b.AddEdgeNames("v1", "l0", "v2") // parallel edge
+	b.Vertex("isolated")
+	s := b.Schema()
+	s.AddInstance("Person", b.Vertex("v1"))
+	s.AddInstance("Person", b.Vertex("v3"))
+	s.AddInstance("City", b.Vertex("v5"))
+	s.AddSubClassOf("Person", "Agent")
+	s.SetDomain("l0", "Person")
+	s.SetRange("l0", "City")
+	return b.Build()
+}
+
+func triples(g *graph.Graph) []graph.Triple {
+	var out []graph.Triple
+	g.Triples(func(tr graph.Triple) bool { out = append(out, tr); return true })
+	return out
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	idx := lscrcore.NewLocalIndex(g, lscrcore.IndexParams{K: 6, Seed: 42})
+	dir := t.TempDir()
+
+	path, err := Write(dir, 7, g, idx, 6, 42)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if want := PathFor(dir, 7); path != want {
+		t.Fatalf("path %q, want %q", path, want)
+	}
+	seg, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer seg.Close()
+
+	if seg.BaseSeq != 7 || seg.IndexK != 6 || seg.IndexSeed != 42 {
+		t.Fatalf("meta = (%d, %d, %d), want (7, 6, 42)", seg.BaseSeq, seg.IndexK, seg.IndexSeed)
+	}
+	h := seg.Graph
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() || h.NumLabels() != g.NumLabels() {
+		t.Fatalf("sizes: got %v, want %v", h, g)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if h.VertexName(graph.VertexID(v)) != g.VertexName(graph.VertexID(v)) {
+			t.Fatalf("vertex %d name mismatch", v)
+		}
+		if h.Vertex(g.VertexName(graph.VertexID(v))) != graph.VertexID(v) {
+			t.Fatalf("vertex %d lookup mismatch", v)
+		}
+	}
+	for l := 0; l < g.NumLabels(); l++ {
+		if h.LabelName(graph.Label(l)) != g.LabelName(graph.Label(l)) {
+			t.Fatalf("label %d name mismatch", l)
+		}
+	}
+	gt, ht := triples(g), triples(h)
+	if len(gt) != len(ht) {
+		t.Fatalf("triple counts: %d vs %d", len(gt), len(ht))
+	}
+	for i := range gt {
+		if gt[i] != ht[i] {
+			t.Fatalf("triple %d: %v vs %v", i, gt[i], ht[i])
+		}
+	}
+	gs, hs := g.Schema(), h.Schema()
+	gc, hc := gs.Classes(), hs.Classes()
+	if len(gc) != len(hc) {
+		t.Fatalf("schema classes: %v vs %v", gc, hc)
+	}
+	for i, c := range gc {
+		if hc[i] != c {
+			t.Fatalf("schema class %d: %q vs %q", i, hc[i], c)
+		}
+		gi, hi := gs.Instances(c), hs.Instances(c)
+		if len(gi) != len(hi) {
+			t.Fatalf("class %q instances: %v vs %v", c, gi, hi)
+		}
+		for j := range gi {
+			if gi[j] != hi[j] {
+				t.Fatalf("class %q instance %d differs", c, j)
+			}
+		}
+	}
+	if d, ok := hs.Domain("l0"); !ok || d != "Person" {
+		t.Fatalf("domain(l0) = %q, %v", d, ok)
+	}
+	if seg.Index == nil {
+		t.Fatal("index section missing")
+	}
+	if err := idx.EqualStructure(seg.Index); err != nil {
+		t.Fatalf("index structure: %v", err)
+	}
+}
+
+func TestSegmentNoIndex(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	if _, err := Write(dir, 0, g, nil, 0, 0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	seg, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer seg.Close()
+	if seg.Index != nil {
+		t.Fatal("unexpected index")
+	}
+}
+
+func TestOpenDirPicksNewest(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	for _, seq := range []uint64{0, 12, 5} {
+		if _, err := Write(dir, seq, g, nil, 0, 0); err != nil {
+			t.Fatalf("Write(%d): %v", seq, err)
+		}
+	}
+	seg, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer seg.Close()
+	if seg.BaseSeq != 12 {
+		t.Fatalf("BaseSeq = %d, want 12", seg.BaseSeq)
+	}
+	if err := RemoveObsolete(dir, PathFor(dir, 12)); err != nil {
+		t.Fatalf("RemoveObsolete: %v", err)
+	}
+	paths, _ := List(dir)
+	if len(paths) != 1 || paths[0] != PathFor(dir, 12) {
+		t.Fatalf("after prune: %v", paths)
+	}
+}
+
+func TestOpenDirEmpty(t *testing.T) {
+	if _, err := OpenDir(t.TempDir()); !errors.Is(err, ErrNoSegment) {
+		t.Fatalf("err = %v, want ErrNoSegment", err)
+	}
+}
+
+// TestSegmentCorruptionDetected flips every byte of a sealed segment in
+// turn (coarse stride for speed) and asserts Open fails closed with a
+// typed error rather than succeeding or panicking.
+func TestSegmentCorruptionDetected(t *testing.T) {
+	g := testGraph(t)
+	idx := lscrcore.NewLocalIndex(g, lscrcore.IndexParams{K: 4, Seed: 1})
+	dir := t.TempDir()
+	path, err := Write(dir, 1, g, idx, 4, 1)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(orig); pos += 37 {
+		mut := bytes.Clone(orig)
+		mut[pos] ^= 0x5a
+		if _, err := OpenBytes(mut); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+	// Truncations must fail closed too.
+	for _, n := range []int{0, 7, 40, len(orig) / 2, len(orig) - 1} {
+		if _, err := OpenBytes(orig[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := WALPath(dir)
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal has %d records", len(recs))
+	}
+	batches := [][]Op{
+		{{Kind: OpAddEdge, Subject: "a", Label: "l", Object: "b"}},
+		{{Kind: OpDeleteEdge, Subject: "a", Label: "l", Object: "b"}, {Kind: OpAddVertex, Subject: "c"}},
+	}
+	for i, b := range batches {
+		if err := w.Append(RecordBatch, uint64(i+1), EncodeOps(b), true); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Append(RecordSeal, 3, nil, true); err != nil {
+		t.Fatalf("Append seal: %v", err)
+	}
+	st := w.Stats()
+	if st.Records != 3 || st.LastSync.IsZero() {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	w2.Close()
+	if len(recs) != 3 || recs[2].Kind != RecordSeal || recs[2].Seq != 3 {
+		t.Fatalf("replayed %d records: %+v", len(recs), recs)
+	}
+	ops, err := DecodeOps(recs[1].Payload)
+	if err != nil || len(ops) != 2 || ops[1].Subject != "c" {
+		t.Fatalf("decode: %v %+v", err, ops)
+	}
+
+	// Tear the tail mid-record: replay drops exactly the torn record.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w3, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("torn reopen: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn replay kept %d records, want 2", len(recs))
+	}
+	// The torn suffix must be gone so new appends start clean.
+	if err := w3.Append(RecordSeal, 3, nil, true); err != nil {
+		t.Fatalf("append after tear: %v", err)
+	}
+	w3.Close()
+	w4, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen after re-append: %v", err)
+	}
+	w4.Close()
+	if len(recs) != 3 || recs[2].Seq != 3 {
+		t.Fatalf("after re-append: %+v", recs)
+	}
+}
+
+func TestWALRotate(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(WALPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.Append(RecordBatch, seq, EncodeOps([]Op{{Kind: OpAddVertex, Subject: "x"}}), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(3); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if st := w.Stats(); st.Records != 2 {
+		t.Fatalf("post-rotate records = %d, want 2", st.Records)
+	}
+	// Appends after rotation land in the new file.
+	if err := w.Append(RecordBatch, 6, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs, err := OpenWAL(WALPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 4 || recs[2].Seq != 6 {
+		t.Fatalf("rotated wal: %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walName+tmpSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("rotate temp left behind: %v", err)
+	}
+}
+
+func TestOpsCodecHostileInput(t *testing.T) {
+	ops := []Op{{Kind: OpAddEdge, Subject: "s", Label: "l", Object: "o"}}
+	enc := EncodeOps(ops)
+	dec, err := DecodeOps(enc)
+	if err != nil || len(dec) != 1 || dec[0] != ops[0] {
+		t.Fatalf("round trip: %v %+v", err, dec)
+	}
+	for _, b := range [][]byte{
+		nil,
+		{0xff, 0xff, 0xff, 0xff},    // huge count, no data
+		enc[:len(enc)-2],            // truncated string
+		append(bytes.Clone(enc), 0), // trailing garbage
+	} {
+		if _, err := DecodeOps(b); err == nil {
+			t.Fatalf("hostile input %v decoded", b)
+		}
+	}
+}

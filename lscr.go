@@ -206,6 +206,16 @@ type Options struct {
 	// local index. 0 selects DefaultCompactAfter; a negative value
 	// disables automatic compaction (Engine.Compact remains available).
 	CompactAfter int
+	// DataDir is the default data directory for Open and Create when
+	// their dir argument is empty. It has no effect on NewEngine, which
+	// stays purely in-memory.
+	DataDir string
+	// Durability selects the WAL fsync policy of a persistent engine
+	// (Open/Create): DurabilitySync — the zero value — fsyncs every
+	// committed batch before Apply acknowledges it; DurabilityLazy
+	// leaves flushing to the OS, trading the most recent batches on a
+	// crash for much cheaper writes. See persist.go.
+	Durability Durability
 	// NoIndexMaintenance disables incremental local-index maintenance:
 	// Apply then publishes epochs that keep the pre-mutation index as a
 	// heuristic only, so INS loses its landmark pruning until the next
@@ -243,6 +253,10 @@ type Engine struct {
 	maintExtended    atomic.Int64
 	maintEntries     atomic.Int64
 	maintInvalidated atomic.Int64
+
+	// store is the persistence attachment (segment directory + WAL);
+	// nil for a purely in-memory engine. See persist.go.
+	store *store
 }
 
 // epoch is one immutable serving snapshot: a graph view (base CSR plus

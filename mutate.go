@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"lscr/internal/graph"
 	core "lscr/internal/lscr"
+	"lscr/internal/segment"
 )
 
 // Live graph mutations.
@@ -236,6 +238,14 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 		e.maintInvalidated.Add(int64(mb.LandmarksInvalidated))
 	}
 	ep := e.newEpoch(cur.seq+1, g, idx, cur.idxSeq)
+	if e.store != nil {
+		// Durability point: the batch is in the WAL (and, in sync mode,
+		// on stable storage) before any reader can observe its epoch. On
+		// failure nothing is published and the engine state is unchanged.
+		if err := e.store.logBatch(ep.seq, muts); err != nil {
+			return ApplyResult{}, err
+		}
+	}
 	e.ep.Store(ep)
 	res.Epoch = ep.seq
 	res.OverlayOps = g.OverlaySize()
@@ -348,8 +358,20 @@ func (e *Engine) Compact(ctx context.Context) (bool, error) {
 // deterministically (see TestMutateCompactionCatchUp*).
 var compactBarrier func()
 
+// sealBarrier, when non-nil, runs after the seal record is durable and
+// the epoch is swapped but before the segment image is renamed into
+// place — the other crash window inside a persistent compaction, used
+// by the kill-point recovery tests.
+var sealBarrier func()
+
 // compact is the shared compaction body: rebuild outside the locks,
-// catch up on mutations that landed mid-rebuild, swap.
+// catch up on mutations that landed mid-rebuild, swap. On a persistent
+// engine the compaction doubles as the segment seal: the folded CSR and
+// fresh index are written as a segment image before the swap, the swap
+// itself appends a durable seal record, and only then is the image
+// published (rename) and the WAL truncated to the uncovered suffix —
+// in every crash window the newest on-disk segment plus the WAL tail
+// still reproduce the serving state exactly.
 func (e *Engine) compact() (bool, error) {
 	e.compactMu.Lock()
 	defer e.compactMu.Unlock()
@@ -367,10 +389,52 @@ func (e *Engine) compact() (bool, error) {
 	if !e.opts.SkipIndex {
 		idx = core.NewLocalIndex(base, e.indexParams())
 	}
+	// Seal the rebuilt state as an unpublished segment image, still
+	// outside the engine lock (a full serialisation pass).
+	var tmpSeg string
+	if e.store != nil {
+		var err error
+		tmpSeg, err = segment.WriteTemp(e.store.dir, snap.seq, base, idx, e.opts.Landmarks, e.opts.IndexSeed)
+		if err != nil {
+			return false, err
+		}
+	}
 	if compactBarrier != nil {
 		compactBarrier()
 	}
 
+	if err := e.compactSwap(snap, snapOps, base, idx, tmpSeg); err != nil {
+		if tmpSeg != "" {
+			os.Remove(tmpSeg)
+		}
+		return false, err
+	}
+
+	if sealBarrier != nil {
+		sealBarrier()
+	}
+	// Publish the image and truncate the log, holding only compactMu:
+	// readers and Apply proceed, and the order (seal record durable →
+	// rename → rotate) keeps every intermediate crash recoverable.
+	if e.store != nil {
+		final, err := segment.Commit(tmpSeg)
+		if err != nil {
+			return false, err
+		}
+		e.store.segSeq.Store(snap.seq)
+		if err := e.store.wal.Rotate(snap.seq); err != nil {
+			return false, err
+		}
+		if err := segment.RemoveObsolete(e.store.dir, final); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// compactSwap is compact's locked phase: catch up on batches that
+// landed mid-rebuild, make the seal durable, publish the epoch.
+func (e *Engine) compactSwap(snap *epoch, snapOps int, base *graph.Graph, idx *core.LocalIndex, tmpSeg string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.ep.Load()
@@ -386,16 +450,24 @@ func (e *Engine) compact() (bool, error) {
 		var err error
 		g, err = graph.ReplayOnto(base, cur.kg.g, snapOps)
 		if err != nil {
-			return false, err
+			return err
 		}
 		// The fresh index describes base; maintain it through the
 		// caught-up suffix so pruning is live immediately after a racy
-		// compaction too, not just after a quiet one.
+		// compaction too, not just after a quiet one. (The segment image
+		// keeps the fresh index — ApplyMutations is copy-on-write.)
 		if idx != nil && !e.opts.NoIndexMaintenance {
 			idx, _ = idx.ApplyMutations(g, cur.kg.g.OverlayEdgeOps(snapOps))
 		}
 	}
+	if e.store != nil {
+		// The seal record carries the epoch bump and the covered prefix;
+		// it must be durable before the segment can become the newest.
+		if err := e.store.sealAppend(cur.seq+1, snap.seq); err != nil {
+			return err
+		}
+	}
 	e.ep.Store(e.newEpoch(cur.seq+1, g, idx, cur.idxSeq))
 	e.compactions.Add(1)
-	return true, nil
+	return nil
 }

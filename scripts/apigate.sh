@@ -13,10 +13,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-# Non-query methods (stats, index persistence, SPARQL standalone, and
-# the mutation family Apply/Compact with its KG/Epoch observers) are
-# part of the stable surface and listed explicitly.
-ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health)$'
+# Non-query methods (stats, index persistence, SPARQL standalone, the
+# mutation family Apply/Compact with its KG/Epoch observers, and the
+# persistence lifecycle Close/Durability) are part of the stable
+# surface and listed explicitly.
+ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health|Close|Durability)$'
 
 status=0
 for f in *.go; do

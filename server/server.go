@@ -112,6 +112,7 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		Cache:       cache,
 		Epoch:       epoch,
 		Maintenance: maint,
+		Durability:  s.eng.Durability(),
 	})
 }
 
