@@ -118,6 +118,61 @@ type MutateResponse struct {
 	CompactionStarted bool `json:"compaction_started"`
 }
 
+// ReplicateBatch is one record of the GET /v1/replicate feed: the
+// epoch it publishes, and either the mutation batch committed at that
+// epoch or a seal marker (the writer compacted there; a follower folds
+// its overlay at the same epoch).
+type ReplicateBatch struct {
+	Epoch     uint64     `json:"epoch"`
+	Seal      bool       `json:"seal,omitempty"`
+	Mutations []Mutation `json:"mutations,omitempty"`
+}
+
+// ReplicateResponse is the GET /v1/replicate reply: the feed records
+// above the requested cursor (empty when the cursor was current for the
+// whole long-poll window) plus the writer's serving and durable epochs
+// at reply time, which let a follower report its own lag.
+type ReplicateResponse struct {
+	From         uint64           `json:"from"`
+	Batches      []ReplicateBatch `json:"batches"`
+	Epoch        uint64           `json:"epoch"`
+	DurableEpoch uint64           `json:"durable_epoch"`
+}
+
+// SegmentEpochHeader carries the base epoch of the segment streamed by
+// GET /v1/segment — the cursor a bootstrapping follower tails from.
+const SegmentEpochHeader = "X-LSCR-Segment-Epoch"
+
+// ReplicaHealth is one backend's state as the cluster gateway sees it.
+type ReplicaHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Breaker is "closed" (routable) or "open" (failed out, cooling
+	// down).
+	Breaker string `json:"breaker"`
+	// Epoch is the backend's last observed serving epoch; Lag is the
+	// writer's epoch minus it.
+	Epoch uint64 `json:"epoch"`
+	Lag   uint64 `json:"lag"`
+	// LatencyUS is the EWMA of recent read latencies, in microseconds.
+	LatencyUS int64  `json:"latency_us"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ClusterHealth is the gateway's GET /healthz reply.
+type ClusterHealth struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	API     string `json:"api"`
+	// Role distinguishes the gateway's health shape from a single
+	// engine's ("gateway").
+	Role string `json:"role"`
+	// Epoch is the cluster head: the writer's serving epoch.
+	Epoch    uint64          `json:"epoch"`
+	Writer   ReplicaHealth   `json:"writer"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
 // Health is the GET /healthz reply.
 type Health struct {
 	Status   string          `json:"status"`
@@ -196,8 +251,13 @@ func (r QueryRequest) ToRequest() (lscr.Request, error) {
 // Op strings pass through verbatim; the engine validates them (an
 // unknown op rejects the whole batch).
 func (r MutateRequest) ToMutations() []lscr.Mutation {
-	out := make([]lscr.Mutation, len(r.Mutations))
-	for i, m := range r.Mutations {
+	return ToEngineMutations(r.Mutations)
+}
+
+// ToEngineMutations converts wire mutations to the engine's shape.
+func ToEngineMutations(ms []Mutation) []lscr.Mutation {
+	out := make([]lscr.Mutation, len(ms))
+	for i, m := range ms {
 		out[i] = lscr.Mutation{
 			Op:      lscr.MutationOp(m.Op),
 			Subject: m.Subject,
@@ -206,6 +266,36 @@ func (r MutateRequest) ToMutations() []lscr.Mutation {
 		}
 	}
 	return out
+}
+
+// FromMutations converts engine mutations to the wire shape.
+func FromMutations(ms []lscr.Mutation) []Mutation {
+	out := make([]Mutation, len(ms))
+	for i, m := range ms {
+		out[i] = Mutation{
+			Op:      string(m.Op),
+			Subject: m.Subject,
+			Label:   m.Label,
+			Object:  m.Object,
+		}
+	}
+	return out
+}
+
+// FromReplicationBatches converts the engine's feed records to the wire
+// shape.
+func FromReplicationBatches(batches []lscr.ReplicationBatch) []ReplicateBatch {
+	out := make([]ReplicateBatch, len(batches))
+	for i, b := range batches {
+		out[i] = ReplicateBatch{Epoch: b.Epoch, Seal: b.Seal, Mutations: FromMutations(b.Mutations)}
+	}
+	return out
+}
+
+// ToReplicationBatch converts one wire feed record back to the engine's
+// shape (the follower side).
+func (b ReplicateBatch) ToReplicationBatch() lscr.ReplicationBatch {
+	return lscr.ReplicationBatch{Epoch: b.Epoch, Seal: b.Seal, Mutations: ToEngineMutations(b.Mutations)}
 }
 
 // FromApplyResult converts the engine's apply report to the wire shape.

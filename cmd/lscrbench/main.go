@@ -21,21 +21,26 @@
 //	lscrbench -exp insdyn-json      # same, as BENCH_insdyn.json
 //	lscrbench -exp restart          # cold boot: parse+rebuild vs segment mmap vs crash recovery
 //	lscrbench -exp restart-json     # same, as BENCH_restart.json
+//	lscrbench -exp replica          # gateway read scaling over 1 vs 2 WAL-fed followers
+//	lscrbench -exp replica-json     # same, as BENCH_replica.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
 // cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json,
-// insdyn, insdyn-json, restart, restart-json, all. "all" runs the paper
-// experiments only — the machine-dependent scaling sweeps (parallel*,
-// throughput, cachespeedup*, serverclient, csr*, mutate*, insdyn*,
-// restart*) are invoked explicitly. The mutate experiments exit nonzero
-// unless the mutated engine answered identically to a rebuild on the
-// final edge set; the insdyn experiments exit nonzero unless the
-// maintained and maintenance-disabled engines answered identically at
-// every overlay size; the restart experiments exit nonzero unless the
-// segment-booted engine was bit-identical to the rebuilt one and the
-// crash-recovered engine matched a rebuild on the final edge set.
+// insdyn, insdyn-json, restart, restart-json, replica, replica-json,
+// all. "all" runs the paper experiments only — the machine-dependent
+// scaling sweeps (parallel*, throughput, cachespeedup*, serverclient,
+// csr*, mutate*, insdyn*, restart*, replica*) are invoked explicitly.
+// The mutate experiments exit nonzero unless the mutated engine
+// answered identically to a rebuild on the final edge set; the insdyn
+// experiments exit nonzero unless the maintained and
+// maintenance-disabled engines answered identically at every overlay
+// size; the restart experiments exit nonzero unless the segment-booted
+// engine was bit-identical to the rebuilt one and the crash-recovered
+// engine matched a rebuild on the final edge set; the replica
+// experiments exit nonzero unless both followers answered bit-identically
+// to the writer.
 package main
 
 import (
@@ -117,6 +122,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"restart-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunRestartJSON(w, cfg, concurrency)
+		},
+		"replica": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunReplica(w, cfg, concurrency)
+		},
+		"replica-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunReplicaJSON(w, cfg, concurrency)
 		},
 	}
 	if exp == "all" {

@@ -17,6 +17,13 @@
 // the KG and index are built at startup (across -workers goroutines)
 // and mutations do not survive the process.
 //
+// With -follow the process is a read replica instead: it bootstraps
+// from the writer's newest sealed segment (GET /v1/segment), tails its
+// WAL feed (GET /v1/replicate) through the engine's normal commit
+// path, and serves the read-only /v1 surface — bit-identical answers
+// to the writer at every replicated epoch. Put cmd/lscrgw in front to
+// get one logical engine over the fleet.
+//
 // Request bodies are size-capped, the listener runs with read/write
 // timeouts, in-flight requests drain gracefully on SIGINT/SIGTERM, and
 // every search runs under the request's context so disconnected
@@ -39,6 +46,7 @@ import (
 
 	"lscr"
 	"lscr/internal/buildinfo"
+	"lscr/internal/cluster"
 	"lscr/server"
 )
 
@@ -66,11 +74,20 @@ func main() {
 		cacheSize    = flag.Int("cache", 0, "constraint-cache capacity (0 = default, negative = disabled)")
 		compactAfter = flag.Int("compact-after", 0, "overlay ops before background compaction (0 = default, negative = manual only)")
 		readonly     = flag.Bool("readonly", false, "disable /v1/mutate (403)")
+		follow       = flag.String("follow", "", "follower mode: bootstrap from this writer URL and tail its WAL feed (read-only replica)")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("lscrd", buildinfo.Version())
+		return
+	}
+	if *follow != "" {
+		if *kgPath != "" || *dataDir != "" || *indexPath != "" {
+			fmt.Fprintln(os.Stderr, "lscrd: -follow replicates the writer's state; it cannot be combined with -kg, -data or -index")
+			os.Exit(2)
+		}
+		runFollower(*follow, *addr, lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize})
 		return
 	}
 	opts := lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize, CompactAfter: *compactAfter}
@@ -128,6 +145,43 @@ func main() {
 		if err := eng.Close(); err != nil {
 			log.Print("lscrd: close: ", err)
 		}
+	}
+	log.Print("lscrd: shut down cleanly")
+}
+
+// runFollower runs lscrd as a read replica: bootstrap from the
+// writer's newest sealed segment, tail its WAL feed, and serve the
+// read-only /v1 surface. No -kg/-data — the writer is the source of
+// truth; a restart simply re-bootstraps.
+func runFollower(writer, addr string, opts lscr.Options) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	f, err := cluster.StartFollower(ctx, cluster.FollowerConfig{
+		Writer:  writer,
+		Options: opts,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lscrd:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lscrd:", err)
+		os.Exit(2)
+	}
+	log.Printf("lscrd %s following %s at epoch %d on %s",
+		buildinfo.Version(), writer, f.Epoch(), ln.Addr())
+	srv := &http.Server{
+		Handler:           f,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	if err := serve(ctx, srv, ln); err != nil {
+		log.Fatal("lscrd: ", err)
 	}
 	log.Print("lscrd: shut down cleanly")
 }

@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pub "lscr"
+	"lscr/api"
+	"lscr/client"
+	"lscr/internal/cluster"
+	"lscr/internal/graph"
+	"lscr/internal/lubm"
+	"lscr/internal/workload"
+	"lscr/server"
+)
+
+// The replica harness measures the replicated serving tier: aggregate
+// read throughput through the cluster gateway with one follower vs two
+// followers behind it, at proven-identical answers.
+//
+// Capacity model. The interesting question — does adding a replica add
+// read capacity? — is about machines, and the bench host has however
+// many cores it has (often one, in CI). So each follower sits behind a
+// capacity gate emulating a small replica machine: depth-1 admission
+// (one query in service at a time) plus a fixed service-time floor per
+// query. A gated replica serves at most 1000/floorMS reads/sec
+// regardless of host core count; N of them serve N times that, because
+// concurrent clients overlap wall-clock waits across gates, not CPU.
+// The scaling figure is therefore honest concurrency-across-machines
+// scaling and reproduces on any host. Hedging is disabled during the
+// measurement — a hedge is a second copy of the same query, which
+// would burn gated capacity and blur the accounting.
+//
+// Identity. Before the clock starts, both followers replicate a
+// mutation workload (batches through the writer's WAL feed, plus a
+// seal they replay as a compaction) and their engines must answer a
+// mixed-algorithm probe set bit-identically to the writer — Reachable,
+// search Stats and |V(S,G)| — and every measured query is checked
+// against its expected answer. Any divergence fails the run.
+
+// ReplicaReport is the machine-readable baseline (BENCH_replica.json).
+type ReplicaReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Dataset    string `json:"dataset"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Queries    int    `json:"queries"`
+
+	// Batches × OpsPerBatch mutations were replicated (plus one seal)
+	// before the identity check.
+	Batches     int `json:"batches"`
+	OpsPerBatch int `json:"ops_per_batch"`
+
+	// The capacity model: per-replica depth-1 admission with this
+	// service-time floor, driven by this many concurrent clients.
+	ServiceFloorMS float64 `json:"service_floor_ms"`
+	Clients        int     `json:"clients"`
+
+	// Aggregate read QPS through the gateway with one and two gated
+	// followers, and the headline ratio.
+	Replica1ReadQPS float64 `json:"replica1_read_qps"`
+	Replica2ReadQPS float64 `json:"replica2_read_qps"`
+	ScalingX        float64 `json:"replica_scaling_x"`
+
+	// Identical: both followers answered the probe set bit-identically
+	// to the writer AND every measured query answered as expected.
+	Identical bool `json:"identical"`
+}
+
+// Replica harness knobs: the per-query service floor of a gated
+// replica, the client pool driving the gateway, and the measured
+// window per configuration.
+const (
+	replicaServiceFloor = 2 * time.Millisecond
+	replicaClients      = 8
+	replicaWindow       = 1200 * time.Millisecond
+)
+
+// capacityGate models one replica machine in front of a handler:
+// queries admit one at a time and each occupies the replica for at
+// least floor. Non-query traffic (health, replication) passes
+// ungated.
+type capacityGate struct {
+	h     http.Handler
+	floor time.Duration
+	sem   chan struct{}
+}
+
+func newCapacityGate(h http.Handler, floor time.Duration) *capacityGate {
+	return &capacityGate{h: h, floor: floor, sem: make(chan struct{}, 1)}
+}
+
+func (c *capacityGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.URL.Path != "/v1/query" {
+		c.h.ServeHTTP(w, r)
+		return
+	}
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	start := time.Now()
+	c.h.ServeHTTP(w, r)
+	if d := c.floor - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// serveHandler mounts h on a loopback listener and returns its base
+// URL plus a shutdown func.
+func serveHandler(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Shutdown(context.Background()) }, nil
+}
+
+// waitReplicated polls until f has replicated to epoch ep.
+func waitReplicated(f *cluster.Follower, ep uint64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Epoch() >= ep {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("bench: follower stuck at epoch %d, want %d", f.Epoch(), ep)
+}
+
+// MeasureReplica runs the harness and returns the report.
+func MeasureReplica(cfg Config, concurrency int) (*ReplicaReport, error) {
+	cfg = cfg.withDefaults()
+	clients := replicaClients
+	if concurrency > clients {
+		clients = concurrency
+	}
+	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	ctx := context.Background()
+
+	rep := &ReplicaReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Dataset:        spec.Name,
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		Queries:        cfg.QueriesPerGroup * 10,
+		Batches:        cfg.QueriesPerGroup * 2,
+		OpsPerBatch:    8,
+		ServiceFloorMS: float64(replicaServiceFloor) / float64(time.Millisecond),
+		Clients:        clients,
+	}
+
+	// The writer: a persistent engine (the WAL is the replication feed)
+	// behind the real lscrd handler.
+	dir, err := os.MkdirTemp("", "lscr-replica-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opts := pub.Options{IndexSeed: cfg.Seed, CompactAfter: -1}
+	eng, err := pub.Create(dir, pub.FromGraph(g), opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: create store: %w", err)
+	}
+	defer eng.Close()
+	writerURL, stopWriter, err := serveHandler(server.New(eng, eng.KG()))
+	if err != nil {
+		return nil, err
+	}
+	defer stopWriter()
+
+	// Two followers bootstrap from the segment and tail the WAL.
+	fcfg := cluster.FollowerConfig{Writer: writerURL, Poll: 200 * time.Millisecond, Retry: 50 * time.Millisecond}
+	f1, err := cluster.StartFollower(ctx, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f1.Close()
+	f2, err := cluster.StartFollower(ctx, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f2.Close()
+
+	// Replicate a write workload: mutation batches, a seal (replayed as
+	// a follower-side compaction), more batches.
+	script := mutateScript(g, cfg.Seed, rep.Batches, rep.OpsPerBatch)
+	for bi, batch := range script {
+		if _, err := eng.Apply(ctx, batch); err != nil {
+			return nil, fmt.Errorf("bench: batch %d: %w", bi, err)
+		}
+		if bi == len(script)/2 {
+			if _, err := eng.Compact(ctx); err != nil {
+				return nil, fmt.Errorf("bench: seal: %w", err)
+			}
+		}
+	}
+	head := eng.Epoch().Epoch
+	if err := waitReplicated(f1, head); err != nil {
+		return nil, err
+	}
+	if err := waitReplicated(f2, head); err != nil {
+		return nil, err
+	}
+
+	// Identity: both follower engines answer a mixed-algorithm probe set
+	// bit-identically to the writer.
+	rep.Identical = true
+	reqs := restartRequests(g, cfg, rep.Queries)
+	bo := pub.BatchOptions{Concurrency: runtime.GOMAXPROCS(0)}
+	want := eng.QueryBatch(ctx, reqs, bo)
+	for fi, f := range []*cluster.Follower{f1, f2} {
+		got := f.Engine().QueryBatch(ctx, reqs, bo)
+		for i := range reqs {
+			if want[i].Err != nil {
+				return nil, fmt.Errorf("bench: writer query %d: %w", i, want[i].Err)
+			}
+			if got[i].Err != nil {
+				return nil, fmt.Errorf("bench: follower %d query %d: %w", fi+1, i, got[i].Err)
+			}
+			a, b := want[i].Response, got[i].Response
+			if a.Reachable != b.Reachable || a.Stats != b.Stats || a.SatisfyingVertices != b.SatisfyingVertices {
+				rep.Identical = false
+			}
+		}
+	}
+
+	// The measured read workload: an S1 query set with known answers
+	// (checked on every reply), driven through the gateway by a fixed
+	// client pool.
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return nil, err
+	}
+	trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+		Count: cfg.QueriesPerGroup, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nc, _ := lubm.Constraint("S1")
+	var wire []api.QueryRequest
+	var expected []bool
+	for _, q := range append(append([]workload.Query{}, trueQ...), falseQ...) {
+		var labels []string
+		for l := 0; l < g.NumLabels(); l++ {
+			if q.Labels.Contains(graph.Label(l)) {
+				labels = append(labels, g.LabelName(graph.Label(l)))
+			}
+		}
+		wire = append(wire, api.QueryRequest{
+			Source:     g.VertexName(q.Source),
+			Target:     g.VertexName(q.Target),
+			Labels:     labels,
+			Constraint: nc.SPARQL,
+		})
+		expected = append(expected, q.Expected)
+	}
+	if len(wire) == 0 {
+		return nil, fmt.Errorf("bench: empty replica workload")
+	}
+
+	// Gate each follower to the replica-machine capacity model.
+	f1URL, stopF1, err := serveHandler(newCapacityGate(f1, replicaServiceFloor))
+	if err != nil {
+		return nil, err
+	}
+	defer stopF1()
+	f2URL, stopF2, err := serveHandler(newCapacityGate(f2, replicaServiceFloor))
+	if err != nil {
+		return nil, err
+	}
+	defer stopF2()
+
+	measure := func(replicaURLs []string) (float64, error) {
+		co := cluster.NewCoordinator(cluster.Config{
+			Writer:     writerURL,
+			Replicas:   replicaURLs,
+			HedgeAfter: -1,
+		})
+		gwURL, stopGW, err := serveHandler(co)
+		if err != nil {
+			return 0, err
+		}
+		defer stopGW()
+		c := client.New(gwURL)
+		// Warm the path (connections, routing) before the clock starts.
+		if _, err := c.Query(ctx, wire[0]); err != nil {
+			return 0, fmt.Errorf("bench: warmup query: %w", err)
+		}
+		var done atomic.Int64
+		var wrong atomic.Int64
+		var firstErr atomic.Pointer[error]
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Since(start) < replicaWindow; i++ {
+					q := wire[i%len(wire)]
+					resp, err := c.Query(ctx, q)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					if resp.Reachable != expected[i%len(wire)] {
+						wrong.Add(1)
+					}
+					done.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		if ep := firstErr.Load(); ep != nil {
+			return 0, fmt.Errorf("bench: measured query failed: %w", *ep)
+		}
+		if wrong.Load() > 0 {
+			rep.Identical = false
+		}
+		return float64(done.Load()) / elapsed, nil
+	}
+
+	if rep.Replica1ReadQPS, err = measure([]string{f1URL}); err != nil {
+		return nil, err
+	}
+	if rep.Replica2ReadQPS, err = measure([]string{f1URL, f2URL}); err != nil {
+		return nil, err
+	}
+	rep.ScalingX = rep.Replica2ReadQPS / rep.Replica1ReadQPS
+	return rep, nil
+}
+
+// RunReplica prints the replica-scaling report (cmd/lscrbench -exp
+// replica) and fails on any divergence.
+func RunReplica(w io.Writer, cfg Config, concurrency int) error {
+	rep, err := MeasureReplica(cfg, concurrency)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replicated reads on %s (|V|=%d |E|=%d), %d replicated batches + seal\n",
+		rep.Dataset, rep.Vertices, rep.Edges, rep.Batches)
+	fmt.Fprintf(w, "capacity model: depth-1 admission, %.1fms service floor, %d clients\n",
+		rep.ServiceFloorMS, rep.Clients)
+	fmt.Fprintf(w, "gateway + 1 follower   %8.0f qps\n", rep.Replica1ReadQPS)
+	fmt.Fprintf(w, "gateway + 2 followers  %8.0f qps   (%.2fx)\n", rep.Replica2ReadQPS, rep.ScalingX)
+	fmt.Fprintf(w, "follower answers bit-identical to writer: %v\n", rep.Identical)
+	return replicaVerdict(rep)
+}
+
+// RunReplicaJSON writes the report as indented JSON — the format
+// committed to BENCH_replica.json so later PRs can track the
+// trajectory.
+func RunReplicaJSON(w io.Writer, cfg Config, concurrency int) error {
+	rep, err := MeasureReplica(cfg, concurrency)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return replicaVerdict(rep)
+}
+
+func replicaVerdict(rep *ReplicaReport) error {
+	if !rep.Identical {
+		return fmt.Errorf("bench: replicated answers diverged from the writer's")
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"lscr/client"
+)
+
+// backend is one lscrd process behind the coordinator: its base URL, a
+// typed client for probes, and the health state the router consults —
+// a consecutive-failure circuit breaker, the last observed serving
+// epoch, and an EWMA of read latencies.
+type backend struct {
+	url string
+	cli *client.Client
+
+	// fails counts consecutive transient failures; crossing the
+	// threshold opens the breaker until openUntil (UnixNano). A success
+	// closes the breaker and zeroes the count.
+	fails     atomic.Int64
+	openUntil atomic.Int64
+
+	// epoch is the backend's serving epoch from its last good probe;
+	// latencyUS an exponentially weighted moving average of observed
+	// read latencies; lastErr the last probe/forward error text (empty
+	// when healthy).
+	epoch     atomic.Uint64
+	latencyUS atomic.Int64
+	lastErr   atomic.Pointer[string]
+}
+
+func newBackend(url string, hc *http.Client) *backend {
+	b := &backend{
+		url: url,
+		// The coordinator is its own retry layer (redispatch + hedging);
+		// client-level retries underneath it would only blur the breaker's
+		// failure signal.
+		cli: client.New(url, client.WithHTTPClient(hc), client.WithRetry(1, 0)),
+	}
+	empty := ""
+	b.lastErr.Store(&empty)
+	return b
+}
+
+// available reports whether the breaker admits traffic.
+func (b *backend) available(now time.Time) bool {
+	return now.UnixNano() >= b.openUntil.Load()
+}
+
+// success records one good exchange: the breaker closes, the failure
+// count resets, and the latency EWMA absorbs the observation (1/4
+// weight — responsive to shifts, stable against single outliers).
+func (b *backend) success(elapsed time.Duration) {
+	b.fails.Store(0)
+	empty := ""
+	b.lastErr.Store(&empty)
+	obs := elapsed.Microseconds()
+	for {
+		old := b.latencyUS.Load()
+		next := obs
+		if old != 0 {
+			next = (old*3 + obs) / 4
+		}
+		if b.latencyUS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// failure records one transient failure; threshold consecutive ones
+// open the breaker for cooldown.
+func (b *backend) failure(err error, threshold int, cooldown time.Duration) {
+	msg := err.Error()
+	b.lastErr.Store(&msg)
+	if b.fails.Add(1) >= int64(threshold) {
+		b.fails.Store(0)
+		b.openUntil.Store(time.Now().Add(cooldown).UnixNano())
+	}
+}
+
+// probe refreshes the backend's epoch from its /healthz and feeds the
+// breaker, so an unreachable backend fails out of the read rotation
+// even with no traffic flowing.
+func (b *backend) probe(ctx context.Context, timeout time.Duration, threshold int, cooldown time.Duration) (uint64, bool) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	h, err := b.cli.Health(pctx)
+	if err != nil {
+		b.failure(err, threshold, cooldown)
+		return 0, false
+	}
+	b.success(time.Since(start))
+	b.epoch.Store(h.Epoch.Epoch)
+	return h.Epoch.Epoch, true
+}

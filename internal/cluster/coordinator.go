@@ -1,0 +1,619 @@
+// Package cluster is the replicated serving tier: one writer lscrd,
+// any number of follower replicas fed by the writer's WAL, and a
+// coordinator (cmd/lscrgw) that presents the whole group as one
+// logical engine behind the existing /v1 wire contract.
+//
+// Reads are routed health-aware: every backend carries a
+// consecutive-failure circuit breaker fed by background /healthz
+// probes and by in-band forwarding results, plus a staleness check
+// (its last observed epoch vs the writer's); eligible replicas take
+// queries round-robin, and a hedge request fires against a second
+// replica when the first is slow. Batches fan out across the eligible
+// replicas and merge preserving per-request order and error mapping.
+// Writes fan in through the single writer; followers replay its WAL
+// feed through the engine's normal commit path, so at every replicated
+// epoch a follower's answers are bit-identical to the writer's (the
+// e2e tier proves this against a single-engine oracle).
+//
+// Consistency: per-epoch identity with bounded staleness on reads — a
+// read served by a replica at epoch E sees exactly the writer's epoch-E
+// state, and the coordinator only routes to replicas within
+// Config.StalenessBound epochs of the writer's head (the writer itself
+// is the always-fresh fallback).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lscr/api"
+	"lscr/client"
+	"lscr/internal/buildinfo"
+	"lscr/server"
+)
+
+// Routing defaults.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultHedgeAfter    = 20 * time.Millisecond
+	DefaultFailThreshold = 3
+	DefaultCooldown      = time.Second
+	// maxRelayBody caps what the coordinator buffers of one backend
+	// response before relaying it.
+	maxRelayBody = 64 << 20
+)
+
+// Config wires a Coordinator.
+type Config struct {
+	// Writer is the base URL of the single writing lscrd; mutations fan
+	// in here, and reads fall back to it when no replica is eligible.
+	Writer string
+	// Replicas are the base URLs of the read replicas (followers; the
+	// writer's URL may be listed too to include it in the rotation).
+	Replicas []string
+	// ProbeInterval is the /healthz probe period (DefaultProbeInterval
+	// when zero); probes refresh per-backend epochs and feed breakers.
+	ProbeInterval time.Duration
+	// HedgeAfter is how long a /v1/query waits on its primary replica
+	// before hedging to a second one (DefaultHedgeAfter when zero,
+	// negative disables hedging).
+	HedgeAfter time.Duration
+	// StalenessBound is the maximum number of epochs a replica may lag
+	// the writer's head and still take reads; 0 means unbounded.
+	StalenessBound uint64
+	// FailThreshold consecutive transient failures open a backend's
+	// breaker for Cooldown (defaults DefaultFailThreshold and
+	// DefaultCooldown).
+	FailThreshold int
+	Cooldown      time.Duration
+	// HTTPClient carries all backend traffic; http.DefaultClient when
+	// nil.
+	HTTPClient *http.Client
+	// Logf receives routing events (failovers, breaker trips);
+	// log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator is the gateway handler: one logical /v1 engine over many
+// lscrd processes. Build with NewCoordinator, optionally Start the
+// probe loop, mount as an http.Handler, Close to stop probing.
+type Coordinator struct {
+	cfg      Config
+	hc       *http.Client
+	writer   *backend
+	replicas []*backend
+	mux      *http.ServeMux
+
+	// writerEpoch is the cluster head: the writer's serving epoch from
+	// its last good probe or mutate reply. rr drives round-robin.
+	writerEpoch atomic.Uint64
+	rr          atomic.Uint64
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewCoordinator assembles the gateway. It does not probe: call Start
+// for the background loop (or ProbeNow for one synchronous round).
+func NewCoordinator(cfg Config) *Coordinator {
+	co := &Coordinator{cfg: cfg, hc: cfg.HTTPClient}
+	if co.hc == nil {
+		co.hc = http.DefaultClient
+	}
+	co.writer = newBackend(cfg.Writer, co.hc)
+	for _, u := range cfg.Replicas {
+		if u == cfg.Writer {
+			// One breaker per process: a writer listed in the rotation
+			// shares its backend state with the write path.
+			co.replicas = append(co.replicas, co.writer)
+			continue
+		}
+		co.replicas = append(co.replicas, newBackend(u, co.hc))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", co.healthz)
+	mux.HandleFunc("GET /v1/healthz", co.healthz)
+	mux.HandleFunc("POST /v1/query", co.readHedged(server.MaxQueryBody))
+	mux.HandleFunc("POST /v1/batch", co.v1Batch)
+	mux.HandleFunc("POST /v1/mutate", co.v1Mutate)
+	// The replication endpoints only make sense against the writer's
+	// log; proxying them lets followers bootstrap through the gateway.
+	mux.HandleFunc("GET /v1/replicate", co.toWriter)
+	mux.HandleFunc("GET /v1/segment", co.toWriter)
+	// Deprecated pre-v1 reads route like /v1/query.
+	mux.HandleFunc("POST /reach", co.readHedged(server.MaxQueryBody))
+	mux.HandleFunc("POST /reachall", co.readHedged(server.MaxQueryBody))
+	mux.HandleFunc("POST /reachbatch", co.readHedged(server.MaxBatchBody))
+	mux.HandleFunc("POST /select", co.readHedged(server.MaxQueryBody))
+	co.mux = mux
+	return co
+}
+
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	co.mux.ServeHTTP(w, r)
+}
+
+// Start launches the background probe loop; Close stops it.
+func (co *Coordinator) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	co.cancel = cancel
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		tick := time.NewTicker(co.probeInterval())
+		defer tick.Stop()
+		co.ProbeNow(ctx)
+		for {
+			select {
+			case <-tick.C:
+				co.ProbeNow(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop (idempotent; a never-Started coordinator
+// closes trivially).
+func (co *Coordinator) Close() {
+	if co.cancel != nil {
+		co.cancel()
+		co.cancel = nil
+	}
+	co.wg.Wait()
+}
+
+// ProbeNow probes every backend once, concurrently, updating epochs
+// and breakers. The background loop calls it on each tick; tests call
+// it directly for deterministic routing state.
+func (co *Coordinator) ProbeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	probeOne := func(b *backend, isWriter bool) {
+		defer wg.Done()
+		ep, ok := b.probe(ctx, co.probeInterval(), co.failThreshold(), co.cooldown())
+		if ok && isWriter {
+			co.writerEpoch.Store(ep)
+		}
+	}
+	wg.Add(1)
+	go probeOne(co.writer, true)
+	for _, b := range co.replicas {
+		if b == co.writer {
+			continue
+		}
+		wg.Add(1)
+		go probeOne(b, false)
+	}
+	wg.Wait()
+}
+
+func (co *Coordinator) probeInterval() time.Duration {
+	if co.cfg.ProbeInterval > 0 {
+		return co.cfg.ProbeInterval
+	}
+	return DefaultProbeInterval
+}
+
+func (co *Coordinator) hedgeAfter() time.Duration {
+	switch {
+	case co.cfg.HedgeAfter < 0:
+		return 0
+	case co.cfg.HedgeAfter == 0:
+		return DefaultHedgeAfter
+	}
+	return co.cfg.HedgeAfter
+}
+
+func (co *Coordinator) failThreshold() int {
+	if co.cfg.FailThreshold > 0 {
+		return co.cfg.FailThreshold
+	}
+	return DefaultFailThreshold
+}
+
+func (co *Coordinator) cooldown() time.Duration {
+	if co.cfg.Cooldown > 0 {
+		return co.cfg.Cooldown
+	}
+	return DefaultCooldown
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Logf != nil {
+		co.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf("lscrgw: "+format, args...)
+}
+
+// fresh reports whether b is within the staleness bound of the
+// cluster head.
+func (co *Coordinator) fresh(b *backend) bool {
+	if co.cfg.StalenessBound == 0 || b == co.writer {
+		return true
+	}
+	head := co.writerEpoch.Load()
+	ep := b.epoch.Load()
+	return ep >= head || head-ep <= co.cfg.StalenessBound
+}
+
+// pickRead selects the next read backend round-robin among eligible
+// replicas (breaker closed, within the staleness bound), excluding
+// those already tried; when no replica qualifies it falls back to the
+// writer, which is never stale. nil means nothing can serve the read.
+func (co *Coordinator) pickRead(tried map[*backend]bool) *backend {
+	now := time.Now()
+	if n := len(co.replicas); n > 0 {
+		start := co.rr.Add(1)
+		for i := 0; i < n; i++ {
+			b := co.replicas[(start+uint64(i))%uint64(n)]
+			if tried[b] || !b.available(now) || !co.fresh(b) {
+				continue
+			}
+			return b
+		}
+	}
+	if w := co.writer; !tried[w] && w.available(now) {
+		return w
+	}
+	return nil
+}
+
+// eligibleReads snapshots every backend pickRead could currently
+// return, replicas first — the fan-out set for batch partitioning.
+func (co *Coordinator) eligibleReads() []*backend {
+	now := time.Now()
+	var out []*backend
+	for _, b := range co.replicas {
+		if b.available(now) && co.fresh(b) {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 && co.writer.available(now) {
+		out = append(out, co.writer)
+	}
+	return out
+}
+
+// attemptResult is one forwarded exchange with a backend.
+type attemptResult struct {
+	b       *backend
+	status  int
+	header  http.Header
+	body    []byte
+	err     error
+	elapsed time.Duration
+}
+
+// transient reports a failure worth redispatching: the backend did not
+// produce a definitive answer (transport error, or it is itself a
+// gateway-ish 502/503).
+func (res *attemptResult) transient() bool {
+	return res.err != nil ||
+		res.status == http.StatusBadGateway ||
+		res.status == http.StatusServiceUnavailable
+}
+
+func (res *attemptResult) failureErr() error {
+	if res.err != nil {
+		return res.err
+	}
+	return fmt.Errorf("backend answered %d", res.status)
+}
+
+// attempt forwards one buffered request to b and buffers the reply.
+func (co *Coordinator) attempt(ctx context.Context, b *backend, method, path, rawQuery string, body []byte, contentType string) attemptResult {
+	url := b.url + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return attemptResult{b: b, err: err}
+	}
+	if contentType != "" {
+		hreq.Header.Set("Content-Type", contentType)
+	}
+	start := time.Now()
+	resp, err := co.hc.Do(hreq)
+	if err != nil {
+		return attemptResult{b: b, err: err, elapsed: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	if err != nil {
+		return attemptResult{b: b, err: err, elapsed: time.Since(start)}
+	}
+	return attemptResult{
+		b:       b,
+		status:  resp.StatusCode,
+		header:  resp.Header,
+		body:    respBody,
+		elapsed: time.Since(start),
+	}
+}
+
+// relay writes a backend reply through to the client.
+func relay(w http.ResponseWriter, res attemptResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if eh := res.header.Get(api.SegmentEpochHeader); eh != "" {
+		w.Header().Set(api.SegmentEpochHeader, eh)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// readHedged builds the handler for single-request reads: route to an
+// eligible replica, hedge to a second after hedgeAfter, redispatch on
+// transient failure, first definitive answer wins. The request body is
+// buffered up front so every attempt re-sends identical bytes.
+func (co *Coordinator) readHedged(maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx := r.Context()
+		actx, cancelAttempts := context.WithCancel(ctx)
+		defer cancelAttempts()
+
+		// Buffered wide enough for every backend plus the writer, so a
+		// losing attempt's send never blocks after the handler returns.
+		results := make(chan attemptResult, len(co.replicas)+2)
+		tried := make(map[*backend]bool)
+		inflight := 0
+		launch := func(b *backend) {
+			tried[b] = true
+			inflight++
+			go func() {
+				results <- co.attempt(actx, b, r.Method, r.URL.Path, r.URL.RawQuery, body, r.Header.Get("Content-Type"))
+			}()
+		}
+		primary := co.pickRead(tried)
+		if primary == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no eligible backend"))
+			return
+		}
+		launch(primary)
+		var hedge <-chan time.Time
+		if d := co.hedgeAfter(); d > 0 {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedge = t.C
+		}
+		var lastErr error
+		for {
+			select {
+			case res := <-results:
+				inflight--
+				if res.transient() {
+					lastErr = res.failureErr()
+					res.b.failure(lastErr, co.failThreshold(), co.cooldown())
+					co.logf("read via %s failed: %v", res.b.url, lastErr)
+					if nb := co.pickRead(tried); nb != nil {
+						launch(nb)
+						continue
+					}
+					if inflight > 0 {
+						continue // a hedge may still answer
+					}
+					writeError(w, http.StatusBadGateway, fmt.Errorf("no backend answered: %v", lastErr))
+					return
+				}
+				res.b.success(res.elapsed)
+				relay(w, res)
+				return
+			case <-hedge:
+				hedge = nil
+				if nb := co.pickRead(tried); nb != nil {
+					launch(nb)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// v1Batch fans a batch out across the eligible replicas and merges the
+// group replies back into request order. A group whose replica fails
+// transiently is redispatched once to another eligible replica; if
+// that also fails, its slots answer per-item errors (the other groups'
+// answers still stand — a replica going down mid-batch degrades, never
+// corrupts, the merge).
+func (co *Coordinator) v1Batch(w http.ResponseWriter, r *http.Request) {
+	var wire api.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, server.MaxBatchBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(wire.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	backends := co.eligibleReads()
+	if len(backends) == 0 {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no eligible backend"))
+		return
+	}
+	// Partition round-robin: queries i, i+n, i+2n… go to backend i. The
+	// slot map carries each sub-batch answer back to its request index.
+	groups := make([][]api.QueryRequest, len(backends))
+	slots := make([][]int, len(backends))
+	for i, q := range wire.Queries {
+		g := i % len(backends)
+		groups[g] = append(groups[g], q)
+		slots[g] = append(slots[g], i)
+	}
+	items := make([]api.BatchItem, len(wire.Queries))
+	var wg sync.WaitGroup
+	for g := range groups {
+		if len(groups[g]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			co.runGroup(r.Context(), backends, g, groups[g], slots[g], wire.Concurrency, items)
+		}(g)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items, Count: len(items)})
+}
+
+// runGroup sends one partition to its backend, redispatching once on
+// transient failure, and writes the answers into their slots.
+func (co *Coordinator) runGroup(ctx context.Context, backends []*backend, g int, queries []api.QueryRequest, slots []int, concurrency int, items []api.BatchItem) {
+	req := api.BatchRequest{Queries: queries, Concurrency: concurrency}
+	targets := []*backend{backends[g]}
+	if alt := backends[(g+1)%len(backends)]; alt != targets[0] {
+		targets = append(targets, alt)
+	}
+	var lastErr error
+	for _, b := range targets {
+		start := time.Now()
+		resp, err := b.cli.Batch(ctx, req)
+		if err == nil {
+			b.success(time.Since(start))
+			for j, it := range resp.Results {
+				if j < len(slots) {
+					items[slots[j]] = it
+				}
+			}
+			return
+		}
+		lastErr = err
+		if !transientErr(err) {
+			// A definitive refusal maps onto every slot of the group.
+			break
+		}
+		b.failure(err, co.failThreshold(), co.cooldown())
+		co.logf("batch group via %s failed: %v", b.url, err)
+	}
+	for _, slot := range slots {
+		items[slot] = api.BatchItem{Error: fmt.Sprintf("gateway: %v", lastErr)}
+	}
+}
+
+// transientErr classifies a typed-client error like
+// attemptResult.transient does a raw one.
+func transientErr(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusBadGateway ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// v1Mutate fans the mutation in through the single writer, exactly
+// once — the gateway never retries a write (the reply may have been
+// lost after the commit), matching the typed client's contract.
+func (co *Coordinator) v1Mutate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxBatchBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := co.attempt(r.Context(), co.writer, http.MethodPost, "/v1/mutate", "", body, r.Header.Get("Content-Type"))
+	if res.err != nil {
+		co.writer.failure(res.err, co.failThreshold(), co.cooldown())
+		writeError(w, http.StatusBadGateway, fmt.Errorf("writer unavailable: %v", res.err))
+		return
+	}
+	if res.status/100 == 2 {
+		co.writer.success(res.elapsed)
+		// The reply carries the committed epoch: advance the cluster
+		// head immediately so staleness checks see the write without
+		// waiting for the next probe.
+		var mr api.MutateResponse
+		if json.Unmarshal(res.body, &mr) == nil && mr.Epoch > co.writerEpoch.Load() {
+			co.writerEpoch.Store(mr.Epoch)
+		}
+	}
+	relay(w, res)
+}
+
+// toWriter forwards a request to the writer verbatim (replication
+// endpoints).
+func (co *Coordinator) toWriter(w http.ResponseWriter, r *http.Request) {
+	res := co.attempt(r.Context(), co.writer, r.Method, r.URL.Path, r.URL.RawQuery, nil, "")
+	if res.err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("writer unavailable: %v", res.err))
+		return
+	}
+	relay(w, res)
+}
+
+// healthz reports the gateway's routing view of the cluster.
+func (co *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
+	head := co.writerEpoch.Load()
+	out := api.ClusterHealth{
+		Status:  "ok",
+		Version: buildinfo.Version(),
+		API:     api.Version,
+		Role:    "gateway",
+		Epoch:   head,
+		Writer:  co.backendHealth(co.writer, head),
+	}
+	for _, b := range co.replicas {
+		out.Replicas = append(out.Replicas, co.backendHealth(b, head))
+	}
+	if len(co.eligibleReads()) == 0 {
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (co *Coordinator) backendHealth(b *backend, head uint64) api.ReplicaHealth {
+	now := time.Now()
+	rh := api.ReplicaHealth{
+		URL:       b.url,
+		Breaker:   "closed",
+		Epoch:     b.epoch.Load(),
+		LatencyUS: b.latencyUS.Load(),
+	}
+	if !b.available(now) {
+		rh.Breaker = "open"
+	}
+	if head > rh.Epoch {
+		rh.Lag = head - rh.Epoch
+	}
+	if msg := b.lastErr.Load(); msg != nil && *msg != "" {
+		rh.Error = *msg
+	}
+	rh.Healthy = rh.Breaker == "closed" && rh.Error == "" && co.fresh(b)
+	return rh
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("lscrgw: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.Error{Error: err.Error()})
+}

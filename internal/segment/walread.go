@@ -1,0 +1,41 @@
+package segment
+
+import (
+	"os"
+)
+
+// ReadWALAfter opens the log at path read-only and returns every intact
+// record with Seq > from, in append order — the streaming read behind
+// the engine's replication feed. It shares scanWAL with recovery, so a
+// torn tail (a record cut short mid-append) simply ends the scan; the
+// writer's own handle keeps appending undisturbed.
+//
+// The read races benignly with both appenders and rotation: an append
+// landing mid-scan is either seen whole or cut at the tail (the caller
+// polls again), and a rotation swapping the file under us leaves the
+// scan on the old inode, whose records are a superset of the rotated
+// suffix. A nonexistent log reads as empty.
+func ReadWALAfter(path string, from uint64) ([]WALRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := scanWAL(f)
+	if err != nil {
+		return nil, err
+	}
+	out := recs[:0]
+	for _, rec := range recs {
+		if rec.Seq > from {
+			out = append(out, rec)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

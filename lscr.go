@@ -257,6 +257,16 @@ type Engine struct {
 	// store is the persistence attachment (segment directory + WAL);
 	// nil for a purely in-memory engine. See persist.go.
 	store *store
+
+	// pubCh, when non-nil, is closed (and cleared) by the next epoch
+	// publish — the wake-up behind the server's /v1/replicate long poll.
+	// Lazily armed by EpochPublished; see replicate.go.
+	pubCh atomic.Pointer[chan struct{}]
+
+	// replica marks an engine fed exclusively through the replication
+	// feed (OpenReplicaSegment): Apply and Compact refuse, and
+	// ApplyReplicated/SealReplicated drive the epochs instead.
+	replica bool
 }
 
 // epoch is one immutable serving snapshot: a graph view (base CSR plus

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"lscr/internal/graph"
 	core "lscr/internal/lscr"
@@ -182,6 +183,9 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 	if err := ctx.Err(); err != nil {
 		return ApplyResult{}, err
 	}
+	if e.replica {
+		return ApplyResult{}, ErrReplicaWrite
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.ep.Load()
@@ -246,7 +250,7 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 			return ApplyResult{}, err
 		}
 	}
-	e.ep.Store(ep)
+	e.publishEpoch(ep)
 	res.Epoch = ep.seq
 	res.OverlayOps = g.OverlaySize()
 	if t := e.compactThreshold(); t >= 0 && res.OverlayOps >= t {
@@ -349,6 +353,9 @@ func (e *Engine) Compact(ctx context.Context) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	if e.replica {
+		return false, ErrReplicaWrite
+	}
 	return e.compact()
 }
 
@@ -422,6 +429,7 @@ func (e *Engine) compact() (bool, error) {
 			return false, err
 		}
 		e.store.segSeq.Store(snap.seq)
+		e.store.lastSeal.Store(time.Now().UnixNano())
 		if err := e.store.wal.Rotate(snap.seq); err != nil {
 			return false, err
 		}
@@ -467,7 +475,7 @@ func (e *Engine) compactSwap(snap *epoch, snapOps int, base *graph.Graph, idx *c
 			return err
 		}
 	}
-	e.ep.Store(e.newEpoch(cur.seq+1, g, idx, cur.idxSeq))
+	e.publishEpoch(e.newEpoch(cur.seq+1, g, idx, cur.idxSeq))
 	e.compactions.Add(1)
 	return nil
 }

@@ -97,12 +97,25 @@ type store struct {
 	seg      *segment.Segment // boot mapping; nil for Create-fresh engines
 	syncEach bool
 	segSeq   atomic.Uint64 // newest sealed segment's base epoch
+	// durable is the newest epoch known to be on stable storage: every
+	// logged batch under sync mode, only boot state and seals under lazy
+	// mode. lastSeal is the wall clock (UnixNano) of the newest segment
+	// seal. Both feed DurabilityInfo, which /healthz surfaces for the
+	// cluster coordinator's lag display.
+	durable  atomic.Uint64
+	lastSeal atomic.Int64
 }
 
 // logBatch makes one committed Apply batch durable. It runs before the
 // epoch publish, so a batch is never visible without being logged.
 func (s *store) logBatch(seq uint64, muts []Mutation) error {
-	return s.wal.Append(segment.RecordBatch, seq, segment.EncodeOps(walOps(muts)), s.syncEach)
+	if err := s.wal.Append(segment.RecordBatch, seq, segment.EncodeOps(walOps(muts)), s.syncEach); err != nil {
+		return err
+	}
+	if s.syncEach {
+		s.durable.Store(seq)
+	}
+	return nil
 }
 
 // sealAppend records a compaction swap: epoch seq published a state
@@ -112,7 +125,11 @@ func (s *store) logBatch(seq uint64, muts []Mutation) error {
 func (s *store) sealAppend(seq, baseSeq uint64) error {
 	var payload [8]byte
 	binary.LittleEndian.PutUint64(payload[:], baseSeq)
-	return s.wal.Append(segment.RecordSeal, seq, payload[:], true)
+	if err := s.wal.Append(segment.RecordSeal, seq, payload[:], true); err != nil {
+		return err
+	}
+	s.durable.Store(seq)
+	return nil
 }
 
 // Create builds an engine for kg exactly as NewEngine would, then seals
@@ -148,6 +165,7 @@ func Create(dir string, kg *KG, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("lscr: %w: directory has a %d-record WAL but held no segment", ErrCorruptStore, len(recs))
 	}
 	st := &store{dir: dir, wal: wal, syncEach: opts.Durability == DurabilitySync}
+	st.lastSeal.Store(time.Now().UnixNano())
 	e.store = st
 	return e, nil
 }
@@ -207,11 +225,17 @@ func Open(dir string, opts Options) (*Engine, error) {
 	}
 	st := &store{dir: dir, wal: wal, seg: seg, syncEach: opts.Durability == DurabilitySync}
 	st.segSeq.Store(seg.BaseSeq)
+	if fi, err := os.Stat(seg.Path); err == nil {
+		st.lastSeal.Store(fi.ModTime().UnixNano())
+	}
 	e.store = st
 	if err := e.replayWAL(recs, seg.BaseSeq); err != nil {
 		wal.Close()
 		return nil, err
 	}
+	// Everything replayed was read back from disk, so the whole boot
+	// state is durable regardless of mode.
+	st.durable.Store(e.current().seq)
 	committed = true
 	// The replayed tail may already exceed the compaction threshold
 	// (e.g. a crash loop that never reached a seal); re-seal in the
@@ -281,7 +305,7 @@ func (e *Engine) replayWAL(recs []segment.WALRecord, baseSeq uint64) error {
 			// folded CSR it never got to map, so recovery just takes the
 			// epoch bump; the next compaction re-seals.
 			cur := e.ep.Load()
-			e.ep.Store(e.newEpoch(rec.Seq, cur.kg.g, cur.idx, cur.idxSeq))
+			e.publishEpoch(e.newEpoch(rec.Seq, cur.kg.g, cur.idx, cur.idxSeq))
 		default:
 			return fmt.Errorf("lscr: %w: wal record kind %d at epoch %d", ErrCorruptStore, rec.Kind, rec.Seq)
 		}
@@ -301,29 +325,14 @@ func (e *Engine) applyReplay(seq uint64, muts []Mutation) error {
 	if seq != cur.seq+1 {
 		return fmt.Errorf("lscr: %w: wal batch at epoch %d onto epoch %d", ErrCorruptStore, seq, cur.seq)
 	}
-	d := graph.NewDelta(cur.kg.g)
-	for i, m := range muts {
-		if err := stage(d, m); err != nil {
-			return fmt.Errorf("lscr: %w: wal batch at epoch %d, mutation %d: %v", ErrCorruptStore, seq, i, err)
-		}
-	}
-	g, err := d.Commit()
+	g, idx, err := e.commitMutations(cur, muts)
 	if err != nil {
-		return err
+		return fmt.Errorf("lscr: %w: wal batch at epoch %d: %v", ErrCorruptStore, seq, err)
 	}
 	if g == cur.kg.g {
 		return fmt.Errorf("lscr: %w: wal batch at epoch %d is a no-op", ErrCorruptStore, seq)
 	}
-	idx := cur.idx
-	if idx != nil && !e.opts.NoIndexMaintenance && idx.ExactFor(cur.kg.g) {
-		var mb core.MaintBatch
-		idx, mb = idx.ApplyMutations(g, d.EdgeOps())
-		e.maintBatches.Add(1)
-		e.maintExtended.Add(int64(mb.LandmarksExtended))
-		e.maintEntries.Add(int64(mb.EntriesAdded))
-		e.maintInvalidated.Add(int64(mb.LandmarksInvalidated))
-	}
-	e.ep.Store(e.newEpoch(seq, g, idx, cur.idxSeq))
+	e.publishEpoch(e.newEpoch(seq, g, idx, cur.idxSeq))
 	return nil
 }
 
@@ -370,6 +379,14 @@ type DurabilityInfo struct {
 	// LastSync is the wall-clock time of the last WAL fsync (zero until
 	// the first one).
 	LastSync time.Time `json:"last_sync,omitzero"`
+	// DurableEpoch is the newest epoch known to be on stable storage:
+	// every committed batch under sync mode; under lazy mode only the
+	// boot state and compaction seals (batches in between ride on the
+	// OS cache). The cluster coordinator compares it across replicas.
+	DurableEpoch uint64 `json:"durable_epoch"`
+	// LastSeal is the wall-clock time of the newest segment seal (the
+	// boot segment's file time until this process compacts).
+	LastSeal time.Time `json:"last_seal,omitzero"`
 }
 
 // Durability reports the engine's persistence state.
@@ -382,14 +399,19 @@ func (e *Engine) Durability() DurabilityInfo {
 	if e.store.syncEach {
 		mode = DurabilitySync
 	}
-	return DurabilityInfo{
+	info := DurabilityInfo{
 		Persistent:   true,
 		Mode:         mode.String(),
 		SegmentEpoch: e.store.segSeq.Load(),
 		WALRecords:   st.Records,
 		WALBytes:     st.Bytes,
 		LastSync:     st.LastSync,
+		DurableEpoch: e.store.durable.Load(),
 	}
+	if ns := e.store.lastSeal.Load(); ns != 0 {
+		info.LastSeal = time.Unix(0, ns)
+	}
+	return info
 }
 
 // walOps maps an Apply batch to the WAL codec's op list.

@@ -1,0 +1,320 @@
+package lscr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"lscr/internal/graph"
+	core "lscr/internal/lscr"
+	"lscr/internal/segment"
+)
+
+// Replication.
+//
+// A persistent engine (Open/Create) doubles as a replication source:
+// its WAL is an epoch-sequenced log of every committed batch and every
+// compaction seal, so the epoch number is the replication cursor.
+// ReplicationRead streams the intact records above a cursor;
+// SegmentFile hands out the newest sealed segment for bootstrap. A
+// follower process opens that segment image with OpenReplicaSegment and
+// replays the feed through ApplyReplicated/SealReplicated — the same
+// staging, interning and index-maintenance path Apply runs — so for
+// every replicated epoch the follower's vertex and label IDs, and
+// therefore its answers, are bit-identical to the writer's at that
+// epoch (the cluster e2e tier pins this against a single-engine
+// oracle). A replica engine refuses direct Apply/Compact: its epochs
+// advance only with the feed.
+//
+// The feed carries name-level mutations, not physical pages, which is
+// what makes replay through the normal commit path possible — and what
+// makes the bit-identity argument one about determinism of the commit
+// path rather than about byte-copying.
+
+// Replication errors.
+var (
+	// ErrReplicaLag reports a replication cursor below the WAL horizon:
+	// a compaction rotated the requested records away, so the follower
+	// must re-bootstrap from the newest segment instead of tailing.
+	ErrReplicaLag = errors.New("lscr: replication cursor below the WAL horizon; re-bootstrap from the newest segment")
+	// ErrReplicaWrite marks a direct Apply or Compact on a replica
+	// engine, whose state advances only through the replication feed.
+	ErrReplicaWrite = errors.New("lscr: replica engines take writes only through the replication feed")
+	// ErrNotReplica marks ApplyReplicated/SealReplicated on an engine
+	// that is not a replica (the writer must use Apply).
+	ErrNotReplica = errors.New("lscr: not a replica engine")
+	// ErrReplicaCursor marks a replicated record that does not fit the
+	// replica's state — wrong epoch, a batch that fails to stage, or a
+	// no-op batch the writer would never have logged. The follower's
+	// response is to re-bootstrap, never to guess.
+	ErrReplicaCursor = errors.New("lscr: replicated record does not extend the replica's epoch")
+	// ErrNoReplicationLog marks ReplicationRead/SegmentFile on an
+	// in-memory engine, which has no log to replicate from.
+	ErrNoReplicationLog = errors.New("lscr: engine is not persistent; nothing to replicate from")
+)
+
+// MaxReplicationBatches bounds the records one ReplicationRead returns;
+// a lagging follower drains the rest on its next poll.
+const MaxReplicationBatches = 4096
+
+// ReplicationBatch is one record of the replication feed: the epoch it
+// publishes and either the batch's mutations or a seal marker (the
+// writer compacted; the follower folds its overlay at the same epoch).
+type ReplicationBatch struct {
+	Epoch     uint64     `json:"epoch"`
+	Seal      bool       `json:"seal,omitempty"`
+	Mutations []Mutation `json:"mutations,omitempty"`
+}
+
+// OpenReplicaSegment assembles a replica engine over a segment image
+// fetched from the writer (the bytes of the writer's newest sealed
+// segment file, typically via the server's /v1/segment endpoint). data
+// must stay live and unmodified for the engine's lifetime — the graph
+// arrays and dictionary strings alias it.
+//
+// The segment's recorded index parameters override the corresponding
+// Options fields (as Open does), so index rebuilds at seal points match
+// the writer's bit-for-bit. Automatic compaction is forced off: a
+// replica folds its overlay exactly when the feed says the writer did,
+// keeping the epoch sequences aligned. The engine starts at the
+// segment's base epoch; tail the writer's feed from there.
+func OpenReplicaSegment(data []byte, opts Options) (*Engine, error) {
+	seg, err := segment.OpenBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	opts.CompactAfter = -1
+	opts.DataDir = ""
+	e := &Engine{opts: opts, replica: true}
+	var idx *core.LocalIndex
+	if !opts.SkipIndex {
+		e.opts.Landmarks, e.opts.IndexSeed = seg.IndexK, seg.IndexSeed
+		idx = seg.Index
+		if idx == nil {
+			idx = core.NewLocalIndex(seg.Graph, e.indexParams())
+		}
+	}
+	e.ep.Store(e.newEpoch(seg.BaseSeq, seg.Graph, idx, seg.BaseSeq))
+	return e, nil
+}
+
+// ApplyReplicated commits one replicated batch: epoch seq's mutations
+// as shipped by the writer's feed. It runs the same commit path as
+// Apply (staging, interning order, index maintenance), which is what
+// makes the replica's IDs and answers at epoch seq bit-identical to
+// the writer's. seq must extend the replica's current epoch by exactly
+// one; anything else — including a batch that fails to stage — returns
+// an error wrapping ErrReplicaCursor and leaves the engine unchanged.
+func (e *Engine) ApplyReplicated(ctx context.Context, seq uint64, muts []Mutation) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !e.replica {
+		return ErrNotReplica
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.ep.Load()
+	if seq != cur.seq+1 {
+		return fmt.Errorf("%w: batch at epoch %d onto epoch %d", ErrReplicaCursor, seq, cur.seq)
+	}
+	g, idx, err := e.commitMutations(cur, muts)
+	if err != nil {
+		return fmt.Errorf("%w: batch at epoch %d: %v", ErrReplicaCursor, seq, err)
+	}
+	if g == cur.kg.g {
+		// The writer never logs no-op batches; receiving one means the
+		// feed does not describe the writer's history.
+		return fmt.Errorf("%w: batch at epoch %d is a no-op", ErrReplicaCursor, seq)
+	}
+	e.publishEpoch(e.newEpoch(seq, g, idx, cur.idxSeq))
+	return nil
+}
+
+// SealReplicated mirrors a writer compaction at epoch seq: the replica
+// folds its overlay into a fresh base CSR and rebuilds the local index
+// with the writer's recorded parameters, publishing the result at the
+// same epoch the writer's swap did (a seal bumps the epoch by exactly
+// one on both sides, so the sequences stay aligned). With no overlay
+// accumulated — a seal arriving right after bootstrap — only the epoch
+// advances.
+func (e *Engine) SealReplicated(ctx context.Context, seq uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !e.replica {
+		return ErrNotReplica
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.ep.Load()
+	if seq != cur.seq+1 {
+		return fmt.Errorf("%w: seal at epoch %d onto epoch %d", ErrReplicaCursor, seq, cur.seq)
+	}
+	g, idx := cur.kg.g, cur.idx
+	if g.HasOverlay() {
+		g = g.Compact()
+		if idx != nil {
+			idx = core.NewLocalIndex(g, e.indexParams())
+		}
+	}
+	e.publishEpoch(e.newEpoch(seq, g, idx, cur.idxSeq))
+	return nil
+}
+
+// commitMutations stages muts onto cur's view and derives the
+// maintained index — the commit core shared by WAL replay and
+// replication apply (Apply keeps its own copy because it also counts
+// per-op results). The returned graph equals cur's when every mutation
+// was an idempotent no-op; the caller decides whether that is legal.
+func (e *Engine) commitMutations(cur *epoch, muts []Mutation) (*graph.Graph, *core.LocalIndex, error) {
+	d := graph.NewDelta(cur.kg.g)
+	for i, m := range muts {
+		if err := stage(d, m); err != nil {
+			return nil, nil, fmt.Errorf("mutation %d: %w", i, err)
+		}
+	}
+	g, err := d.Commit()
+	if err != nil {
+		return nil, nil, err
+	}
+	if g == cur.kg.g {
+		return g, cur.idx, nil
+	}
+	idx := cur.idx
+	if idx != nil && !e.opts.NoIndexMaintenance && idx.ExactFor(cur.kg.g) {
+		var mb core.MaintBatch
+		idx, mb = idx.ApplyMutations(g, d.EdgeOps())
+		e.maintBatches.Add(1)
+		e.maintExtended.Add(int64(mb.LandmarksExtended))
+		e.maintEntries.Add(int64(mb.EntriesAdded))
+		e.maintInvalidated.Add(int64(mb.LandmarksInvalidated))
+	}
+	return g, idx, nil
+}
+
+// ReplicationRead returns up to max feed records with epochs above
+// from, oldest first (max <= 0 selects MaxReplicationBatches). An
+// empty result means the cursor is current — callers long-poll via
+// EpochPublished. ErrReplicaLag means the records were rotated away by
+// a compaction and the follower must re-bootstrap from SegmentFile.
+//
+// The read scans the log file independently of the appender, so it
+// never blocks Apply; a record the scan sees is already durable in the
+// log (Apply writes before it publishes), so nothing shipped here can
+// be lost to a writer crash.
+func (e *Engine) ReplicationRead(from uint64, max int) ([]ReplicationBatch, error) {
+	if e.store == nil {
+		return nil, ErrNoReplicationLog
+	}
+	if max <= 0 || max > MaxReplicationBatches {
+		max = MaxReplicationBatches
+	}
+	recs, err := segment.ReadWALAfter(segment.WALPath(e.store.dir), from)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		if e.current().seq > from {
+			// Epochs above the cursor exist but their records are gone:
+			// everything up to the current state was folded into a
+			// segment and the log rotated past the cursor.
+			return nil, ErrReplicaLag
+		}
+		return nil, nil
+	}
+	if len(recs) < max {
+		max = len(recs)
+	}
+	out := make([]ReplicationBatch, 0, max)
+	expected := from
+	for _, rec := range recs {
+		if len(out) == max {
+			break
+		}
+		if rec.Seq != expected+1 {
+			// The log is contiguous by construction; the cursor starting
+			// below its horizon (or a rotation racing the scan) shows up
+			// as a gap. Either way the follower re-bootstraps rather than
+			// receive a torn feed.
+			return nil, ErrReplicaLag
+		}
+		b := ReplicationBatch{Epoch: rec.Seq}
+		switch rec.Kind {
+		case segment.RecordBatch:
+			ops, err := segment.DecodeOps(rec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("lscr: replication read at epoch %d: %w", rec.Seq, err)
+			}
+			muts, err := walMutations(ops)
+			if err != nil {
+				return nil, fmt.Errorf("lscr: replication read at epoch %d: %w", rec.Seq, err)
+			}
+			b.Mutations = muts
+		case segment.RecordSeal:
+			b.Seal = true
+		default:
+			return nil, fmt.Errorf("lscr: %w: wal record kind %d at epoch %d", ErrCorruptStore, rec.Kind, rec.Seq)
+		}
+		out = append(out, b)
+		expected = rec.Seq
+	}
+	return out, nil
+}
+
+// SegmentFile opens the newest sealed segment for streaming to a
+// bootstrapping follower and returns its base epoch — the cursor the
+// follower tails the feed from. The returned file descriptor stays
+// readable even if a concurrent compaction unlinks the segment
+// mid-transfer; the caller closes it.
+func (e *Engine) SegmentFile() (*os.File, uint64, error) {
+	if e.store == nil {
+		return nil, 0, ErrNoReplicationLog
+	}
+	base := e.store.segSeq.Load()
+	f, err := os.Open(segment.PathFor(e.store.dir, base))
+	if err != nil {
+		// A compaction can remove the segment between the load and the
+		// open; the replacement is already published, so retry against
+		// the fresh base once.
+		base = e.store.segSeq.Load()
+		f, err = os.Open(segment.PathFor(e.store.dir, base))
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, base, nil
+}
+
+// EpochPublished returns a channel closed by the next epoch publish
+// (Apply commit, compaction swap, or replicated apply/seal) — the
+// wake-up behind the server's /v1/replicate long poll. Each publish
+// consumes the channel; callers re-arm by calling EpochPublished again
+// after it fires.
+func (e *Engine) EpochPublished() <-chan struct{} {
+	for {
+		if ch := e.pubCh.Load(); ch != nil {
+			return *ch
+		}
+		fresh := make(chan struct{})
+		if e.pubCh.CompareAndSwap(nil, &fresh) {
+			return fresh
+		}
+	}
+}
+
+// publishEpoch is the single post-construction epoch publish point: it
+// swaps the serving epoch and wakes EpochPublished waiters.
+func (e *Engine) publishEpoch(ep *epoch) {
+	e.ep.Store(ep)
+	if ch := e.pubCh.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}

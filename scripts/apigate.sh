@@ -14,10 +14,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 # Non-query methods (stats, index persistence, SPARQL standalone, the
-# mutation family Apply/Compact with its KG/Epoch observers, and the
-# persistence lifecycle Close/Durability) are part of the stable
-# surface and listed explicitly.
-ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health|Close|Durability)$'
+# mutation family Apply/Compact with its KG/Epoch observers, the
+# persistence lifecycle Close/Durability, and the replication feed
+# ApplyReplicated/SealReplicated/ReplicationRead/SegmentFile/
+# EpochPublished) are part of the stable surface and listed explicitly.
+ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health|Close|Durability|ApplyReplicated|SealReplicated|ReplicationRead|SegmentFile|EpochPublished)$'
 
 status=0
 for f in *.go; do

@@ -9,6 +9,8 @@
 //	POST /v1/query          — one unified query (api.QueryRequest)
 //	POST /v1/batch          — many queries over a worker pool (api.BatchRequest)
 //	POST /v1/mutate         — one atomic mutation batch (api.MutateRequest)
+//	GET  /v1/replicate      — WAL feed above ?from=<epoch>, long-polls ?wait_ms
+//	GET  /v1/segment        — newest sealed segment image (follower bootstrap)
 //
 // plus the deprecated pre-v1 routes (/reach, /reachbatch, /reachall,
 // /select), which keep their original request/response shapes but now
@@ -34,9 +36,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"lscr"
@@ -75,6 +79,8 @@ func New(eng *lscr.Engine, kg *lscr.KG, opts ...Option) http.Handler {
 	mux.HandleFunc("POST /v1/query", s.v1Query)
 	mux.HandleFunc("POST /v1/batch", s.v1Batch)
 	mux.HandleFunc("POST /v1/mutate", s.v1Mutate)
+	mux.HandleFunc("GET /v1/replicate", s.v1Replicate)
+	mux.HandleFunc("GET /v1/segment", s.v1Segment)
 	// Deprecated pre-v1 routes, aliased onto the same engine paths.
 	mux.HandleFunc("POST /reach", s.legacyReach)
 	mux.HandleFunc("POST /reachbatch", s.legacyReachBatch)
@@ -207,6 +213,102 @@ func (s *server) v1Batch(w http.ResponseWriter, r *http.Request) {
 		it.QueryResponse = api.FromResponse(o.Response)
 	}
 	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items, Count: len(items)})
+}
+
+// MaxReplicateWait caps the long-poll window of GET /v1/replicate; a
+// follower whose cursor stays current simply re-polls.
+const MaxReplicateWait = 30 * time.Second
+
+// v1Replicate streams the replication feed: every WAL record above the
+// from cursor, long-polling up to wait_ms for the next epoch when the
+// cursor is current. A cursor the WAL no longer covers (a compaction
+// rotated it away) answers 410 Gone — the follower re-bootstraps from
+// /v1/segment; an in-memory engine answers 501.
+func (s *server) v1Replicate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad from cursor: %v", err))
+		return
+	}
+	var wait time.Duration
+	if ms := q.Get("wait_ms"); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait_ms %q", ms))
+			return
+		}
+		wait = min(time.Duration(v)*time.Millisecond, MaxReplicateWait)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		// Arm the publish wake-up before reading: a batch that commits
+		// between the read and the select still closes this channel, so
+		// the poll can never sleep through it.
+		published := s.eng.EpochPublished()
+		batches, err := s.eng.ReplicationRead(from, 0)
+		switch {
+		case errors.Is(err, lscr.ErrReplicaLag):
+			writeError(w, http.StatusGone, err)
+			return
+		case errors.Is(err, lscr.ErrNoReplicationLog):
+			writeError(w, http.StatusNotImplemented, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		remain := time.Until(deadline)
+		if len(batches) > 0 || remain <= 0 {
+			dur := s.eng.Durability()
+			writeJSON(w, http.StatusOK, api.ReplicateResponse{
+				From:         from,
+				Batches:      api.FromReplicationBatches(batches),
+				Epoch:        s.eng.Epoch().Epoch,
+				DurableEpoch: dur.DurableEpoch,
+			})
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-published:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// v1Segment streams the newest sealed segment image for follower
+// bootstrap, with its base epoch in the SegmentEpochHeader. The open
+// file descriptor keeps the bytes readable even if a compaction
+// replaces the segment mid-transfer.
+func (s *server) v1Segment(w http.ResponseWriter, r *http.Request) {
+	f, base, err := s.eng.SegmentFile()
+	if errors.Is(err, lscr.ErrNoReplicationLog) {
+		writeError(w, http.StatusNotImplemented, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(api.SegmentEpochHeader, strconv.FormatUint(base, 10))
+	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.Copy(w, f); err != nil {
+		// Headers are gone; all we can do is log the broken transfer.
+		log.Printf("lscrd: segment transfer: %v", err)
+	}
 }
 
 // reachRequest is the deprecated /reach body.
@@ -396,6 +498,10 @@ func statusFor(err error) int {
 		errors.Is(err, lscr.ErrInvalidMutation),
 		errors.Is(err, lscr.ErrNoIndex):
 		return http.StatusBadRequest
+	case errors.Is(err, lscr.ErrReplicaWrite):
+		// A replica engine takes writes only through its feed; direct
+		// mutation attempts are refused like a read-only deployment's.
+		return http.StatusForbidden
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
