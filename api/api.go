@@ -143,6 +143,30 @@ type ReplicateResponse struct {
 // GET /v1/segment — the cursor a bootstrapping follower tails from.
 const SegmentEpochHeader = "X-LSCR-Segment-Epoch"
 
+// BudgetHeader carries the caller's remaining deadline budget in
+// milliseconds. The gateway stamps it on relayed requests from its own
+// context deadline, so a backend's admission queue and query both run
+// under the time the end client actually has left.
+const BudgetHeader = "X-LSCR-Budget-MS"
+
+// AdmissionStats reports the server's admission gate on /healthz:
+// bounded-inflight with a short wait queue; requests beyond both are
+// shed with 429 + Retry-After.
+type AdmissionStats struct {
+	// Enabled is false when the server runs ungated (no WithAdmission);
+	// all other fields are then zero.
+	Enabled bool `json:"enabled"`
+	// MaxInflight and MaxQueue are the configured bounds.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	MaxQueue    int `json:"max_queue,omitempty"`
+	// Inflight and Queued are point-in-time gauges.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	// Admitted and Shed count requests since start.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
 // ReplicaHealth is one backend's state as the cluster gateway sees it.
 type ReplicaHealth struct {
 	URL     string `json:"url"`
@@ -157,6 +181,13 @@ type ReplicaHealth struct {
 	// LatencyUS is the EWMA of recent read latencies, in microseconds.
 	LatencyUS int64  `json:"latency_us"`
 	Error     string `json:"error,omitempty"`
+	// Shedding reports that the backend recently answered 429 and is
+	// being routed around until its Retry-After elapses.
+	Shedding bool `json:"shedding,omitempty"`
+	// Poisoned reports that the backend's /healthz carried a fail-stop
+	// poison cause; the gateway fails mutations static while reads
+	// continue on the followers.
+	Poisoned bool `json:"poisoned,omitempty"`
 }
 
 // ClusterHealth is the gateway's GET /healthz reply.
@@ -171,6 +202,14 @@ type ClusterHealth struct {
 	Epoch    uint64          `json:"epoch"`
 	Writer   ReplicaHealth   `json:"writer"`
 	Replicas []ReplicaHealth `json:"replicas"`
+	// Sheds counts reads and mutations the gateway answered 429/503 for
+	// because every eligible backend was shedding (or the writer was
+	// poisoned); Inflight is the gateway's current hedged-read gauge.
+	Sheds    int64 `json:"sheds"`
+	Inflight int64 `json:"inflight"`
+	// WriterPoisoned mirrors the writer's fail-stop state: mutations are
+	// refused at the gateway while reads keep flowing to followers.
+	WriterPoisoned bool `json:"writer_poisoned,omitempty"`
 }
 
 // Health is the GET /healthz reply.
@@ -191,6 +230,13 @@ type Health struct {
 	// WAL tail size and last-fsync time for a persistent engine
 	// (lscrd -data), Persistent=false for an in-memory one.
 	Durability lscr.DurabilityInfo `json:"durability"`
+	// Poisoned carries the engine's fail-stop cause when a WAL/segment
+	// write failure pinned it read-only (Status is then "degraded");
+	// empty while healthy.
+	Poisoned string `json:"poisoned,omitempty"`
+	// Admission reports the load-shedding gate (zero-valued with
+	// Enabled=false when the server runs ungated).
+	Admission AdmissionStats `json:"admission"`
 }
 
 // Error is the body of every non-2xx reply.

@@ -12,10 +12,14 @@
 // *APIError carrying the HTTP status and the server's message.
 //
 // Idempotent reads (Query, Batch, Health, Replicate, Segment) are
-// retried on transient transport errors and gateway unavailability
-// (502/503) with jittered exponential backoff — the right behaviour
-// against both a single restarting lscrd and the cluster gateway,
-// whose 503 means "no replica eligible right now". Mutate is NEVER
+// retried on transient transport errors, overload shedding (429) and
+// gateway unavailability (502/503) with jittered exponential backoff —
+// the right behaviour against both a single restarting lscrd and the
+// cluster gateway, whose 503 means "no replica eligible right now".
+// A Retry-After hint on the reply raises the next backoff sleep, and
+// the total time spent sleeping is capped by the retry budget
+// (WithRetryBudget), so a shedding cluster slows clients down instead
+// of being hammered, without parking them forever. Mutate is NEVER
 // auto-retried: a mutation request whose reply was lost may have
 // committed, and blindly re-sending it would double-apply the batch.
 // Use WithRetry to tune or disable the policy.
@@ -39,10 +43,12 @@ import (
 
 // Retry defaults: up to DefaultRetryAttempts tries per idempotent read,
 // with full-jitter backoff starting at DefaultRetryBackoff and doubling
-// per attempt.
+// per attempt, spending at most DefaultRetryBudget waiting between
+// attempts across the whole call.
 const (
 	DefaultRetryAttempts = 3
 	DefaultRetryBackoff  = 25 * time.Millisecond
+	DefaultRetryBudget   = 2 * time.Second
 )
 
 // Client talks to one lscrd server (or the cluster gateway, which
@@ -52,6 +58,7 @@ type Client struct {
 	hc       *http.Client
 	attempts int
 	backoff  time.Duration
+	budget   time.Duration
 }
 
 // Option customises a Client.
@@ -82,6 +89,15 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	}
 }
 
+// WithRetryBudget caps the total time one call may spend sleeping
+// between retry attempts — the Retry-After hint of an overloaded
+// server (429/503) is honoured, but never past this budget, so a
+// shedding cluster cannot park a client indefinitely. Negative means
+// unlimited; the default is DefaultRetryBudget.
+func WithRetryBudget(d time.Duration) Option {
+	return func(c *Client) { c.budget = d }
+}
+
 // New builds a client for the server at baseURL (scheme + host, with
 // or without a trailing slash).
 func New(baseURL string, opts ...Option) *Client {
@@ -90,6 +106,7 @@ func New(baseURL string, opts ...Option) *Client {
 		hc:       http.DefaultClient,
 		attempts: DefaultRetryAttempts,
 		backoff:  DefaultRetryBackoff,
+		budget:   DefaultRetryBudget,
 	}
 	for _, o := range opts {
 		o(c)
@@ -103,6 +120,10 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error text.
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when absent):
+	// an overloaded (429) or temporarily unavailable (503) server says
+	// when it is worth coming back.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -220,19 +241,36 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 }
 
 // withRetry runs one attempt of call, re-running it on retryable
-// failures (transient transport errors, 502/503) when idempotent —
-// with full-jitter exponential backoff between attempts — and exactly
-// once otherwise. The caller's context bounds the whole schedule: its
-// cancellation is never retried and cuts a backoff sleep short.
+// failures (transient transport errors, 429/502/503) when idempotent —
+// with full-jitter exponential backoff between attempts, raised to the
+// server's Retry-After hint when one came back — and exactly once
+// otherwise. The caller's context bounds the whole schedule: its
+// cancellation is never retried and cuts a backoff sleep short. The
+// retry budget bounds the total time spent sleeping: a schedule whose
+// next sleep would overrun it returns the last error instead.
 func (c *Client) withRetry(ctx context.Context, idempotent bool, call func() error) error {
 	attempts := 1
 	if idempotent {
 		attempts = c.attempts
 	}
-	var err error
+	var (
+		err   error
+		slept time.Duration
+	)
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			if !sleepJitter(ctx, c.backoff<<(try-1)) {
+			d := jittered(c.backoff << (try - 1))
+			// An overloaded server's Retry-After hint wins over the
+			// backoff schedule — retrying sooner would only be shed
+			// again — but never past the retry budget.
+			if ra := retryAfterOf(err); ra > d {
+				d = ra
+			}
+			if c.budget >= 0 && slept+d > c.budget {
+				return err
+			}
+			slept += d
+			if !sleepCtx(ctx, d) {
 				return err
 			}
 		}
@@ -246,14 +284,15 @@ func (c *Client) withRetry(ctx context.Context, idempotent bool, call func() err
 	return err
 }
 
-// retryable classifies one failed attempt: gateway unavailability
-// (502/503) and transport-level errors are worth re-trying; every
-// other API error is a definitive answer, and a cancelled or expired
-// context is the caller's own signal.
+// retryable classifies one failed attempt: overload shedding (429),
+// gateway unavailability (502/503) and transport-level errors are
+// worth re-trying; every other API error is a definitive answer, and a
+// cancelled or expired context is the caller's own signal.
 func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.StatusCode == http.StatusBadGateway ||
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusBadGateway ||
 			apiErr.StatusCode == http.StatusServiceUnavailable
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -262,14 +301,30 @@ func retryable(err error) bool {
 	return true
 }
 
-// sleepJitter sleeps a uniformly random duration in [d/2, d) — full
-// jitter keeps retries from synchronising across clients — and reports
-// false when ctx expired first.
-func sleepJitter(ctx context.Context, d time.Duration) bool {
+// retryAfterOf extracts the server's Retry-After hint from a failed
+// attempt, zero when there is none.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// jittered draws a uniformly random duration in [d/2, d] — full jitter
+// keeps retries from synchronising across clients.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx sleeps for d, reporting false when ctx expired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -302,5 +357,14 @@ func readAPIError(resp *http.Response) error {
 	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
 		msg = apiErr.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	out := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	// Retry-After in its integer-seconds form (the only form lscrd and
+	// the gateway emit); HTTP-date values are ignored rather than
+	// misparsed.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs >= 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out
 }

@@ -1,0 +1,109 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lscr/api"
+	"lscr/client"
+)
+
+// sheddingServer answers 429 + Retry-After for the first fail hits,
+// then succeeds.
+func sheddingServer(t *testing.T, fail int64, retryAfter string, ok string) (*httptest.Server, *atomic.Int64, *atomic.Value) {
+	t.Helper()
+	var hits atomic.Int64
+	var lastGap atomic.Value
+	var lastAt atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := lastAt.Swap(now); prev != 0 {
+			lastGap.Store(time.Duration(now - prev))
+		}
+		if hits.Add(1) <= fail {
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, `{"error":"server overloaded; retry later"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(ok))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits, &lastGap
+}
+
+// TestClientRetryAfterHonored: a shed read (429) is retried, and the
+// gap before the retry respects the server's Retry-After hint even
+// though the configured backoff is far smaller.
+func TestClientRetryAfterHonored(t *testing.T) {
+	srv, hits, gap := sheddingServer(t, 1, "1", `{"reachable":true}`)
+	c := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+	resp, err := c.Query(context.Background(), api.QueryRequest{Source: "a", Target: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Reachable {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	if g, _ := gap.Load().(time.Duration); g < 900*time.Millisecond {
+		t.Fatalf("retry came after %v, want >= ~1s from Retry-After", g)
+	}
+}
+
+// TestClientRetryAfterSurfacedOnError: when retries run out, the last
+// *APIError carries the parsed Retry-After so callers can schedule
+// their own comeback.
+func TestClientRetryAfterSurfacedOnError(t *testing.T) {
+	srv, _, _ := sheddingServer(t, 100, "3", `{}`)
+	// Budget 0 forbids any sleep, so the first 429 is also the last try.
+	c := client.New(srv.URL, client.WithRetry(3, time.Millisecond), client.WithRetryBudget(0))
+	_, err := c.Query(context.Background(), api.QueryRequest{Source: "a", Target: "b"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", apiErr.RetryAfter)
+	}
+}
+
+// TestClientRetryBudgetStopsSchedule: a Retry-After hint larger than
+// the retry budget stops the schedule instead of parking the client —
+// the server sees exactly one request.
+func TestClientRetryBudgetStopsSchedule(t *testing.T) {
+	srv, hits, _ := sheddingServer(t, 100, "30", `{}`)
+	c := client.New(srv.URL, client.WithRetry(3, time.Millisecond), client.WithRetryBudget(100*time.Millisecond))
+	start := time.Now()
+	_, err := c.Query(context.Background(), api.QueryRequest{Source: "a", Target: "b"})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v; budget should have stopped the 30s Retry-After sleep", elapsed)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (budget forbids the retry)", got)
+	}
+}
+
+// TestClientRetryBudgetUnlimited: a negative budget disables the cap —
+// the hinted sleep happens and the retry goes out.
+func TestClientRetryBudgetUnlimited(t *testing.T) {
+	srv, hits, _ := sheddingServer(t, 1, "1", `{"reachable":true}`)
+	c := client.New(srv.URL, client.WithRetry(2, time.Millisecond), client.WithRetryBudget(-1))
+	if _, err := c.Query(context.Background(), api.QueryRequest{Source: "a", Target: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}

@@ -23,15 +23,18 @@
 //	lscrbench -exp restart-json     # same, as BENCH_restart.json
 //	lscrbench -exp replica          # gateway read scaling over 1 vs 2 WAL-fed followers
 //	lscrbench -exp replica-json     # same, as BENCH_replica.json
+//	lscrbench -exp chaos            # fault schedules over writer+followers+gateway
+//	lscrbench -exp chaos-json       # same, as BENCH_chaos.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
 // ablation-vsorder, parallel, parallel-json, throughput, cachespeedup,
 // cachespeedup-json, serverclient, csr, csr-json, mutate, mutate-json,
 // insdyn, insdyn-json, restart, restart-json, replica, replica-json,
-// all. "all" runs the paper experiments only — the machine-dependent
-// scaling sweeps (parallel*, throughput, cachespeedup*, serverclient,
-// csr*, mutate*, insdyn*, restart*, replica*) are invoked explicitly.
+// chaos, chaos-json, all. "all" runs the paper experiments only — the
+// machine-dependent scaling sweeps (parallel*, throughput,
+// cachespeedup*, serverclient, csr*, mutate*, insdyn*, restart*,
+// replica*) and the chaos tier (chaos*) are invoked explicitly.
 // The mutate experiments exit nonzero unless the mutated engine
 // answered identically to a rebuild on the final edge set; the insdyn
 // experiments exit nonzero unless the maintained and
@@ -40,7 +43,10 @@
 // engine was bit-identical to the rebuilt one and the crash-recovered
 // engine matched a rebuild on the final edge set; the replica
 // experiments exit nonzero unless both followers answered bit-identically
-// to the writer.
+// to the writer. The chaos experiments (-schedules fault schedules over
+// a live writer+2-follower+gateway cluster) exit nonzero on any
+// divergence from the fault-free oracle, a missing overload shed, or a
+// goroutine leak.
 package main
 
 import (
@@ -60,6 +66,7 @@ func main() {
 		queries     = flag.Int("queries", 15, "queries per true/false group (paper: 1000)")
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
 		concurrency = flag.Int("concurrency", 0, "throughput mode: ReachBatch fan-out (0 = all cores)")
+		schedules   = flag.Int("schedules", 50, "chaos mode: deterministic fault schedules to run")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -68,13 +75,13 @@ func main() {
 		return
 	}
 	cfg := bench.Config{Scale: *scale, QueriesPerGroup: *queries, Seed: *seed}
-	if err := run(os.Stdout, *exp, cfg, *concurrency); err != nil {
+	if err := run(os.Stdout, *exp, cfg, *concurrency, *schedules); err != nil {
 		fmt.Fprintln(os.Stderr, "lscrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
+func run(w io.Writer, exp string, cfg bench.Config, concurrency, schedules int) error {
 	runners := map[string]func(io.Writer, bench.Config) error{
 		"table2":             bench.RunTable2,
 		"fig5a":              bench.RunFig5Density,
@@ -128,6 +135,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency int) error {
 		},
 		"replica-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunReplicaJSON(w, cfg, concurrency)
+		},
+		"chaos": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunChaos(w, cfg, schedules)
+		},
+		"chaos-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunChaosJSON(w, cfg, schedules)
 		},
 	}
 	if exp == "all" {

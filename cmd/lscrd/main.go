@@ -27,7 +27,12 @@
 // Request bodies are size-capped, the listener runs with read/write
 // timeouts, in-flight requests drain gracefully on SIGINT/SIGTERM, and
 // every search runs under the request's context so disconnected
-// clients stop consuming CPU.
+// clients stop consuming CPU. With -max-inflight the /v1 query and
+// mutate surface runs behind an admission gate (writer and follower
+// modes alike): past -max-inflight executing plus -max-queue waiting
+// requests, excess load is shed with 429 + Retry-After instead of an
+// unbounded latency tail; /healthz is never gated so probes always see
+// a saturated server.
 package main
 
 import (
@@ -75,6 +80,10 @@ func main() {
 		compactAfter = flag.Int("compact-after", 0, "overlay ops before background compaction (0 = default, negative = manual only)")
 		readonly     = flag.Bool("readonly", false, "disable /v1/mutate (403)")
 		follow       = flag.String("follow", "", "follower mode: bootstrap from this writer URL and tail its WAL feed (read-only replica)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: concurrent requests allowed to execute (0 = unbounded)")
+		maxQueue     = flag.Int("max-queue", 0, "admission control: requests that may wait for a slot (0 = same as -max-inflight)")
+		queueWait    = flag.Duration("queue-wait", 0, "admission control: max queue wait before shedding (0 = 50ms default)")
+		retryAfter   = flag.Duration("retry-after", 0, "admission control: Retry-After hint on shed responses (0 = 1s default)")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -82,12 +91,18 @@ func main() {
 		fmt.Println("lscrd", buildinfo.Version())
 		return
 	}
+	admission := server.AdmissionOptions{
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+		RetryAfter:  *retryAfter,
+	}
 	if *follow != "" {
 		if *kgPath != "" || *dataDir != "" || *indexPath != "" {
 			fmt.Fprintln(os.Stderr, "lscrd: -follow replicates the writer's state; it cannot be combined with -kg, -data or -index")
 			os.Exit(2)
 		}
-		runFollower(*follow, *addr, lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize})
+		runFollower(*follow, *addr, lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize}, admission)
 		return
 	}
 	opts := lscr.Options{IndexWorkers: *workers, ConstraintCacheSize: *cacheSize, CompactAfter: *compactAfter}
@@ -114,6 +129,7 @@ func main() {
 	if *readonly {
 		srvOpts = append(srvOpts, server.ReadOnly())
 	}
+	srvOpts = append(srvOpts, server.WithAdmission(admission))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)
@@ -153,13 +169,14 @@ func main() {
 // writer's newest sealed segment, tail its WAL feed, and serve the
 // read-only /v1 surface. No -kg/-data — the writer is the source of
 // truth; a restart simply re-bootstraps.
-func runFollower(writer, addr string, opts lscr.Options) {
+func runFollower(writer, addr string, opts lscr.Options, admission server.AdmissionOptions) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	f, err := cluster.StartFollower(ctx, cluster.FollowerConfig{
-		Writer:  writer,
-		Options: opts,
-		Logf:    log.Printf,
+		Writer:        writer,
+		Options:       opts,
+		ServerOptions: []server.Option{server.WithAdmission(admission)},
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lscrd:", err)

@@ -17,6 +17,15 @@
 // writer's history (per-epoch identity — replicas replay the writer's
 // WAL through the same commit path), and -staleness bounds how many
 // epochs behind the writer a read may be served.
+//
+// Overload and failure: a backend that sheds (429) is routed around for
+// a cooldown without tripping its breaker — overloaded is not broken —
+// and when every backend sheds, the 429 and its Retry-After are relayed
+// so the client's retry policy takes over. -budget bounds each read and
+// propagates the remaining time to backends so queue time counts
+// against the caller's deadline. A writer whose /healthz reports
+// fail-stop poisoning makes mutations fail static (503 + Retry-After)
+// at the gateway while reads keep flowing to replicas.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"lscr/api"
 	"lscr/internal/buildinfo"
 	"lscr/internal/cluster"
 )
@@ -67,6 +77,7 @@ func main() {
 		probe       = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health-probe interval")
 		hedge       = flag.Duration("hedge-after", cluster.DefaultHedgeAfter, "launch a hedged read after this long (negative = never)")
 		staleness   = flag.Uint64("staleness", 0, "max epochs a replica may lag the writer and still serve reads (0 = unbounded)")
+		budget      = flag.Duration("budget", 0, "per-read deadline budget, propagated to backends via "+api.BudgetHeader+" (0 = none)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Var(&replicas, "replica", "replica base URL (repeatable, or comma-separated)")
@@ -85,6 +96,7 @@ func main() {
 		ProbeInterval:  *probe,
 		HedgeAfter:     *hedge,
 		StalenessBound: *staleness,
+		RequestBudget:  *budget,
 		Logf:           log.Printf,
 	})
 	co.Start()

@@ -1,0 +1,523 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pub "lscr"
+	"lscr/api"
+	"lscr/client"
+	"lscr/internal/cluster"
+	"lscr/internal/failpoint"
+	"lscr/server"
+)
+
+// The chaos harness is the robustness proof for the serving stack: a
+// writer, two WAL-tailing followers and the cluster gateway run a
+// mutation workload while deterministic fault schedules fire at the
+// storage, replication and dispatch failpoint sites. Every schedule
+// asserts the fail-stop contract — an injected write failure poisons
+// the writer, reads keep serving, a restart recovers — and per-epoch
+// identity against a fault-free in-memory oracle that applies the same
+// batches and seals at the same points (the oracle never touches
+// storage, so the armed sites cannot reach it). An overload sub-phase
+// saturates an admission-gated server at ~2x capacity and requires
+// explicit shedding with bounded admitted latency. The whole run ends
+// with a goroutine-leak check: after teardown the process must return
+// to its pre-chaos goroutine count.
+
+// ChaosReport is the machine-readable baseline (BENCH_chaos.json).
+type ChaosReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Dataset    string `json:"dataset"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+
+	// Schedules fault schedules ran; InjectedFaults fired across them;
+	// WriterRestarts recovered a poisoned writer; Rebootstraps counts
+	// follower segment re-bootstraps (initial two included).
+	Schedules      int   `json:"schedules"`
+	InjectedFaults int64 `json:"injected_faults"`
+	WriterRestarts int   `json:"writer_restarts"`
+	Rebootstraps   int64 `json:"follower_rebootstraps"`
+
+	// Reads driven through the gateway during the schedules, and how
+	// many failed even after the gateway's redispatch and the client's
+	// retries (chaos tolerates some, the verdict bounds the rate).
+	GatewayReads    int64 `json:"gateway_reads"`
+	GatewayReadErrs int64 `json:"gateway_read_errs"`
+
+	// The overload sub-phase: an admission-gated server driven at ~2x
+	// capacity must shed explicitly while bounding what it admits.
+	OverloadAdmittedQPS   float64 `json:"overload_admitted_qps"`
+	OverloadSheds         int64   `json:"overload_sheds"`
+	OverloadAdmittedP99MS float64 `json:"overload_admitted_p99_ms"`
+
+	// Identical: writer == oracle after every schedule (including the
+	// post-restart realignments) AND both followers converged to
+	// bit-identical answers at the final epoch.
+	Identical bool `json:"identical"`
+	// GoroutineLeak: the process failed to return to its baseline
+	// goroutine count after teardown.
+	GoroutineLeak bool `json:"goroutine_leak"`
+}
+
+// Chaos harness knobs.
+const (
+	chaosBatchesPerSchedule = 3
+	chaosOpsPerBatch        = 6
+	chaosProbeQueries       = 12
+	chaosReadsPerSchedule   = 4
+
+	overloadInflight  = 4
+	overloadQueue     = 4
+	overloadQueueWait = 10 * time.Millisecond
+	overloadDelay     = 2 * time.Millisecond
+	overloadClients   = 16
+	overloadWindow    = 500 * time.Millisecond
+)
+
+// chaosMenu is the per-schedule fault rotation: each entry is one
+// LSCR_FAILPOINTS-style activation hitting a different layer. Torn
+// values cut mid-record (WAL records and segment headers are longer
+// than the prefixes), exercising the truncation/recovery paths rather
+// than clean absence.
+var chaosMenu = []string{
+	"wal-append=error-once",
+	"wal-append=torn=9,once",
+	"wal-sync=error-once",
+	"seg-write=torn=16,once",
+	"seg-sync=error-once",
+	"seg-rename=error-once",
+	"wal-rotate-rename=error-once",
+	"dir-sync=error-once",
+	"replicate-read=error-every=4",
+	"gateway-dispatch=error-every=5",
+}
+
+// swapHandler lets the writer restart in place: the listener and URL
+// survive while the handler generation behind them is swapped.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) swap(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// MeasureChaos runs schedules deterministic fault schedules over a
+// live writer+2-follower+gateway cluster and returns the report.
+func MeasureChaos(cfg Config, schedules int) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	if schedules < 1 {
+		schedules = 50
+	}
+	failpoint.DisarmAll()
+	defer failpoint.DisarmAll()
+
+	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	ctx := context.Background()
+	rep := &ChaosReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    spec.Name,
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Schedules:  schedules,
+		Identical:  true,
+	}
+
+	dir, err := os.MkdirTemp("", "lscr-chaos-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opts := pub.Options{IndexSeed: cfg.Seed, CompactAfter: -1}
+	eng, err := pub.Create(dir, pub.FromGraph(g), opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: create store: %w", err)
+	}
+	// The fault-free oracle: an in-memory engine applying the same
+	// batches and sealing at the same epochs. It has no store, so the
+	// armed storage sites never fire in it.
+	oracle := pub.NewEngine(pub.FromGraph(g), opts)
+
+	// One closer list, run exactly once — teardown must complete before
+	// the goroutine-leak check, and the deferred backstop must not run
+	// things twice.
+	var closers []func()
+	var closeOnce sync.Once
+	shutdown := func() {
+		closeOnce.Do(func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		})
+	}
+	defer shutdown()
+
+	sw := &swapHandler{}
+	sw.swap(server.New(eng, eng.KG()))
+	writerURL, stopWriter, err := serveHandler(sw)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	closers = append(closers, func() { eng.Close() }, stopWriter)
+
+	fcfg := cluster.FollowerConfig{Writer: writerURL, Poll: 100 * time.Millisecond, Retry: 10 * time.Millisecond}
+	f1, err := cluster.StartFollower(ctx, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, f1.Close)
+	f2, err := cluster.StartFollower(ctx, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, f2.Close)
+	f1URL, stopF1, err := serveHandler(f1)
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, stopF1)
+	f2URL, stopF2, err := serveHandler(f2)
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, stopF2)
+
+	gw := cluster.NewCoordinator(cluster.Config{
+		Writer:   writerURL,
+		Replicas: []string{f1URL, f2URL},
+		Cooldown: 50 * time.Millisecond,
+		Logf:     func(string, ...any) {},
+	})
+	gwURL, stopGW, err := serveHandler(gw)
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, gw.Close, stopGW)
+	readC := client.New(gwURL)
+
+	// Goroutine baseline after the cluster is up: the leak check asks
+	// whether chaos (restarts, rebootstraps, shed reads) left strays
+	// beyond what teardown reclaims.
+	baseline := runtime.NumGoroutine()
+
+	probe := restartRequests(g, cfg, chaosProbeQueries)
+	bo := pub.BatchOptions{Concurrency: runtime.GOMAXPROCS(0)}
+	compare := func(when string, a, b *pub.Engine) {
+		wa := a.QueryBatch(ctx, probe, bo)
+		wb := b.QueryBatch(ctx, probe, bo)
+		for i := range probe {
+			if (wa[i].Err == nil) != (wb[i].Err == nil) {
+				rep.Identical = false
+				return
+			}
+			if wa[i].Err != nil {
+				continue
+			}
+			ra, rb := wa[i].Response, wb[i].Response
+			if ra.Reachable != rb.Reachable || ra.Stats != rb.Stats || ra.SatisfyingVertices != rb.SatisfyingVertices {
+				rep.Identical = false
+				return
+			}
+		}
+	}
+
+	// restart recovers a poisoned writer in place: close, reopen the
+	// store, swap the handler generation. Returns the fresh engine.
+	restart := func() (*pub.Engine, error) {
+		eng.Close()
+		ne, err := pub.Open(dir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: restart writer: %w", err)
+		}
+		sw.swap(server.New(ne, ne.KG()))
+		rep.WriterRestarts++
+		return ne, nil
+	}
+
+	// realign brings the oracle to the restarted writer's epoch: the
+	// fsync-ambiguity window means a failed Apply (or seal) may still
+	// have become durable, in which case the recovered writer is one
+	// epoch ahead and the oracle replays the pending step.
+	realign := func(pending []pub.Mutation, sealing bool) error {
+		we, oe := eng.Epoch().Epoch, oracle.Epoch().Epoch
+		switch {
+		case we == oe:
+			return nil // the failed step was lost on both sides
+		case we == oe+1 && !sealing:
+			_, err := oracle.Apply(ctx, pending)
+			return err
+		case we == oe+1 && sealing:
+			_, err := oracle.Compact(ctx)
+			return err
+		}
+		rep.Identical = false
+		return fmt.Errorf("bench: writer at epoch %d vs oracle %d after restart", we, oe)
+	}
+
+	script := mutateScript(g, cfg.Seed, schedules*chaosBatchesPerSchedule, chaosOpsPerBatch)
+	next := 0
+	for s := 0; s < schedules; s++ {
+		failpoint.Seed(cfg.Seed + int64(s))
+		if err := failpoint.Arm(chaosMenu[s%len(chaosMenu)]); err != nil {
+			return nil, err
+		}
+
+		for b := 0; b < chaosBatchesPerSchedule && next < len(script); b++ {
+			batch := script[next]
+			next++
+			if _, err := eng.Apply(ctx, batch); err != nil {
+				rep.InjectedFaults++
+				// Fail-stop: the engine must now be poisoned and still
+				// answer reads from its last epoch.
+				if eng.Poisoned() == nil {
+					return nil, fmt.Errorf("bench: Apply failed (%v) without poisoning", err)
+				}
+				if eng.QueryBatch(ctx, probe[:1], bo)[0].Err != nil {
+					return nil, fmt.Errorf("bench: poisoned writer stopped serving reads")
+				}
+				failpoint.DisarmAll()
+				if eng, err = restart(); err != nil {
+					return nil, err
+				}
+				if err := realign(batch, false); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if _, err := oracle.Apply(ctx, batch); err != nil {
+				return nil, fmt.Errorf("bench: oracle apply: %w", err)
+			}
+		}
+
+		// Seal every other schedule: compactions hit the segment-write,
+		// seal-rename, rotation and dir-sync sites.
+		if s%2 == 1 {
+			if _, err := eng.Compact(ctx); err != nil {
+				rep.InjectedFaults++
+				if eng.Poisoned() == nil {
+					return nil, fmt.Errorf("bench: Compact failed (%v) without poisoning", err)
+				}
+				failpoint.DisarmAll()
+				if eng, err = restart(); err != nil {
+					return nil, err
+				}
+				if err := realign(nil, true); err != nil {
+					return nil, err
+				}
+			} else if _, err := oracle.Compact(ctx); err != nil {
+				return nil, fmt.Errorf("bench: oracle compact: %w", err)
+			}
+		}
+
+		// A few reads through the gateway while the schedule's faults
+		// are still armed: redispatch and client retries should absorb
+		// most of the turbulence; the verdict bounds the failure rate.
+		for r := 0; r < chaosReadsPerSchedule; r++ {
+			q := probe[r%len(probe)]
+			wire := api.QueryRequest{
+				Source: q.Source, Target: q.Target, Labels: q.Labels,
+				Constraint: q.Constraint, Constraints: q.Constraints,
+				Algorithm: api.AlgorithmName(q.Algorithm),
+			}
+			rep.GatewayReads++
+			if _, err := readC.Query(ctx, wire); err != nil {
+				rep.GatewayReadErrs++
+			}
+		}
+
+		failpoint.DisarmAll()
+		if eng.Poisoned() != nil {
+			// A site armed for this schedule fired on a background path;
+			// recover before the identity check.
+			if eng, err = restart(); err != nil {
+				return nil, err
+			}
+			if err := realign(nil, false); err != nil {
+				return nil, err
+			}
+		}
+		compare(fmt.Sprintf("schedule %d", s), eng, oracle)
+		if !rep.Identical {
+			return rep, fmt.Errorf("bench: writer diverged from oracle after schedule %d", s)
+		}
+	}
+
+	// Convergence: both followers must reach the final epoch and answer
+	// the probe set bit-identically to the writer.
+	head := eng.Epoch().Epoch
+	if err := waitReplicated(f1, head); err != nil {
+		return nil, err
+	}
+	if err := waitReplicated(f2, head); err != nil {
+		return nil, err
+	}
+	compare("follower 1", eng, f1.Engine())
+	compare("follower 2", eng, f2.Engine())
+	rep.Rebootstraps = f1.Bootstraps() + f2.Bootstraps()
+
+	// Overload: swap an admission-gated handler generation over the
+	// writer, slow every query via the serve-delay site, and drive ~2x
+	// the gate's capacity. Shedding must be explicit (429), and what is
+	// admitted must answer with bounded latency.
+	if err := measureOverload(rep, eng, writerURL, sw); err != nil {
+		return rep, err
+	}
+	sw.swap(server.New(eng, eng.KG()))
+
+	// Teardown, then the leak check: the goroutine count must return to
+	// the baseline (plus a small slack for runtime/network strays).
+	shutdown()
+	rep.GoroutineLeak = !settlesTo(baseline+4, 5*time.Second)
+	return rep, chaosVerdict(rep)
+}
+
+func measureOverload(rep *ChaosReport, eng *pub.Engine, writerURL string, sw *swapHandler) error {
+	sw.swap(server.New(eng, eng.KG(), server.WithAdmission(server.AdmissionOptions{
+		MaxInflight: overloadInflight,
+		MaxQueue:    overloadQueue,
+		QueueWait:   overloadQueueWait,
+		RetryAfter:  time.Second,
+	})))
+	if err := failpoint.Set(server.FPServe, "delay="+overloadDelay.String()); err != nil {
+		return err
+	}
+	defer failpoint.DisarmAll()
+
+	// Raw per-attempt requests: client retries would turn sheds into
+	// waiting, hiding the thing being measured.
+	c := client.New(writerURL, client.WithRetry(1, 0))
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sheds     atomic.Int64
+		hardErrs  atomic.Int64
+	)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < overloadClients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Since(start) < overloadWindow {
+				qstart := time.Now()
+				_, err := c.Query(ctx, api.QueryRequest{Source: "no-such-vertex", Target: "no-such-vertex"})
+				elapsed := time.Since(qstart)
+				var apiErr *client.APIError
+				status := 0
+				if errors.As(err, &apiErr) {
+					status = apiErr.StatusCode
+				}
+				switch {
+				case err == nil || status == http.StatusBadRequest:
+					// An unknown-vertex 400 still went through the gate,
+					// the serve-delay site and the engine — what matters
+					// here is admission latency, not reachability.
+					mu.Lock()
+					latencies = append(latencies, elapsed)
+					mu.Unlock()
+				case status == http.StatusTooManyRequests:
+					if apiErr.RetryAfter <= 0 {
+						hardErrs.Add(1) // a shed without Retry-After is a bug
+					}
+					sheds.Add(1)
+				default:
+					hardErrs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	window := time.Since(start).Seconds()
+
+	rep.OverloadSheds = sheds.Load()
+	rep.OverloadAdmittedQPS = float64(len(latencies)) / window
+	if n := len(latencies); n > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rep.OverloadAdmittedP99MS = float64(latencies[(n*99)/100]) / float64(time.Millisecond)
+	}
+	if hardErrs.Load() > 0 {
+		return fmt.Errorf("bench: %d overload requests failed outside the 400/429 contract", hardErrs.Load())
+	}
+	return nil
+}
+
+// settlesTo polls until the goroutine count drops to max or the
+// deadline passes.
+func settlesTo(max int, within time.Duration) bool {
+	deadline := time.Now().Add(within)
+	for {
+		if runtime.NumGoroutine() <= max {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func chaosVerdict(rep *ChaosReport) error {
+	switch {
+	case !rep.Identical:
+		return fmt.Errorf("bench: chaos run diverged from the fault-free oracle")
+	case rep.GoroutineLeak:
+		return fmt.Errorf("bench: goroutines leaked across the chaos run")
+	case rep.InjectedFaults == 0:
+		return fmt.Errorf("bench: no fault fired — the schedules exercised nothing")
+	case rep.GatewayReads > 0 && rep.GatewayReadErrs*5 > rep.GatewayReads:
+		return fmt.Errorf("bench: %d/%d gateway reads failed under chaos (bound: 20%%)",
+			rep.GatewayReadErrs, rep.GatewayReads)
+	case rep.OverloadSheds == 0:
+		return fmt.Errorf("bench: 2x saturation produced no shedding")
+	case rep.OverloadAdmittedQPS == 0:
+		return fmt.Errorf("bench: overload phase admitted nothing")
+	case rep.OverloadAdmittedP99MS > 500:
+		return fmt.Errorf("bench: admitted p99 %.1fms exceeds the 500ms bound", rep.OverloadAdmittedP99MS)
+	}
+	return nil
+}
+
+// RunChaos prints the chaos report (cmd/lscrbench -exp chaos) and
+// fails on any broken invariant.
+func RunChaos(w io.Writer, cfg Config, schedules int) error {
+	rep, err := MeasureChaos(cfg, schedules)
+	if rep != nil {
+		fmt.Fprintf(w, "chaos on %s (|V|=%d |E|=%d): %d schedules, %d faults fired, %d writer restarts, %d rebootstraps\n",
+			rep.Dataset, rep.Vertices, rep.Edges, rep.Schedules, rep.InjectedFaults, rep.WriterRestarts, rep.Rebootstraps)
+		fmt.Fprintf(w, "gateway reads under chaos: %d (%d failed)\n", rep.GatewayReads, rep.GatewayReadErrs)
+		fmt.Fprintf(w, "overload: %8.0f qps admitted, %d shed, admitted p99 %.1fms\n",
+			rep.OverloadAdmittedQPS, rep.OverloadSheds, rep.OverloadAdmittedP99MS)
+		fmt.Fprintf(w, "identical to fault-free oracle: %v; goroutine leak: %v\n", rep.Identical, rep.GoroutineLeak)
+	}
+	return err
+}
+
+// RunChaosJSON writes the report as indented JSON — the format
+// committed to BENCH_chaos.json so later PRs can track the trajectory.
+func RunChaosJSON(w io.Writer, cfg Config, schedules int) error {
+	rep, err := MeasureChaos(cfg, schedules)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

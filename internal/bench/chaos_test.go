@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosHarness runs a bounded chaos pass — enough schedules to
+// cycle the whole fault menu once — and requires every invariant the
+// full tier enforces: faults fired, writer recovered, answers identical
+// to the fault-free oracle, explicit shedding under overload, no
+// goroutine leak. The CI chaos smoke runs the same path under -race.
+func TestChaosHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness needs a multi-second cluster run")
+	}
+	schedules := 10 // one full pass over the fault menu
+	rep, err := MeasureChaos(Config{Scale: 1, QueriesPerGroup: 6, Seed: 42}, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InjectedFaults == 0 {
+		t.Fatal("no fault fired across the schedules")
+	}
+	if rep.WriterRestarts == 0 {
+		t.Fatal("no schedule poisoned the writer — fail-stop recovery untested")
+	}
+	if !rep.Identical {
+		t.Fatal("chaos run diverged from the fault-free oracle")
+	}
+	if rep.GoroutineLeak {
+		t.Fatal("goroutines leaked across the chaos run")
+	}
+	if rep.OverloadSheds == 0 || rep.OverloadAdmittedQPS == 0 {
+		t.Fatalf("overload phase: %d sheds, %.0f admitted qps", rep.OverloadSheds, rep.OverloadAdmittedQPS)
+	}
+}
+
+// TestChaosJSONShape: the -exp chaos-json output parses back into the
+// report struct (the committed BENCH_chaos.json contract).
+func TestChaosJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness needs a multi-second cluster run")
+	}
+	var buf bytes.Buffer
+	if err := RunChaosJSON(&buf, Config{Scale: 1, QueriesPerGroup: 6, Seed: 7}, 4); err != nil {
+		t.Fatal(err)
+	}
+	var rep ChaosReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("chaos JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Schedules != 4 {
+		t.Fatalf("schedules = %d, want 4", rep.Schedules)
+	}
+}

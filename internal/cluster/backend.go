@@ -30,6 +30,15 @@ type backend struct {
 	epoch     atomic.Uint64
 	latencyUS atomic.Int64
 	lastErr   atomic.Pointer[string]
+
+	// shedUntil (UnixNano) marks a backend that answered 429: it is
+	// overloaded, not broken, so it leaves the read rotation briefly
+	// without feeding the breaker — tripping the breaker on shed would
+	// dogpile the surviving backends. poisoned mirrors the backend's
+	// fail-stop state from its last probe: it still serves reads but
+	// refuses writes until restarted.
+	shedUntil atomic.Int64
+	poisoned  atomic.Bool
 }
 
 func newBackend(url string, hc *http.Client) *backend {
@@ -48,6 +57,17 @@ func newBackend(url string, hc *http.Client) *backend {
 // available reports whether the breaker admits traffic.
 func (b *backend) available(now time.Time) bool {
 	return now.UnixNano() >= b.openUntil.Load()
+}
+
+// shed takes the backend out of the read rotation for cooldown after a
+// 429, without touching the breaker.
+func (b *backend) shed(cooldown time.Duration) {
+	b.shedUntil.Store(time.Now().Add(cooldown).UnixNano())
+}
+
+// shedding reports whether the backend recently shed load.
+func (b *backend) shedding(now time.Time) bool {
+	return now.UnixNano() < b.shedUntil.Load()
 }
 
 // success records one good exchange: the breaker closes, the failure
@@ -95,5 +115,6 @@ func (b *backend) probe(ctx context.Context, timeout time.Duration, threshold in
 	}
 	b.success(time.Since(start))
 	b.epoch.Store(h.Epoch.Epoch)
+	b.poisoned.Store(h.Poisoned != "")
 	return h.Epoch.Epoch, true
 }

@@ -31,6 +31,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"lscr/api"
 	"lscr/client"
 	"lscr/internal/buildinfo"
+	"lscr/internal/failpoint"
 	"lscr/server"
 )
 
@@ -75,6 +77,11 @@ type Config struct {
 	// DefaultCooldown).
 	FailThreshold int
 	Cooldown      time.Duration
+	// RequestBudget bounds each read end-to-end (queue time on the
+	// backend included: the gateway stamps the remaining budget into
+	// api.BudgetHeader on every forwarded attempt, and lscrd turns it
+	// into the request's context deadline). 0 means unbounded.
+	RequestBudget time.Duration
 	// HTTPClient carries all backend traffic; http.DefaultClient when
 	// nil.
 	HTTPClient *http.Client
@@ -97,6 +104,13 @@ type Coordinator struct {
 	// its last good probe or mutate reply. rr drives round-robin.
 	writerEpoch atomic.Uint64
 	rr          atomic.Uint64
+
+	// sheds counts reads the cluster shed (a backend answered 429 and
+	// no alternative could take the request); inflight counts reads
+	// currently dispatched. Both are exported on /healthz so overload
+	// is observable at the gateway.
+	sheds    atomic.Int64
+	inflight atomic.Int64
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -257,13 +271,13 @@ func (co *Coordinator) pickRead(tried map[*backend]bool) *backend {
 		start := co.rr.Add(1)
 		for i := 0; i < n; i++ {
 			b := co.replicas[(start+uint64(i))%uint64(n)]
-			if tried[b] || !b.available(now) || !co.fresh(b) {
+			if tried[b] || !b.available(now) || b.shedding(now) || !co.fresh(b) {
 				continue
 			}
 			return b
 		}
 	}
-	if w := co.writer; !tried[w] && w.available(now) {
+	if w := co.writer; !tried[w] && w.available(now) && !w.shedding(now) {
 		return w
 	}
 	return nil
@@ -275,11 +289,11 @@ func (co *Coordinator) eligibleReads() []*backend {
 	now := time.Now()
 	var out []*backend
 	for _, b := range co.replicas {
-		if b.available(now) && co.fresh(b) {
+		if b.available(now) && !b.shedding(now) && co.fresh(b) {
 			out = append(out, b)
 		}
 	}
-	if len(out) == 0 && co.writer.available(now) {
+	if len(out) == 0 && co.writer.available(now) && !co.writer.shedding(now) {
 		out = append(out, co.writer)
 	}
 	return out
@@ -311,8 +325,19 @@ func (res *attemptResult) failureErr() error {
 	return fmt.Errorf("backend answered %d", res.status)
 }
 
+// FPGatewayDispatch is the failpoint site evaluated per forwarded
+// attempt; an armed error policy makes the dispatch fail as if the
+// backend were unreachable, exercising redispatch and breaker paths.
+const FPGatewayDispatch = "gateway-dispatch"
+
 // attempt forwards one buffered request to b and buffers the reply.
+// The remaining context budget travels in api.BudgetHeader, so a
+// backend's admission queue spends the caller's time, not its own
+// unbounded patience.
 func (co *Coordinator) attempt(ctx context.Context, b *backend, method, path, rawQuery string, body []byte, contentType string) attemptResult {
+	if fp := failpoint.Eval(FPGatewayDispatch); fp != nil {
+		return attemptResult{b: b, err: fp}
+	}
 	url := b.url + path
 	if rawQuery != "" {
 		url += "?" + rawQuery
@@ -327,6 +352,11 @@ func (co *Coordinator) attempt(ctx context.Context, b *backend, method, path, ra
 	}
 	if contentType != "" {
 		hreq.Header.Set("Content-Type", contentType)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(api.BudgetHeader, strconv.FormatInt(ms, 10))
+		}
 	}
 	start := time.Now()
 	resp, err := co.hc.Do(hreq)
@@ -347,13 +377,17 @@ func (co *Coordinator) attempt(ctx context.Context, b *backend, method, path, ra
 	}
 }
 
-// relay writes a backend reply through to the client.
+// relay writes a backend reply through to the client, preserving the
+// Retry-After hint of a shedding or poisoned backend.
 func relay(w http.ResponseWriter, res attemptResult) {
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	if eh := res.header.Get(api.SegmentEpochHeader); eh != "" {
 		w.Header().Set(api.SegmentEpochHeader, eh)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
@@ -362,7 +396,11 @@ func relay(w http.ResponseWriter, res attemptResult) {
 // readHedged builds the handler for single-request reads: route to an
 // eligible replica, hedge to a second after hedgeAfter, redispatch on
 // transient failure, first definitive answer wins. The request body is
-// buffered up front so every attempt re-sends identical bytes.
+// buffered up front so every attempt re-sends identical bytes. A 429
+// is handled shed-aware: the backend leaves the rotation briefly (no
+// breaker hit — it is overloaded, not broken) and the read is
+// redispatched once elsewhere; only when nothing else can take it does
+// the 429 relay to the client, Retry-After intact.
 func (co *Coordinator) readHedged(maxBody int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
@@ -370,7 +408,14 @@ func (co *Coordinator) readHedged(maxBody int64) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		co.inflight.Add(1)
+		defer co.inflight.Add(-1)
 		ctx := r.Context()
+		if d := co.cfg.RequestBudget; d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
 		actx, cancelAttempts := context.WithCancel(ctx)
 		defer cancelAttempts()
 
@@ -398,11 +443,34 @@ func (co *Coordinator) readHedged(maxBody int64) http.HandlerFunc {
 			defer t.Stop()
 			hedge = t.C
 		}
-		var lastErr error
+		var (
+			lastErr  error
+			lastShed *attemptResult
+		)
 		for {
 			select {
 			case res := <-results:
 				inflight--
+				if res.status == http.StatusTooManyRequests {
+					// Shed, not broken: pull the backend out of the
+					// rotation for a cooldown without feeding its breaker,
+					// and give the read one chance elsewhere. Relaying the
+					// 429 (Retry-After intact) is the fallback, not a 502 —
+					// the client's retry policy knows what to do with it.
+					res.b.shed(co.cooldown())
+					co.logf("read via %s shed (429)", res.b.url)
+					if nb := co.pickRead(tried); nb != nil {
+						launch(nb)
+						continue
+					}
+					if inflight > 0 {
+						lastShed = &res
+						continue // a hedge may still answer
+					}
+					co.sheds.Add(1)
+					relay(w, res)
+					return
+				}
 				if res.transient() {
 					lastErr = res.failureErr()
 					res.b.failure(lastErr, co.failThreshold(), co.cooldown())
@@ -413,6 +481,11 @@ func (co *Coordinator) readHedged(maxBody int64) http.HandlerFunc {
 					}
 					if inflight > 0 {
 						continue // a hedge may still answer
+					}
+					if lastShed != nil {
+						co.sheds.Add(1)
+						relay(w, *lastShed)
+						return
 					}
 					writeError(w, http.StatusBadGateway, fmt.Errorf("no backend answered: %v", lastErr))
 					return
@@ -530,6 +603,15 @@ func transientErr(err error) bool {
 // once — the gateway never retries a write (the reply may have been
 // lost after the commit), matching the typed client's contract.
 func (co *Coordinator) v1Mutate(w http.ResponseWriter, r *http.Request) {
+	if co.writer.poisoned.Load() {
+		// The writer fail-stopped its write path (probe saw the
+		// degraded /healthz): fail static here instead of burning the
+		// writer's 503 path per request. Reads keep routing normally.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("writer is poisoned (fail-stop after write error); restart it to resume writes"))
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxBatchBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -569,17 +651,20 @@ func (co *Coordinator) toWriter(w http.ResponseWriter, r *http.Request) {
 func (co *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
 	head := co.writerEpoch.Load()
 	out := api.ClusterHealth{
-		Status:  "ok",
-		Version: buildinfo.Version(),
-		API:     api.Version,
-		Role:    "gateway",
-		Epoch:   head,
-		Writer:  co.backendHealth(co.writer, head),
+		Status:         "ok",
+		Version:        buildinfo.Version(),
+		API:            api.Version,
+		Role:           "gateway",
+		Epoch:          head,
+		Writer:         co.backendHealth(co.writer, head),
+		Sheds:          co.sheds.Load(),
+		Inflight:       co.inflight.Load(),
+		WriterPoisoned: co.writer.poisoned.Load(),
 	}
 	for _, b := range co.replicas {
 		out.Replicas = append(out.Replicas, co.backendHealth(b, head))
 	}
-	if len(co.eligibleReads()) == 0 {
+	if len(co.eligibleReads()) == 0 || out.WriterPoisoned {
 		out.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -592,6 +677,8 @@ func (co *Coordinator) backendHealth(b *backend, head uint64) api.ReplicaHealth 
 		Breaker:   "closed",
 		Epoch:     b.epoch.Load(),
 		LatencyUS: b.latencyUS.Load(),
+		Shedding:  b.shedding(now),
+		Poisoned:  b.poisoned.Load(),
 	}
 	if !b.available(now) {
 		rh.Breaker = "open"

@@ -10,6 +10,7 @@ import (
 
 	"lscr"
 	"lscr/client"
+	"lscr/internal/failpoint"
 	"lscr/server"
 )
 
@@ -36,6 +37,10 @@ type FollowerConfig struct {
 	// HTTPClient carries the replication traffic; http.DefaultClient
 	// when nil. It must not impose a global timeout shorter than Poll.
 	HTTPClient *http.Client
+	// ServerOptions are applied to the read-only handler each bootstrap
+	// builds (e.g. server.WithAdmission for overload protection on the
+	// replica's own listener).
+	ServerOptions []server.Option
 	// Logf receives tail-loop events; discarded when nil.
 	Logf func(format string, args ...any)
 }
@@ -92,10 +97,18 @@ func StartFollower(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
 	return f, nil
 }
 
+// FPFollowerBootstrap is the failpoint site evaluated at the top of a
+// follower bootstrap; armed error policies exercise the rebootstrap
+// retry loop (a transiently unreachable writer at bootstrap time).
+const FPFollowerBootstrap = "follower-bootstrap"
+
 // bootstrap fetches the writer's newest sealed segment, opens a fresh
 // replica engine over it, and swaps it in; the cursor restarts at the
 // segment's base epoch.
 func (f *Follower) bootstrap(ctx context.Context) error {
+	if fp := failpoint.Eval(FPFollowerBootstrap); fp != nil {
+		return fmt.Errorf("cluster: follower bootstrap: %w", fp)
+	}
 	data, base, err := f.cli.Segment(ctx)
 	if err != nil {
 		return fmt.Errorf("cluster: follower bootstrap: %w", err)
@@ -106,7 +119,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	}
 	f.state.Store(&followerState{
 		eng: eng,
-		h:   server.New(eng, eng.KG(), server.ReadOnly()),
+		h:   server.New(eng, eng.KG(), append([]server.Option{server.ReadOnly()}, f.cfg.ServerOptions...)...),
 	})
 	f.cursor.Store(base)
 	f.bootstraps.Add(1)

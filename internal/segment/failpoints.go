@@ -1,0 +1,31 @@
+package segment
+
+// Failpoint sites threaded through the durability hot paths. Arm them
+// via failpoint.Set/Arm (or LSCR_FAILPOINTS) to simulate disk faults:
+// an "error" policy makes the operation fail cleanly before touching
+// the file, "torn=K" persists a K-byte prefix first — a crash
+// mid-write.
+const (
+	// FPWALAppend fires in WAL.Append before the record write.
+	FPWALAppend = "wal-append"
+	// FPWALSync fires before any WAL fsync (Append in sync mode, Sync,
+	// the pre-rotation flush).
+	FPWALSync = "wal-sync"
+	// FPWALRotateWrite fires per record while Rotate copies the kept
+	// suffix into the temp log.
+	FPWALRotateWrite = "wal-rotate-write"
+	// FPWALRotateSync fires before Rotate fsyncs the temp log.
+	FPWALRotateSync = "wal-rotate-sync"
+	// FPWALRotateRename fires before Rotate renames the temp log over
+	// the live one.
+	FPWALRotateRename = "wal-rotate-rename"
+	// FPSegWrite fires in WriteTemp before the segment image is written.
+	FPSegWrite = "seg-write"
+	// FPSegSync fires in WriteTemp before the segment fsync.
+	FPSegSync = "seg-sync"
+	// FPSegRename fires in Commit before the temp→final rename.
+	FPSegRename = "seg-rename"
+	// FPDirSync fires in the directory fsync that seals both Commit and
+	// WAL rotation.
+	FPDirSync = "dir-sync"
+)

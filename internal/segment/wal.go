@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"lscr/internal/failpoint"
 )
 
 // Write-ahead log. Every committed Apply batch is appended (and, in
@@ -188,6 +190,15 @@ func (w *WAL) Append(kind byte, seq uint64, payload []byte, sync bool) error {
 	if w.f == nil {
 		return errors.New("segment: wal closed")
 	}
+	if fp := failpoint.Eval(FPWALAppend); fp != nil {
+		if fp.Torn > 0 {
+			// A crash mid-append: a prefix of the record reaches the file
+			// but is never acknowledged. Size/record counters stay put —
+			// the torn bytes are exactly what reopen truncates away.
+			w.f.Write(buf[:min(fp.Torn, len(buf))])
+		}
+		return fp
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
@@ -195,11 +206,7 @@ func (w *WAL) Append(kind byte, seq uint64, payload []byte, sync bool) error {
 	w.records++
 	w.dirty = true
 	if sync {
-		if err := w.f.Sync(); err != nil {
-			return err
-		}
-		w.dirty = false
-		w.lastSync = time.Now()
+		return w.syncLocked()
 	}
 	return nil
 }
@@ -214,6 +221,9 @@ func (w *WAL) Sync() error {
 func (w *WAL) syncLocked() error {
 	if w.f == nil || !w.dirty {
 		return nil
+	}
+	if fp := failpoint.Eval(FPWALSync); fp != nil {
+		return fp
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
@@ -248,7 +258,10 @@ func (w *WAL) Rotate(keepAfter uint64) error {
 	}
 	size := int64(len(walMagic))
 	kept := 0
-	if _, err := tmp.Write([]byte(walMagic)); err == nil {
+	// Assign the outer err: a record-copy failure must survive this
+	// block, not die in an if-scoped shadow.
+	_, err = tmp.Write([]byte(walMagic))
+	if err == nil {
 		for _, r := range recs {
 			if r.Seq <= keepAfter {
 				continue
@@ -260,6 +273,13 @@ func (w *WAL) Rotate(keepAfter uint64) error {
 			copy(body[9:], r.Payload)
 			binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
 			binary.LittleEndian.PutUint32(buf[4:8], checksum(body))
+			if fp := failpoint.Eval(FPWALRotateWrite); fp != nil {
+				if fp.Torn > 0 {
+					tmp.Write(buf[:min(fp.Torn, len(buf))])
+				}
+				err = fp
+				break
+			}
 			if _, err = tmp.Write(buf); err != nil {
 				break
 			}
@@ -268,7 +288,11 @@ func (w *WAL) Rotate(keepAfter uint64) error {
 		}
 	}
 	if err == nil {
-		err = tmp.Sync()
+		if fp := failpoint.Eval(FPWALRotateSync); fp != nil {
+			err = fp
+		} else {
+			err = tmp.Sync()
+		}
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
@@ -276,6 +300,10 @@ func (w *WAL) Rotate(keepAfter uint64) error {
 	if err != nil {
 		os.Remove(tmpPath)
 		return err
+	}
+	if fp := failpoint.Eval(FPWALRotateRename); fp != nil {
+		os.Remove(tmpPath)
+		return fp
 	}
 	if err := os.Rename(tmpPath, w.path); err != nil {
 		os.Remove(tmpPath)

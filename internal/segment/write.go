@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lscr/internal/failpoint"
 	"lscr/internal/graph"
 	lscrcore "lscr/internal/lscr"
 )
@@ -77,10 +78,27 @@ func WriteTemp(dir string, baseSeq uint64, g *graph.Graph, idx *lscrcore.LocalIn
 	if err != nil {
 		return "", err
 	}
+	if fp := failpoint.Eval(FPSegWrite); fp != nil {
+		if fp.Torn > 0 {
+			// Crash mid-image: leave a partial temp file behind — exactly
+			// the stray Open's removeStrayTemps must sweep.
+			f.Write(zeroPad[:min(fp.Torn, len(zeroPad))])
+			f.Close()
+			return "", fp
+		}
+		f.Close()
+		os.Remove(tmpPath)
+		return "", fp
+	}
 	if err := writeSegment(f, baseSeq, g, idx, indexK, indexSeed); err != nil {
 		f.Close()
 		os.Remove(tmpPath)
 		return "", err
+	}
+	if fp := failpoint.Eval(FPSegSync); fp != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return "", fp
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -100,6 +118,9 @@ func Commit(tmpPath string) (string, error) {
 	final := strings.TrimSuffix(tmpPath, tmpSuffix)
 	if final == tmpPath {
 		return "", fmt.Errorf("segment: %q is not a temp segment", tmpPath)
+	}
+	if fp := failpoint.Eval(FPSegRename); fp != nil {
+		return "", fp
 	}
 	if err := os.Rename(tmpPath, final); err != nil {
 		return "", err
@@ -130,6 +151,9 @@ func RemoveObsolete(dir, keepPath string) error {
 }
 
 func syncDir(dir string) error {
+	if fp := failpoint.Eval(FPDirSync); fp != nil {
+		return fp
+	}
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -225,6 +225,15 @@ type Options struct {
 	// INS keeps pruning against a current index. Exposed mainly for
 	// benchmarking the maintenance win and as an escape hatch.
 	NoIndexMaintenance bool
+	// Failpoints arms fault-injection sites before a persistent engine
+	// touches its files: a ";"-separated list of site=policy activations
+	// (see internal/failpoint for sites and the policy grammar, e.g.
+	// "wal-sync=error-once;seg-rename=error,every=3"). Applied by Open
+	// and Create only; the registry is process-global, so in-memory
+	// engines and running processes arm sites via the failpoint package
+	// or the LSCR_FAILPOINTS environment variable instead. Empty — the
+	// default — arms nothing and costs nothing on the I/O paths.
+	Failpoints string
 }
 
 // Engine answers LSCR queries over one KG and accepts live mutations.
@@ -267,6 +276,12 @@ type Engine struct {
 	// feed (OpenReplicaSegment): Apply and Compact refuse, and
 	// ApplyReplicated/SealReplicated drive the epochs instead.
 	replica bool
+
+	// poisonp, once set, pins the engine in fail-stop mode: the first
+	// WAL/segment write failure is recorded and every later Apply/Compact
+	// returns ErrPoisoned while reads keep serving the last published
+	// (fully durable) epoch. See poison.go.
+	poisonp poisonPointer
 }
 
 // epoch is one immutable serving snapshot: a graph view (base CSR plus

@@ -186,6 +186,13 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 	if e.replica {
 		return ApplyResult{}, ErrReplicaWrite
 	}
+	// Fail-stop: after a write failure the durable log no longer matches
+	// what the engine would acknowledge, so mutations are refused until a
+	// restart re-derives the state from disk. Poisoning is monotonic, so
+	// checking before the lock cannot race into a stale acceptance.
+	if err := e.poisonedErr(); err != nil {
+		return ApplyResult{}, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.ep.Load()
@@ -245,9 +252,12 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyResult, error
 	if e.store != nil {
 		// Durability point: the batch is in the WAL (and, in sync mode,
 		// on stable storage) before any reader can observe its epoch. On
-		// failure nothing is published and the engine state is unchanged.
+		// failure nothing is published, the caller gets the write error
+		// itself, and the engine poisons: the log may now hold a torn or
+		// unsynced prefix, so no further writes are acknowledged until a
+		// restart re-derives the state from disk.
 		if err := e.store.logBatch(ep.seq, muts); err != nil {
-			return ApplyResult{}, err
+			return ApplyResult{}, e.fatal(err)
 		}
 	}
 	e.publishEpoch(ep)
@@ -331,11 +341,11 @@ func (e *Engine) startCompaction() bool {
 	}
 	go func() {
 		defer e.compacting.Store(false)
-		// A compaction failure can only come from an internal overlay
-		// inconsistency; it must never be silently dropped.
-		if _, err := e.compact(); err != nil {
-			panic(fmt.Sprintf("lscr: background compaction failed: %v", err))
-		}
+		// A compaction failure — an I/O fault sealing the segment or an
+		// internal overlay inconsistency — poisons the engine (compact
+		// does it before returning): reads keep serving, writes are
+		// refused, /healthz reports degraded. Nothing to do here.
+		e.compact()
 	}()
 	return true
 }
@@ -382,6 +392,9 @@ var sealBarrier func()
 func (e *Engine) compact() (bool, error) {
 	e.compactMu.Lock()
 	defer e.compactMu.Unlock()
+	if err := e.poisonedErr(); err != nil {
+		return false, err
+	}
 
 	snap := e.ep.Load()
 	if !snap.kg.g.HasOverlay() {
@@ -403,7 +416,11 @@ func (e *Engine) compact() (bool, error) {
 		var err error
 		tmpSeg, err = segment.WriteTemp(e.store.dir, snap.seq, base, idx, e.opts.Landmarks, e.opts.IndexSeed)
 		if err != nil {
-			return false, err
+			// No swap happened: the serving state is untouched, but the
+			// store may hold a partial temp image and the seal cannot be
+			// trusted to succeed — fail stop (reads continue, restart
+			// sweeps the stray temp and recovers).
+			return false, e.fatal(err)
 		}
 	}
 	if compactBarrier != nil {
@@ -414,7 +431,10 @@ func (e *Engine) compact() (bool, error) {
 		if tmpSeg != "" {
 			os.Remove(tmpSeg)
 		}
-		return false, err
+		// Either the seal record failed to become durable or the replay
+		// found an internal inconsistency; both leave the on-disk state
+		// behind the serving state in ways only a restart resolves.
+		return false, e.fatal(err)
 	}
 
 	if sealBarrier != nil {
@@ -424,17 +444,21 @@ func (e *Engine) compact() (bool, error) {
 	// readers and Apply proceed, and the order (seal record durable →
 	// rename → rotate) keeps every intermediate crash recoverable.
 	if e.store != nil {
+		// The epoch is already swapped; any failure from here on leaves
+		// disk lagging the serving state (a recoverable lag — the seal
+		// record is durable, so a restart replays to the same epoch), but
+		// further writes cannot be trusted: fail stop.
 		final, err := segment.Commit(tmpSeg)
 		if err != nil {
-			return false, err
+			return false, e.fatal(err)
 		}
 		e.store.segSeq.Store(snap.seq)
 		e.store.lastSeal.Store(time.Now().UnixNano())
 		if err := e.store.wal.Rotate(snap.seq); err != nil {
-			return false, err
+			return false, e.fatal(err)
 		}
 		if err := segment.RemoveObsolete(e.store.dir, final); err != nil {
-			return false, err
+			return false, e.fatal(err)
 		}
 	}
 	return true, nil

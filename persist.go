@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lscr/internal/failpoint"
 	"lscr/internal/graph"
 	core "lscr/internal/lscr"
 	"lscr/internal/segment"
@@ -41,10 +42,14 @@ import (
 // its answers, epoch numbers and INS statistics — identical to the
 // pre-crash run's.
 //
-// A persistence I/O failure inside the background compactor is fatal
-// (panic), matching the engine's existing stance on compaction
-// failures: an engine that can no longer honour its durability
-// contract must not keep acknowledging writes.
+// A persistence I/O failure — a WAL append or fsync inside Apply, or
+// any write inside a compaction seal — poisons the engine (fail-stop,
+// see poison.go): the failing call returns the write error, every
+// later Apply/Compact returns ErrPoisoned, and reads keep serving the
+// last published epoch, which was fully durable before it became
+// visible. An engine that can no longer honour its durability contract
+// must not keep acknowledging writes; a restart (Open on the same
+// directory) recovers the durable prefix exactly.
 
 // Durability selects the WAL fsync policy of a persistent engine.
 type Durability int
@@ -139,6 +144,9 @@ func (s *store) sealAppend(seq, baseSeq uint64) error {
 // non-empty WAL but no segment rather than silently discarding logged
 // batches.
 func Create(dir string, kg *KG, opts Options) (*Engine, error) {
+	if err := armFailpoints(opts); err != nil {
+		return nil, err
+	}
 	dir, err := resolveDataDir(dir, opts)
 	if err != nil {
 		return nil, err
@@ -183,6 +191,9 @@ func Create(dir string, kg *KG, opts Options) (*Engine, error) {
 // honoured. Close must be called (after draining queries) to release
 // the mapping and the WAL.
 func Open(dir string, opts Options) (*Engine, error) {
+	if err := armFailpoints(opts); err != nil {
+		return nil, err
+	}
 	dir, err := resolveDataDir(dir, opts)
 	if err != nil {
 		return nil, err
@@ -244,6 +255,17 @@ func Open(dir string, opts Options) (*Engine, error) {
 		e.startCompaction()
 	}
 	return e, nil
+}
+
+// armFailpoints applies Options.Failpoints before the store's files are
+// touched. The registry is process-global (see internal/failpoint), so
+// the option is a convenience for wiring faults through Open/Create;
+// tests and the chaos tier arm sites directly.
+func armFailpoints(opts Options) error {
+	if opts.Failpoints == "" {
+		return nil
+	}
+	return failpoint.Arm(opts.Failpoints)
 }
 
 // resolveDataDir applies the Options.DataDir default.

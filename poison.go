@@ -1,0 +1,70 @@
+package lscr
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Fail-stop durability contract. Once a WAL or segment write fails, the
+// durable log can no longer be trusted to contain what the engine would
+// acknowledge next, so the engine poisons itself rather than limp into
+// a state a restart cannot reproduce: every subsequent Apply/Compact
+// returns ErrPoisoned, while reads keep serving the last published
+// epoch — that epoch was fully durable before it became visible, so
+// serving it is always safe. Recovery is a process restart: Open
+// replays the intact segment+WAL prefix and lands exactly on the last
+// acknowledged state.
+
+// ErrPoisoned marks an engine that hit a WAL or segment write failure
+// and has entered fail-stop mode: mutations and compactions are
+// refused, reads continue on the last published epoch, and a restart
+// (Open on the same directory) recovers the durable prefix. Returned
+// errors wrap the original write failure; use Poisoned to inspect it.
+var ErrPoisoned = errors.New("lscr: engine poisoned by write failure")
+
+// poisonState records the first write failure; later failures keep the
+// original cause (first poison wins — it is the one that explains the
+// rest).
+type poisonState struct {
+	cause error
+	at    time.Time
+}
+
+type poisonPointer = atomic.Pointer[poisonState]
+
+// poison enters fail-stop mode. The first caller's error is kept as the
+// cause; concurrent or later poisonings are no-ops.
+func (e *Engine) poison(cause error) {
+	e.poisonp.CompareAndSwap(nil, &poisonState{cause: cause, at: time.Now()})
+}
+
+// fatal poisons the engine with err and returns it — the write-error
+// exit path of the commit and compaction code.
+func (e *Engine) fatal(err error) error {
+	e.poison(err)
+	return err
+}
+
+// Poisoned reports the engine's fail-stop state: nil while healthy,
+// otherwise the original write failure that poisoned it. The server
+// surfaces it on /healthz, and the gateway routes writes away from a
+// poisoned writer.
+func (e *Engine) Poisoned() error {
+	if p := e.poisonp.Load(); p != nil {
+		return p.cause
+	}
+	return nil
+}
+
+// poisonedErr builds the typed refusal Apply/Compact return after
+// poisoning: errors.Is(err, ErrPoisoned) holds and the message carries
+// the original cause and when it struck.
+func (e *Engine) poisonedErr() error {
+	p := e.poisonp.Load()
+	if p == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (cause at %s: %v)", ErrPoisoned, p.at.Format(time.RFC3339), p.cause)
+}

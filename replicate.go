@@ -6,10 +6,16 @@ import (
 	"fmt"
 	"os"
 
+	"lscr/internal/failpoint"
 	"lscr/internal/graph"
 	core "lscr/internal/lscr"
 	"lscr/internal/segment"
 )
+
+// fpReplicateRead is the replication-feed failpoint: armed, it fails
+// ReplicationRead before the log scan, which the follower sees as a
+// transient feed error (it retries, it never corrupts its cursor).
+const fpReplicateRead = "replicate-read"
 
 // Replication.
 //
@@ -213,6 +219,9 @@ func (e *Engine) commitMutations(cur *epoch, muts []Mutation) (*graph.Graph, *co
 func (e *Engine) ReplicationRead(from uint64, max int) ([]ReplicationBatch, error) {
 	if e.store == nil {
 		return nil, ErrNoReplicationLog
+	}
+	if fp := failpoint.Eval(fpReplicateRead); fp != nil {
+		return nil, fp
 	}
 	if max <= 0 || max > MaxReplicationBatches {
 		max = MaxReplicationBatches

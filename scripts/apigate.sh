@@ -15,10 +15,11 @@ cd "$(dirname "$0")/.."
 
 # Non-query methods (stats, index persistence, SPARQL standalone, the
 # mutation family Apply/Compact with its KG/Epoch observers, the
-# persistence lifecycle Close/Durability, and the replication feed
+# persistence lifecycle Close/Durability, the replication feed
 # ApplyReplicated/SealReplicated/ReplicationRead/SegmentFile/
-# EpochPublished) are part of the stable surface and listed explicitly.
-ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health|Close|Durability|ApplyReplicated|SealReplicated|ReplicationRead|SegmentFile|EpochPublished)$'
+# EpochPublished, and the fail-stop observer Poisoned) are part of the
+# stable surface and listed explicitly.
+ALLOW='^(Query|QueryBatch|CacheStats|IndexMaintenance|Index|SaveIndex|Select|SelectAll|Apply|Compact|KG|Epoch|Health|Close|Durability|ApplyReplicated|SealReplicated|ReplicationRead|SegmentFile|EpochPublished|Poisoned)$'
 
 status=0
 for f in *.go; do

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"lscr/api"
+)
+
+// AdmissionOptions bounds what the server accepts concurrently. A
+// request that arrives while MaxInflight requests are executing waits
+// in a queue of at most MaxQueue slots for up to QueueWait; past either
+// bound it is shed with 429 Too Many Requests and a Retry-After header,
+// so saturation degrades into fast, explicit rejections instead of an
+// unbounded latency tail. Zero values take defaults: MaxQueue defaults
+// to MaxInflight, QueueWait to 50ms, RetryAfter to 1s. MaxInflight <= 0
+// disables admission control entirely.
+type AdmissionOptions struct {
+	// MaxInflight is the number of requests allowed to execute at once.
+	MaxInflight int
+	// MaxQueue is how many requests may wait for an inflight slot.
+	MaxQueue int
+	// QueueWait caps how long a queued request waits before shedding.
+	QueueWait time.Duration
+	// RetryAfter is the hint sent in the Retry-After header on shed.
+	RetryAfter time.Duration
+}
+
+// WithAdmission enables overload protection on the query, batch and
+// mutate endpoints. Health, replication and segment endpoints are never
+// gated: probes must see a saturated server, and followers must keep
+// replicating through overload.
+func WithAdmission(o AdmissionOptions) Option {
+	return func(s *server) {
+		if o.MaxInflight <= 0 {
+			return
+		}
+		if o.MaxQueue == 0 {
+			o.MaxQueue = o.MaxInflight
+		}
+		if o.QueueWait == 0 {
+			o.QueueWait = 50 * time.Millisecond
+		}
+		if o.RetryAfter == 0 {
+			o.RetryAfter = time.Second
+		}
+		s.gate = &gate{
+			sem:        make(chan struct{}, o.MaxInflight),
+			maxQueue:   int64(o.MaxQueue),
+			queueWait:  o.QueueWait,
+			retryAfter: o.RetryAfter,
+		}
+	}
+}
+
+// admit verdicts: ok (run the handler, release() after), shed (answer
+// 429 + Retry-After), expired (the request's own context ended while
+// queued — answer via statusFor, it is a 504/499, not a shed).
+type admitVerdict int
+
+const (
+	admitOK admitVerdict = iota
+	admitShed
+	admitExpired
+)
+
+// gate is a bounded-inflight admission controller: a counting
+// semaphore for execution slots plus a short counted queue in front of
+// it. Everything past the queue is shed immediately.
+type gate struct {
+	sem        chan struct{}
+	maxQueue   int64
+	queueWait  time.Duration
+	retryAfter time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// admit blocks until an execution slot frees, the queue-wait budget
+// runs out, or ctx ends. Queue occupancy is checked optimistically —
+// under a race slightly more than maxQueue requests may wait, which
+// only makes the queue marginally less strict, never blocks admission.
+func (g *gate) admit(ctx context.Context) admitVerdict {
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		g.inflight.Add(1)
+		return admitOK
+	default:
+	}
+	if g.queued.Load() >= g.maxQueue {
+		g.shed.Add(1)
+		return admitShed
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		g.inflight.Add(1)
+		return admitOK
+	case <-timer.C:
+		g.shed.Add(1)
+		return admitShed
+	case <-ctx.Done():
+		return admitExpired
+	}
+}
+
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	<-g.sem
+}
+
+// stats snapshots the gate for /healthz. A nil gate reports admission
+// disabled.
+func (g *gate) stats() api.AdmissionStats {
+	if g == nil {
+		return api.AdmissionStats{}
+	}
+	return api.AdmissionStats{
+		Enabled:     true,
+		MaxInflight: cap(g.sem),
+		MaxQueue:    int(g.maxQueue),
+		Inflight:    g.inflight.Load(),
+		Queued:      g.queued.Load(),
+		Admitted:    g.admitted.Load(),
+		Shed:        g.shed.Load(),
+	}
+}

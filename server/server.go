@@ -46,6 +46,7 @@ import (
 	"lscr"
 	"lscr/api"
 	"lscr/internal/buildinfo"
+	"lscr/internal/failpoint"
 )
 
 // Body caps: MaxBatchBody bounds a batch request body (32 MiB ≈
@@ -74,18 +75,22 @@ func New(eng *lscr.Engine, kg *lscr.KG, opts ...Option) http.Handler {
 		o(s)
 	}
 	mux := http.NewServeMux()
+	// /healthz, /v1/replicate and /v1/segment stay outside the
+	// admission gate: probes must be able to see a saturated or
+	// poisoned server, and followers must keep replicating through
+	// overload.
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
-	mux.HandleFunc("POST /v1/query", s.v1Query)
-	mux.HandleFunc("POST /v1/batch", s.v1Batch)
-	mux.HandleFunc("POST /v1/mutate", s.v1Mutate)
+	mux.HandleFunc("POST /v1/query", s.admitted(s.v1Query))
+	mux.HandleFunc("POST /v1/batch", s.admitted(s.v1Batch))
+	mux.HandleFunc("POST /v1/mutate", s.admitted(s.v1Mutate))
 	mux.HandleFunc("GET /v1/replicate", s.v1Replicate)
 	mux.HandleFunc("GET /v1/segment", s.v1Segment)
 	// Deprecated pre-v1 routes, aliased onto the same engine paths.
-	mux.HandleFunc("POST /reach", s.legacyReach)
-	mux.HandleFunc("POST /reachbatch", s.legacyReachBatch)
-	mux.HandleFunc("POST /reachall", s.legacyReachAll)
-	mux.HandleFunc("POST /select", s.selectQuery)
+	mux.HandleFunc("POST /reach", s.admitted(s.legacyReach))
+	mux.HandleFunc("POST /reachbatch", s.admitted(s.legacyReachBatch))
+	mux.HandleFunc("POST /reachall", s.admitted(s.legacyReachAll))
+	mux.HandleFunc("POST /select", s.admitted(s.selectQuery))
 	return mux
 }
 
@@ -101,6 +106,67 @@ func ReadOnly() Option {
 type server struct {
 	eng      *lscr.Engine
 	readOnly bool
+	gate     *gate
+}
+
+// FPServe is the failpoint site evaluated at the top of /v1/query;
+// arming it with a delay policy turns every query into a slow query,
+// which is how the overload tests saturate the admission gate without
+// needing a graph large enough to be naturally slow.
+const FPServe = "server-query"
+
+// admitted wraps a handler with deadline-budget propagation and the
+// admission gate. The api.BudgetHeader deadline is applied BEFORE the
+// gate so time spent queued counts against the caller's budget — a
+// gateway's 20ms-budget request that queues for 50ms must not then run
+// for its full original budget.
+func (s *server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ms := r.Header.Get(api.BudgetHeader); ms != "" {
+			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(v)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		if s.gate != nil {
+			switch s.gate.admit(r.Context()) {
+			case admitShed:
+				w.Header().Set("Retry-After", retryAfterSeconds(s.gate.retryAfter))
+				writeError(w, http.StatusTooManyRequests, errOverloaded)
+				return
+			case admitExpired:
+				err := r.Context().Err()
+				writeError(w, statusFor(err), err)
+				return
+			}
+			defer s.gate.release()
+		}
+		h(w, r)
+	}
+}
+
+var errOverloaded = errors.New("server overloaded; retry later")
+
+// retryAfterSeconds renders a Retry-After header value: integer
+// seconds, rounded up so a sub-second hint never becomes "0".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// engineError answers an engine failure, attaching a Retry-After hint
+// when the failure is retryable-elsewhere (503: the engine is poisoned
+// and a restart or failover is needed before writes succeed here).
+func engineError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+	}
+	writeError(w, code, err)
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -108,7 +174,7 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	// maintenance stats must describe the same serving state even
 	// mid-mutation.
 	kg, cache, epoch, maint := s.eng.Health()
-	writeJSON(w, http.StatusOK, api.Health{
+	h := api.Health{
 		Status:      "ok",
 		Version:     buildinfo.Version(),
 		API:         api.Version,
@@ -119,7 +185,16 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		Epoch:       epoch,
 		Maintenance: maint,
 		Durability:  s.eng.Durability(),
-	})
+		Admission:   s.gate.stats(),
+	}
+	// A poisoned engine still serves reads from its last published
+	// epoch, but writes are refused until restart: report degraded so
+	// probes and the gateway can route writes elsewhere.
+	if cause := s.eng.Poisoned(); cause != nil {
+		h.Status = "degraded"
+		h.Poisoned = cause.Error()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *server) v1Mutate(w http.ResponseWriter, r *http.Request) {
@@ -141,7 +216,7 @@ func (s *server) v1Mutate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.Apply(r.Context(), wire.ToMutations())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		engineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.FromApplyResult(res))
@@ -158,9 +233,13 @@ func (s *server) v1Query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if fp := failpoint.Eval(FPServe); fp != nil {
+		engineError(w, fp)
+		return
+	}
 	resp, err := s.eng.Query(r.Context(), req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		engineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.FromResponse(resp))
@@ -502,6 +581,12 @@ func statusFor(err error) int {
 		// A replica engine takes writes only through its feed; direct
 		// mutation attempts are refused like a read-only deployment's.
 		return http.StatusForbidden
+	case errors.Is(err, lscr.ErrPoisoned):
+		// The engine took a write failure and fail-stopped its write
+		// path; reads still work but this request cannot succeed until
+		// the process restarts. 503 + Retry-After tells clients and the
+		// gateway to go elsewhere.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
