@@ -10,7 +10,7 @@ import (
 
 func TestRunLUBM(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "lubm", "triples", 1, 0, 1); err != nil {
+	if err := run(&buf, "lubm", "triples", 1, 0, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	g, err := rdf.Load(&buf)
@@ -24,7 +24,7 @@ func TestRunLUBM(t *testing.T) {
 
 func TestRunYago(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "yago", "triples", 0, 500, 1); err != nil {
+	if err := run(&buf, "yago", "triples", 0, 500, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	g, err := rdf.Load(&buf)
@@ -38,7 +38,7 @@ func TestRunYago(t *testing.T) {
 
 func TestRunSnapshotFormat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "lubm", "snapshot", 1, 0, 1); err != nil {
+	if err := run(&buf, "lubm", "snapshot", 1, 0, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	g, err := graph.ReadSnapshot(&buf)
@@ -52,14 +52,28 @@ func TestRunSnapshotFormat(t *testing.T) {
 
 func TestRunUnknownFormat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "lubm", "xml", 1, 1, 1); err == nil {
+	if err := run(&buf, "lubm", "xml", 1, 1, 0, 1); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
 
 func TestRunUnknownKind(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", "triples", 1, 1, 1); err == nil {
+	if err := run(&buf, "nope", "triples", 1, 1, 0, 1); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunEdgeTarget(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "yago", "triples", 0, 0, 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := rdf.Load(&buf)
+	if err != nil {
+		t.Fatalf("output is not loadable: %v", err)
+	}
+	if g.NumEdges() < 5000 {
+		t.Fatalf("-edges 5000 produced only %d edges", g.NumEdges())
 	}
 }

@@ -25,6 +25,10 @@
 //	lscrbench -exp replica-json     # same, as BENCH_replica.json
 //	lscrbench -exp chaos            # fault schedules over writer+followers+gateway
 //	lscrbench -exp chaos-json       # same, as BENCH_chaos.json
+//	lscrbench -exp scale -edges 1200000
+//	                                # multi-million-edge tier: gen + index +
+//	                                # contended throughput + cache + mutate
+//	lscrbench -exp scale-json       # same, as BENCH_scale.json
 //
 // Experiments: table2, fig5a, fig5b, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablation-rho, ablation-landmarks, ablation-queue,
@@ -67,6 +71,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload and generator seed")
 		concurrency = flag.Int("concurrency", 0, "throughput mode: ReachBatch fan-out (0 = all cores)")
 		schedules   = flag.Int("schedules", 50, "chaos mode: deterministic fault schedules to run")
+		edges       = flag.Int("edges", bench.DefaultScaleEdges, "scale mode: generated KG edge target")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -75,13 +80,13 @@ func main() {
 		return
 	}
 	cfg := bench.Config{Scale: *scale, QueriesPerGroup: *queries, Seed: *seed}
-	if err := run(os.Stdout, *exp, cfg, *concurrency, *schedules); err != nil {
+	if err := run(os.Stdout, *exp, cfg, *concurrency, *schedules, *edges); err != nil {
 		fmt.Fprintln(os.Stderr, "lscrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, cfg bench.Config, concurrency, schedules int) error {
+func run(w io.Writer, exp string, cfg bench.Config, concurrency, schedules, edges int) error {
 	runners := map[string]func(io.Writer, bench.Config) error{
 		"table2":             bench.RunTable2,
 		"fig5a":              bench.RunFig5Density,
@@ -141,6 +146,12 @@ func run(w io.Writer, exp string, cfg bench.Config, concurrency, schedules int) 
 		},
 		"chaos-json": func(w io.Writer, cfg bench.Config) error {
 			return bench.RunChaosJSON(w, cfg, schedules)
+		},
+		"scale": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunScale(w, cfg, edges)
+		},
+		"scale-json": func(w io.Writer, cfg bench.Config) error {
+			return bench.RunScaleJSON(w, cfg, edges)
 		},
 	}
 	if exp == "all" {

@@ -10,7 +10,7 @@ import (
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", bench.Config{}, 0, 1); err == nil {
+	if err := run(&buf, "fig99", bench.Config{}, 0, 1, 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -21,7 +21,7 @@ func TestRunThroughput(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	cfg := bench.Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}
-	if err := run(&buf, "throughput", cfg, 4, 1); err != nil {
+	if err := run(&buf, "throughput", cfg, 4, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "answers identical and correct") {
@@ -35,7 +35,7 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	cfg := bench.Config{Scale: 1, QueriesPerGroup: 3, Seed: 1}
-	if err := run(&buf, "ablation-queue", cfg, 0, 1); err != nil {
+	if err := run(&buf, "ablation-queue", cfg, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "UIS*") {

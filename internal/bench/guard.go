@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Guard rails for the experiments whose point is parallel speedup
+// (-exp parallel, -exp scale). A sweep run at GOMAXPROCS=1 measures
+// only goroutine-scheduling overhead and has repeatedly been mistaken
+// for a real baseline, so those experiments refuse to run; a sweep
+// oversubscribed past the physical CPU count (GOMAXPROCS raised by env
+// on a smaller machine) is allowed but annotated, so the committed JSON
+// says on its face that the speedup numbers are not hardware-limited.
+
+// requireParallelEnv returns an error when the runtime cannot execute
+// goroutines in parallel at all.
+func requireParallelEnv(exp string) error {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		return fmt.Errorf(
+			"bench: -exp %s needs GOMAXPROCS >= 2 to measure parallel speedup (have %d); rerun with GOMAXPROCS=4 or higher",
+			exp, p)
+	}
+	return nil
+}
+
+// environmentWarning describes why this host's parallel numbers are
+// suspect, or "" when they are trustworthy.
+func environmentWarning() string {
+	p, n := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	switch {
+	case p < 2:
+		return fmt.Sprintf("GOMAXPROCS=%d: cannot measure parallel speedup", p)
+	case p > n:
+		return fmt.Sprintf(
+			"GOMAXPROCS=%d exceeds NumCPU=%d: workers are oversubscribed onto fewer cores, speedups reflect scheduling not hardware parallelism", p, n)
+	default:
+		return ""
+	}
+}

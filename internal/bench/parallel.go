@@ -25,12 +25,18 @@ import (
 
 // ParallelReport is the machine-readable baseline (BENCH_parallel.json).
 type ParallelReport struct {
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Dataset    string `json:"dataset"`
-	Vertices   int    `json:"vertices"`
-	Edges      int    `json:"edges"`
-	Landmarks  int    `json:"landmarks"`
-	Queries    int    `json:"queries"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU and EnvironmentWarning make the baseline honest about its
+	// host: a GOMAXPROCS=4 run on a 1-core machine still sweeps worker
+	// counts, but its speedups measure scheduling, not hardware, and the
+	// committed JSON must say so (see guard.go).
+	NumCPU             int    `json:"numcpu"`
+	EnvironmentWarning string `json:"environment_warning,omitempty"`
+	Dataset            string `json:"dataset"`
+	Vertices           int    `json:"vertices"`
+	Edges              int    `json:"edges"`
+	Landmarks          int    `json:"landmarks"`
+	Queries            int    `json:"queries"`
 
 	Index []IndexPoint      `json:"index"`
 	Query []ThroughputPoint `json:"query"`
@@ -81,16 +87,21 @@ func workerLevels() []int {
 
 // MeasureParallel runs the sweep and returns the report.
 func MeasureParallel(cfg Config) (*ParallelReport, error) {
+	if err := requireParallelEnv("parallel"); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	spec := DatasetSpec{Name: "D1", Universities: 1 * cfg.Scale}
 	g := buildDataset(spec, cfg.Seed)
 
 	rep := &ParallelReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Dataset:    spec.Name,
-		Vertices:   g.NumVertices(),
-		Edges:      g.NumEdges(),
-		Identical:  true,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		EnvironmentWarning: environmentWarning(),
+		Dataset:            spec.Name,
+		Vertices:           g.NumVertices(),
+		Edges:              g.NumEdges(),
+		Identical:          true,
 	}
 
 	// (a) Index construction at each worker level. The 1-worker build is
@@ -208,6 +219,9 @@ func RunParallel(w io.Writer, cfg Config) error {
 		return err
 	}
 	fmt.Fprintf(w, "identical across worker counts: %v\n", rep.Identical)
+	if rep.EnvironmentWarning != "" {
+		fmt.Fprintf(w, "WARNING: %s\n", rep.EnvironmentWarning)
+	}
 	return nil
 }
 

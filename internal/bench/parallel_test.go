@@ -3,11 +3,34 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
 
+// forceParallelEnv raises GOMAXPROCS so the guarded experiments run on
+// single-core CI/dev hosts, restoring it when the test finishes.
+func forceParallelEnv(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestMeasureParallelRefusesSerialHost(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if _, err := MeasureParallel(Config{Scale: 1, QueriesPerGroup: 1, Seed: 1}); err == nil {
+		t.Fatal("MeasureParallel ran at GOMAXPROCS=1; want a refusal error")
+	} else if !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("refusal error should name GOMAXPROCS: %v", err)
+	}
+}
+
 func TestMeasureParallel(t *testing.T) {
+	forceParallelEnv(t)
 	if testing.Short() {
 		t.Skip("builds a real (small) index per worker level")
 	}
@@ -44,6 +67,7 @@ func TestMeasureParallel(t *testing.T) {
 }
 
 func TestRunParallelJSON(t *testing.T) {
+	forceParallelEnv(t)
 	if testing.Short() {
 		t.Skip("builds a real (small) index per worker level")
 	}
@@ -74,6 +98,7 @@ func TestRunThroughput(t *testing.T) {
 }
 
 func TestRunParallelText(t *testing.T) {
+	forceParallelEnv(t)
 	if testing.Short() {
 		t.Skip("builds a real (small) index per worker level")
 	}

@@ -1,0 +1,533 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pub "lscr"
+	"lscr/internal/graph"
+	"lscr/internal/lscr"
+	"lscr/internal/lubm"
+	"lscr/internal/qcache"
+	"lscr/internal/workload"
+	"lscr/internal/yagogen"
+)
+
+// The scale harness is the tier above the laptop-scale figures: it
+// generates multi-million-edge KGs (the paper's Table 2 territory rather
+// than the 100×-shrunk defaults), runs the index-build, query-throughput,
+// cache and mutate experiments at GOMAXPROCS=NumCPU with contended
+// readers, and additionally measures the big-graph fixes this tier
+// motivated (qcache shard padding, pooled witness scratch, engine
+// scratch prewarming). cmd/lscrbench exposes it as -exp scale (text) and
+// -exp scale-json (the BENCH_scale.json baseline format); like the other
+// parallel experiment it refuses to run at GOMAXPROCS=1 and annotates
+// the report when GOMAXPROCS exceeds the physical CPU count.
+
+// DefaultScaleEdges is the edge target of the committed baseline.
+const DefaultScaleEdges = 1_200_000
+
+// ScaleReport is the machine-readable baseline (BENCH_scale.json).
+type ScaleReport struct {
+	GOMAXPROCS         int    `json:"gomaxprocs"`
+	NumCPU             int    `json:"numcpu"`
+	EnvironmentWarning string `json:"environment_warning,omitempty"`
+	EdgesTarget        int    `json:"edges_target"`
+
+	// LUBM is the primary dataset (the paper's D-series shape at scale):
+	// generation, index-build sweep and contended INS throughput sweep.
+	LUBM ScaleDataset `json:"lubm"`
+	// YAGO is the secondary dataset (§6.2's scale-free shape): a sized
+	// random constraint and a contended throughput sweep against the
+	// serial run's answers.
+	YAGO ScaleDataset `json:"yago"`
+
+	// Cache and Mutate rerun the existing cache-speedup and live-mutation
+	// experiments on the scale LUBM graph (same report formats as
+	// BENCH_cache.json / BENCH_mutate.json, so benchdiff compares their
+	// qps leaves too).
+	Cache  *CacheReport  `json:"cache"`
+	Mutate *MutateReport `json:"mutate"`
+
+	// Fixes records the measured state of the big-graph fixes that ride
+	// with this tier.
+	Fixes ScaleFixes `json:"fixes"`
+
+	// Identical is the conjunction of every phase's identity check: all
+	// fan-outs matched their serial reference and the serial reference
+	// matched ground truth where ground truth exists.
+	Identical bool `json:"identical"`
+}
+
+// ScaleDataset is one dataset's section of the report.
+type ScaleDataset struct {
+	Dataset   string `json:"dataset"`
+	Vertices  int    `json:"vertices"`
+	Edges     int    `json:"edges"`
+	Landmarks int    `json:"landmarks"`
+
+	GenSeconds float64 `json:"gen_seconds"`
+	// WorkloadSeconds is the cost of building the query workload
+	// (ground-truth generation for LUBM, constraint sizing for YAGO).
+	WorkloadSeconds float64 `json:"workload_seconds"`
+	Queries         int     `json:"queries"`
+
+	// Index is the index-construction worker sweep (LUBM only).
+	Index []IndexPoint `json:"index,omitempty"`
+	// Query is the contended INS throughput sweep over one shared index.
+	Query []ThroughputPoint `json:"query"`
+
+	Identical bool `json:"identical"`
+}
+
+// ScaleFixes holds the measured deltas of the fixes the scale tier
+// exposed. The "prev" numbers are arithmetic, not remeasured: the code
+// they describe no longer exists.
+type ScaleFixes struct {
+	// Contended qcache Get throughput at concurrency 1 and GOMAXPROCS on
+	// the padded-shard cache. On real multi-core hardware the cmax point
+	// scales near-linearly now that adjacent shards cannot share a cache
+	// line; internal/qcache's contention benchmark has the before/after
+	// pair.
+	QCacheGetQPSC1   float64 `json:"qcache_get_qps_c1"`
+	QCacheGetQPSCMax float64 `json:"qcache_get_qps_cmax"`
+
+	// Witness reconstruction steady-state cost on the scale graph. Before
+	// the pooled scratch each FindWitness allocated two |V|-sized []bool
+	// visited arrays (PrevVisitedBytesPerOp = 2|V|) plus parent maps;
+	// now only the returned hop slices allocate.
+	WitnessAllocsPerOp    float64 `json:"witness_allocs_per_op"`
+	WitnessBytesPerOp     float64 `json:"witness_bytes_per_op"`
+	PrevVisitedBytesPerOp int     `json:"prev_visited_bytes_per_op"`
+
+	// FirstQuerySeconds is the first query on a freshly opened engine,
+	// whose constructor prewarms the pooled per-query scratch for graphs
+	// past the prewarm threshold — without it the first query on each
+	// worker paid the whole |V|-sized allocation cliff.
+	FirstQuerySeconds float64 `json:"first_query_seconds"`
+}
+
+// MeasureScale runs the scale tier at the given edge target (0 means
+// DefaultScaleEdges) and returns the report.
+func MeasureScale(cfg Config, edges int) (*ScaleReport, error) {
+	if err := requireParallelEnv("scale"); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if edges <= 0 {
+		edges = DefaultScaleEdges
+	}
+
+	rep := &ScaleReport{
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		EnvironmentWarning: environmentWarning(),
+		EdgesTarget:        edges,
+		Identical:          true,
+	}
+
+	// The LUBM scale graph is spec D1 at ConfigForEdges' university
+	// count, so the cache and mutate phases below (which key datasets by
+	// university count) reuse the exact same cached graph.
+	universities := lubm.ConfigForEdges(edges).Universities
+	cfg.Scale = universities
+
+	if err := measureScaleLUBM(cfg, rep); err != nil {
+		return nil, err
+	}
+	if err := measureScaleYAGO(cfg, edges, rep); err != nil {
+		return nil, err
+	}
+
+	// Cache and mutate on the scale graph, with query counts scaled down
+	// from the laptop defaults: their workloads multiply QueriesPerGroup
+	// by 40 and 20 respectively, and each cold cache query pays a full
+	// constraint compile on the multi-million-edge graph.
+	cacheCfg := cfg
+	cacheCfg.QueriesPerGroup = 1
+	cache, err := MeasureCacheSpeedup(cacheCfg, rep.GOMAXPROCS)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cache = cache
+	rep.Identical = rep.Identical && cache.Identical
+
+	mutateCfg := cfg
+	mutateCfg.QueriesPerGroup = 2
+	mutate, err := MeasureMutate(mutateCfg, rep.GOMAXPROCS)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mutate = mutate
+	rep.Identical = rep.Identical && mutate.Identical
+
+	if err := measureScaleFixes(cfg, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// measureScaleLUBM fills the primary-dataset section: generation, the
+// index-build worker sweep (with build-identity checks) and the
+// contended INS throughput sweep (with answers checked against both the
+// serial run and the workload's ground truth).
+func measureScaleLUBM(cfg Config, rep *ScaleReport) error {
+	spec := DatasetSpec{Name: "D1", Universities: cfg.Scale}
+	start := time.Now()
+	g := buildDataset(spec, cfg.Seed)
+	sec := &rep.LUBM
+	sec.Dataset = fmt.Sprintf("LUBM-%d", cfg.Scale)
+	sec.GenSeconds = time.Since(start).Seconds()
+	sec.Vertices, sec.Edges = g.NumVertices(), g.NumEdges()
+	sec.Identical = true
+
+	var ref *lscr.LocalIndex
+	var refSecs float64
+	for _, w := range workerLevels() {
+		start := time.Now()
+		idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed, Workers: w})
+		secs := time.Since(start).Seconds()
+		if ref == nil {
+			ref, refSecs = idx, secs
+		} else if idx.Entries() != ref.Entries() || idx.SizeBytes() != ref.SizeBytes() {
+			sec.Identical = false
+		}
+		sec.Index = append(sec.Index, IndexPoint{Workers: w, Seconds: secs, Speedup: refSecs / secs})
+		sec.Landmarks = len(idx.Landmarks())
+	}
+
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	trueQ, falseQ, err := workload.Generate(g, cons, vs, workload.Config{
+		Count: cfg.QueriesPerGroup, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	sec.WorkloadSeconds = time.Since(start).Seconds()
+	qs := append(append([]workload.Query{}, trueQ...), falseQ...)
+	sec.Queries = len(qs)
+	if len(qs) == 0 {
+		return fmt.Errorf("bench: empty scale workload")
+	}
+
+	expected := make([]bool, len(qs))
+	for i, q := range qs {
+		expected[i] = q.Expected
+	}
+	run := func(q workload.Query) (bool, error) {
+		ok, _, err := lscr.INS(g, ref, q.Query, vs)
+		return ok, err
+	}
+	points, identical, err := contendedSweep(len(qs), func(i int) (bool, error) { return run(qs[i]) }, expected)
+	if err != nil {
+		return err
+	}
+	sec.Query = points
+	sec.Identical = sec.Identical && identical
+	rep.Identical = rep.Identical && sec.Identical
+	return nil
+}
+
+// measureScaleYAGO fills the secondary-dataset section: a scale-free
+// graph sized to the same edge target, a §6.2-style sized random
+// constraint, and the contended sweep checked against the serial run
+// (there is no precomputed ground truth at this scale; the serial pass
+// is the reference).
+func measureScaleYAGO(cfg Config, edges int, rep *ScaleReport) error {
+	ycfg := yagogen.ConfigForEdges(edges)
+	ycfg.Seed = cfg.Seed
+	start := time.Now()
+	g := yagogen.Generate(ycfg)
+	sec := &rep.YAGO
+	sec.Dataset = fmt.Sprintf("YAGO-%d", ycfg.Entities)
+	sec.GenSeconds = time.Since(start).Seconds()
+	sec.Vertices, sec.Edges = g.NumVertices(), g.NumEdges()
+	sec.Identical = true
+
+	idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed})
+	sec.Landmarks = len(idx.Landmarks())
+
+	// |V(S,G)| magnitude 1000 matches §6.2's mid magnitude; tiny CI
+	// graphs get a proportionally smaller window.
+	m := 1000
+	if lim := g.NumVertices()/100 + 1; lim < m {
+		m = lim
+	}
+	start = time.Now()
+	cons, vs, err := workload.RandomConstraintSized(rng(cfg.Seed, "scale-yago"), g, m)
+	if err != nil {
+		return err
+	}
+	sec.WorkloadSeconds = time.Since(start).Seconds()
+
+	r := rng(cfg.Seed, "scale-yago-queries")
+	qs := make([]lscr.Query, cfg.QueriesPerGroup*2)
+	for i := range qs {
+		qs[i] = lscr.Query{
+			Source:     graph.VertexID(r.Intn(g.NumVertices())),
+			Target:     graph.VertexID(r.Intn(g.NumVertices())),
+			Labels:     g.LabelUniverse(),
+			Constraint: cons,
+		}
+	}
+	sec.Queries = len(qs)
+
+	points, identical, err := contendedSweep(len(qs), func(i int) (bool, error) {
+		ok, _, err := lscr.INS(g, idx, qs[i], vs)
+		return ok, err
+	}, nil)
+	if err != nil {
+		return err
+	}
+	sec.Query = points
+	sec.Identical = sec.Identical && identical
+	rep.Identical = rep.Identical && sec.Identical
+	return nil
+}
+
+// contendedSweep runs the query set at each worker level of the sweep
+// (goroutines pulling from one atomic work queue — contended readers
+// over shared engine state), returning the throughput points, whether
+// every level reproduced the serial answers, and an error on the first
+// query failure. When expected is non-nil the serial answers are also
+// checked against it.
+func contendedSweep(n int, run func(i int) (bool, error), expected []bool) ([]ThroughputPoint, bool, error) {
+	var points []ThroughputPoint
+	identical := true
+	var refAns []bool
+	var refQPS float64
+	for _, c := range workerLevels() {
+		ans := make([]bool, n)
+		var (
+			errMu    sync.Mutex
+			firstErr error
+			next     atomic.Int64
+			wg       sync.WaitGroup
+		)
+		start := time.Now()
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					ok, err := run(i)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					ans[i] = ok
+				}
+			}()
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		if firstErr != nil {
+			return nil, false, firstErr
+		}
+		qps := float64(n) / secs
+		if refAns == nil {
+			refAns, refQPS = ans, qps
+		} else {
+			for i := range ans {
+				if ans[i] != refAns[i] {
+					identical = false
+				}
+			}
+		}
+		points = append(points, ThroughputPoint{Concurrency: c, QPS: qps, Speedup: qps / refQPS})
+	}
+	if expected != nil {
+		for i := range refAns {
+			if refAns[i] != expected[i] {
+				return nil, false, fmt.Errorf("bench: scale query %d answered %v, ground truth %v",
+					i, refAns[i], expected[i])
+			}
+		}
+	}
+	return points, identical, nil
+}
+
+// measureScaleFixes fills the fixes section with measured numbers on the
+// scale LUBM graph.
+func measureScaleFixes(cfg Config, rep *ScaleReport) error {
+	spec := DatasetSpec{Name: "D1", Universities: cfg.Scale}
+	g := buildDataset(spec, cfg.Seed)
+	fx := &rep.Fixes
+
+	fx.QCacheGetQPSC1 = measureQCacheGets(1)
+	fx.QCacheGetQPSCMax = measureQCacheGets(rep.GOMAXPROCS)
+
+	// Witness reconstruction: find a true query with an interior anchor
+	// (INS reports the satisfying vertex on true answers) and measure the
+	// steady-state allocation of FindWitness via the allocator counters.
+	cons, vs, err := compileConstraint(g, "S1")
+	if err != nil {
+		return err
+	}
+	trueQ, _, err := workload.Generate(g, cons, vs, workload.Config{Count: 1, Seed: cfg.Seed + 7})
+	if err != nil {
+		return err
+	}
+	if len(trueQ) > 0 {
+		idx := lscr.NewLocalIndex(g, lscr.IndexParams{Seed: cfg.Seed})
+		q := trueQ[0].Query
+		_, st, err := lscr.INS(g, idx, q, vs)
+		if err != nil {
+			return err
+		}
+		if st.Satisfying != graph.NoVertex {
+			witness := func() error {
+				if _, ok := lscr.FindWitness(g, q.Source, q.Target, st.Satisfying, q.Labels); !ok {
+					return fmt.Errorf("bench: witness vanished")
+				}
+				return nil
+			}
+			for i := 0; i < 3; i++ {
+				if err := witness(); err != nil {
+					return err
+				}
+			}
+			const reps = 100
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			for i := 0; i < reps; i++ {
+				if err := witness(); err != nil {
+					return err
+				}
+			}
+			runtime.ReadMemStats(&m1)
+			fx.WitnessAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / reps
+			fx.WitnessBytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / reps
+		}
+	}
+	fx.PrevVisitedBytesPerOp = 2 * g.NumVertices()
+
+	// First query on a freshly opened engine: the constructor prewarms
+	// the pooled scratch for graphs this size, so this latency no longer
+	// includes the |V|-sized scratch allocations. UIS keeps the engine
+	// index-free — the measurement isolates the query path.
+	eng := pub.NewEngine(pub.FromGraph(g), pub.Options{SkipIndex: true})
+	req := pub.Request{
+		Source:     g.VertexName(0),
+		Target:     g.VertexName(graph.VertexID(g.NumVertices() - 1)),
+		Labels:     []string{g.LabelName(0), g.LabelName(1)},
+		Algorithm:  pub.UIS,
+		Constraint: lubm.Constraints()[0].SPARQL,
+	}
+	start := time.Now()
+	if _, err := eng.Query(context.Background(), req); err != nil {
+		return fmt.Errorf("bench: first-query measurement: %w", err)
+	}
+	fx.FirstQuerySeconds = time.Since(start).Seconds()
+	return nil
+}
+
+// measureQCacheGets measures contended Get throughput on the real
+// (padded-shard) cache: conc goroutines each iterate a strided slice of
+// a prefilled key set, so hits dominate and the measurement stresses
+// shard locks and counters rather than eviction.
+func measureQCacheGets(conc int) float64 {
+	const nkeys = 4096
+	const opsPerWorker = 1 << 18
+	c := qcache.New[int](nkeys)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		c.Add(keys[i], i)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				c.Get(keys[(i*conc+w)%nkeys])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(conc*opsPerWorker) / time.Since(start).Seconds()
+}
+
+// RunScale prints the scale report as text (cmd/lscrbench -exp scale)
+// and fails unless every identity check passed.
+func RunScale(w io.Writer, cfg Config, edges int) error {
+	rep, err := MeasureScale(cfg, edges)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scale tier at %d-edge target (GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.EdgesTarget, rep.GOMAXPROCS, rep.NumCPU)
+	if rep.EnvironmentWarning != "" {
+		fmt.Fprintf(w, "WARNING: %s\n", rep.EnvironmentWarning)
+	}
+	for _, sec := range []*ScaleDataset{&rep.LUBM, &rep.YAGO} {
+		fmt.Fprintf(w, "%s: |V|=%d |E|=%d k=%d (gen %.1fs, workload %.1fs, %d queries)\n",
+			sec.Dataset, sec.Vertices, sec.Edges, sec.Landmarks,
+			sec.GenSeconds, sec.WorkloadSeconds, sec.Queries)
+		tw := newTab(w)
+		if len(sec.Index) > 0 {
+			fmt.Fprintln(tw, "  index build\tworkers\tseconds\tspeedup")
+			for _, p := range sec.Index {
+				fmt.Fprintf(tw, "  \t%d\t%.3f\t%.2fx\n", p.Workers, p.Seconds, p.Speedup)
+			}
+		}
+		fmt.Fprintln(tw, "  INS queries\tconcurrency\tqps\tspeedup")
+		for _, p := range sec.Query {
+			fmt.Fprintf(tw, "  \t%d\t%.1f\t%.2fx\n", p.Concurrency, p.QPS, p.Speedup)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "cache: cold %.0f qps, warm %.0f qps (%.2fx)\n",
+		rep.Cache.ColdQPS, rep.Cache.WarmQPS, rep.Cache.Speedup)
+	fmt.Fprintf(w, "mutate: read-only %.0f qps, %.0f%% retained under writes, %.0f write ops/s\n",
+		rep.Mutate.ReadOnlyQPS, rep.Mutate.ReadRetention*100, rep.Mutate.WriteOpsPerSec)
+	fmt.Fprintf(w, "fixes: qcache get %.0f qps @1 / %.0f qps @%d; witness %.1f allocs %.0f B per op (was %d B of visited arrays alone); first query %.4fs\n",
+		rep.Fixes.QCacheGetQPSC1, rep.Fixes.QCacheGetQPSCMax, rep.GOMAXPROCS,
+		rep.Fixes.WitnessAllocsPerOp, rep.Fixes.WitnessBytesPerOp,
+		rep.Fixes.PrevVisitedBytesPerOp, rep.Fixes.FirstQuerySeconds)
+	fmt.Fprintf(w, "answers identical across all phases: %v\n", rep.Identical)
+	if !rep.Identical {
+		return fmt.Errorf("bench: scale answers diverged")
+	}
+	return nil
+}
+
+// RunScaleJSON writes the report as indented JSON — the format committed
+// to BENCH_scale.json so later PRs can track the trajectory.
+func RunScaleJSON(w io.Writer, cfg Config, edges int) error {
+	rep, err := MeasureScale(cfg, edges)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Identical {
+		return fmt.Errorf("bench: scale answers diverged")
+	}
+	return nil
+}

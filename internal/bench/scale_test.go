@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The smoke runs the full scale pipeline at a CI-sized edge target —
+// every phase, two orders of magnitude below the committed baseline.
+func TestMeasureScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and indexes a ~60k-edge graph per generator")
+	}
+	forceParallelEnv(t)
+	const target = 60_000
+	rep, err := MeasureScale(Config{QueriesPerGroup: 2, Seed: 1}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatal("scale answers diverged from the serial reference")
+	}
+	if rep.EdgesTarget != target {
+		t.Fatalf("edges target = %d, want %d", rep.EdgesTarget, target)
+	}
+	for _, sec := range []*ScaleDataset{&rep.LUBM, &rep.YAGO} {
+		if sec.Edges < target {
+			t.Errorf("%s generated %d edges, want >= %d", sec.Dataset, sec.Edges, target)
+		}
+		if len(sec.Query) < 2 || sec.Query[0].Concurrency != 1 {
+			t.Errorf("%s sweep must start at concurrency 1: %+v", sec.Dataset, sec.Query)
+		}
+		for _, p := range sec.Query {
+			if p.QPS <= 0 {
+				t.Errorf("%s degenerate throughput point %+v", sec.Dataset, p)
+			}
+		}
+	}
+	if len(rep.LUBM.Index) < 2 || rep.LUBM.Index[0].Workers != 1 {
+		t.Errorf("index sweep must start at 1 worker: %+v", rep.LUBM.Index)
+	}
+	if rep.Cache == nil || !rep.Cache.Identical {
+		t.Errorf("cache phase missing or diverged: %+v", rep.Cache)
+	}
+	if rep.Mutate == nil || !rep.Mutate.Identical {
+		t.Errorf("mutate phase missing or diverged: %+v", rep.Mutate)
+	}
+	if rep.Fixes.QCacheGetQPSC1 <= 0 || rep.Fixes.QCacheGetQPSCMax <= 0 {
+		t.Errorf("qcache fix not measured: %+v", rep.Fixes)
+	}
+	if rep.Fixes.PrevVisitedBytesPerOp != 2*rep.LUBM.Vertices {
+		t.Errorf("prev visited bytes = %d, want 2*|V| = %d",
+			rep.Fixes.PrevVisitedBytesPerOp, 2*rep.LUBM.Vertices)
+	}
+	if rep.Fixes.FirstQuerySeconds <= 0 {
+		t.Errorf("first-query latency not measured: %+v", rep.Fixes)
+	}
+	if runtime.GOMAXPROCS(0) > runtime.NumCPU() && rep.EnvironmentWarning == "" {
+		t.Error("oversubscribed host not annotated")
+	}
+}
+
+func TestMeasureScaleRefusesSerialHost(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if _, err := MeasureScale(Config{}, 1000); err == nil {
+		t.Fatal("MeasureScale ran at GOMAXPROCS=1; want a refusal error")
+	} else if !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("refusal error should name GOMAXPROCS: %v", err)
+	}
+}

@@ -75,6 +75,98 @@ func TestINSFrontierHeapPooled(t *testing.T) {
 	}
 }
 
+// witnessAllocFixture builds a true query on a mid-size random graph
+// and resolves its satisfying anchor, so FindWitness has real two-leg
+// paths to reconstruct.
+func witnessAllocFixture(tb testing.TB) (*graph.Graph, Query, graph.VertexID) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := testkg.Random(rng, 3000, 18000, 5)
+	matchAll := &pattern.Constraint{
+		Focus:    "x",
+		Patterns: []pattern.TriplePattern{{Subject: pattern.V("x"), Label: 0, Object: pattern.V("y")}},
+	}
+	for s := 0; s < g.NumVertices(); s++ {
+		for t := g.NumVertices() - 1; t > s; t-- {
+			q := Query{
+				Source: graph.VertexID(s), Target: graph.VertexID(t),
+				Labels: g.LabelUniverse(), Constraint: matchAll,
+			}
+			ans, st, err := UIS(g, q)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if ans && st.Satisfying != q.Source && st.Satisfying != q.Target {
+				return g, q, st.Satisfying
+			}
+		}
+	}
+	tb.Fatal("no true query with an interior anchor found")
+	return nil, Query{}, 0
+}
+
+// maxWitnessSteadyStateAllocs bounds the per-call allocations of a
+// warmed-up FindWitness. The only remaining allocations are the
+// returned hop slices (the two legs' reversal buffers, their
+// concatenation and the Witness struct) — the visited set, parent table
+// and BFS queue live in the pooled scratch. Before the fix every call
+// allocated two |V|-sized []bool plus two parent maps, so this bound
+// also pins the O(1)-vs-O(|V|) regression.
+const maxWitnessSteadyStateAllocs = 12
+
+func TestWitnessReconstructionPooled(t *testing.T) {
+	g, q, vStar := witnessAllocFixture(t)
+	run := func() {
+		w, ok := FindWitness(g, q.Source, q.Target, vStar, q.Labels)
+		if !ok || w == nil {
+			t.Fatal("witness vanished")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the scratch pool
+	}
+	if avg := testing.AllocsPerRun(50, run); avg > maxWitnessSteadyStateAllocs {
+		t.Errorf("warmed FindWitness allocates %.1f objects/run, want <= %d (visited set not pooled?)",
+			avg, maxWitnessSteadyStateAllocs)
+	}
+}
+
+// maxNaiveSteadyStateAllocs bounds a warmed-up Naive run on the INS
+// fixture (false answer, whole frontier drained, inner procedure run
+// per satisfying vertex). The per-call matcher construction accounts
+// for the fixed handful; the visited sets and both DFS stacks are
+// pooled, so the bound no longer scales with |V|.
+const maxNaiveSteadyStateAllocs = 24
+
+func TestNaiveVisitedPooled(t *testing.T) {
+	g, _, q, _ := insAllocFixture(t)
+	run := func() {
+		if _, _, err := Naive(g, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(20, run); avg > maxNaiveSteadyStateAllocs {
+		t.Errorf("warmed Naive query allocates %.1f objects/run, want <= %d (visited sets not pooled?)",
+			avg, maxNaiveSteadyStateAllocs)
+	}
+}
+
+// BenchmarkWitnessAllocs tracks the trajectory in benchmark output
+// (go test -bench WitnessAllocs -benchmem).
+func BenchmarkWitnessAllocs(b *testing.B) {
+	g, q, vStar := witnessAllocFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindWitness(g, q.Source, q.Target, vStar, q.Labels); !ok {
+			b.Fatal("witness vanished")
+		}
+	}
+}
+
 // BenchmarkINSAllocs reports allocs/op for the same fixture so the
 // trajectory is visible in benchmark output (go test -bench INSAllocs
 // -benchmem).

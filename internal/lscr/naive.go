@@ -28,16 +28,21 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 	n := g.NumVertices()
 	st := Stats{Satisfying: graph.NoVertex}
 	scck := 0
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 
 	// Procedure 2: plain label-constrained DFS from v to t, fresh visited
-	// set per invocation (the "executed up to |V(S,G)| times" part).
+	// pass per invocation (the "executed up to |V(S,G)| times" part — an
+	// epoch bump on the pooled set, not a fresh |V|-sized allocation).
 	reach := func(v graph.VertexID) bool {
 		if v == q.Target {
 			return true
 		}
-		visited := make([]bool, n)
-		visited[v] = true
-		stack := []graph.VertexID{v}
+		sc.vis2.next(n)
+		sc.vis2.visit(v)
+		stack := sc.queue2[:0]
+		defer func() { sc.queue2 = stack }()
+		stack = append(stack, v)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -47,13 +52,13 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 					continue
 				}
 				for _, e := range rs.Run(ri) {
-					if visited[e.To] {
+					if sc.vis2.visited(e.To) {
 						continue
 					}
 					if e.To == q.Target {
 						return true
 					}
-					visited[e.To] = true
+					sc.vis2.visit(e.To)
 					stack = append(stack, e.To)
 				}
 			}
@@ -63,11 +68,13 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 
 	// Procedure 1: DFS over the space s reaches under L, checking S per
 	// vertex and invoking procedure 2 on hits.
-	visited := make([]bool, n)
-	visited[q.Source] = true
+	sc.vis.next(n)
+	sc.vis.visit(q.Source)
 	st.PassedVertices = 1
 	st.SearchTreeNodes = 1
-	stack := []graph.VertexID{q.Source}
+	stack := sc.queue[:0]
+	defer func() { sc.queue = stack }()
+	stack = append(stack, q.Source)
 	scck++
 	if m.Check(q.Source) {
 		if reach(q.Source) {
@@ -85,10 +92,10 @@ func Naive(g *graph.Graph, q Query) (bool, Stats, error) {
 				continue
 			}
 			for _, e := range rs.Run(ri) {
-				if visited[e.To] {
+				if sc.vis.visited(e.To) {
 					continue
 				}
-				visited[e.To] = true
+				sc.vis.visit(e.To)
 				st.PassedVertices++
 				st.SearchTreeNodes++
 				scck++

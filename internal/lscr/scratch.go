@@ -1,6 +1,10 @@
 package lscr
 
-import "sync"
+import (
+	"sync"
+
+	"lscr/internal/graph"
+)
 
 // Per-query scratch state (the close surjection and the frontier queue's
 // duplicate stamps) is pooled and epoch-stamped: a query bumps the epoch
@@ -11,6 +15,13 @@ import "sync"
 // run borrows a private scratch for its whole duration, so any number of
 // goroutines may query the same graph and index concurrently — each sees
 // only its own close map, frontier stamps, sat table, and cut table.
+
+// withSlack adds ~12% headroom to a scratch-array size. The arrays are
+// sized for the engine's current vertex count, which creeps upward as
+// mutation batches intern new vertices; at 10^7-vertex scale an exact
+// fit would force a fresh tens-of-megabytes allocation every few
+// thousand interned vertices, so growth is geometric instead.
+func withSlack(n int) int { return n + n/8 }
 
 // epochArr32 is a reusable uint32 array with an epoch in the upper bits
 // of every entry. closeMap packs (epoch<<2 | state) per vertex.
@@ -24,7 +35,7 @@ const maxEpoch32 = 1<<30 - 1 // 2 bits reserved for the close state
 // next prepares the array for a fresh query of universe size n.
 func (e *epochArr32) next(n int) {
 	if len(e.a) < n || e.epoch >= maxEpoch32 {
-		e.a = make([]uint32, n)
+		e.a = make([]uint32, withSlack(n))
 		e.epoch = 0
 	}
 	e.epoch++
@@ -41,10 +52,37 @@ const maxEpoch64 = 1<<31 - 1 // 33 bits reserved for the sequence
 
 func (e *epochArr64) next(n int) {
 	if len(e.a) < n || e.epoch >= maxEpoch64 {
-		e.a = make([]uint64, n)
+		e.a = make([]uint64, withSlack(n))
 		e.epoch = 0
 	}
 	e.epoch++
+}
+
+// epochSet is a pooled visited set: v counts as visited in the current
+// pass iff a[v] equals the pass epoch, so next starts a new pass in
+// O(1) instead of allocating (or zeroing) a fresh []bool per search.
+type epochSet struct {
+	a     []uint32
+	epoch uint32
+}
+
+func (e *epochSet) next(n int) {
+	if len(e.a) < n || e.epoch == ^uint32(0) {
+		e.a = make([]uint32, withSlack(n))
+		e.epoch = 0
+	}
+	e.epoch++
+}
+
+func (e *epochSet) visited(v graph.VertexID) bool { return e.a[v] == e.epoch }
+func (e *epochSet) visit(v graph.VertexID)        { e.a[v] = e.epoch }
+
+// bfsParent records how the witness BFS reached a vertex. Entries are
+// meaningful only for vertices visited in the current vis epoch, so the
+// table is never cleared.
+type bfsParent struct {
+	from  graph.VertexID
+	label graph.Label
 }
 
 // scratch bundles the pooled per-query state.
@@ -62,6 +100,15 @@ type scratch struct {
 	// across queries (newFrontierQueue truncates it), so a steady stream
 	// of INS queries stops allocating a fresh heap per query.
 	fq frontierQueue
+	// vis and vis2 are the visited sets for the searches that used to
+	// allocate a fresh []bool per call: the witness shortest-path BFS,
+	// and Naive's outer walk plus its per-satisfying-vertex inner walk
+	// (those two run interleaved, hence two independent sets).
+	vis, vis2 epochSet
+	// par is the witness BFS parent table, validity-gated by vis.
+	par []bfsParent
+	// queue and queue2 are the matching reusable worklists.
+	queue, queue2 []graph.VertexID
 }
 
 // satTable returns the satisfying-origin table sized for n vertices.
@@ -70,6 +117,14 @@ func (s *scratch) satTable(n int) []uint32 {
 		s.sat = make([]uint32, n)
 	}
 	return s.sat
+}
+
+// parTable returns the witness BFS parent table sized for n vertices.
+func (s *scratch) parTable(n int) []bfsParent {
+	if len(s.par) < n {
+		s.par = make([]bfsParent, withSlack(n))
+	}
+	return s.par
 }
 
 // cutTable returns a zeroed per-landmark table of k entries.
@@ -94,3 +149,28 @@ func getScratch(n int) *scratch {
 // putScratch returns s to the pool. The frontier stamp epoch is bumped
 // lazily by newFrontierQueue only when INS actually uses it.
 func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// PrewarmScratch primes the scratch pool with count scratches whose hot
+// arrays (close map, frontier stamps, sat table) are sized for an
+// n-vertex graph. The public engine calls it when it opens a large
+// graph so the first query on each worker does not pay the allocation
+// cliff — at 10^7 vertices those arrays are ~16 bytes/vertex, a
+// >100 MB first-query hiccup per pooled scratch without prewarming.
+// (sync.Pool may still shed the scratches under GC pressure; this is a
+// latency optimisation, not a guarantee.)
+func PrewarmScratch(n, count int) {
+	if n <= 0 || count <= 0 {
+		return
+	}
+	warmed := make([]*scratch, count)
+	for i := range warmed {
+		s := scratchPool.Get().(*scratch)
+		s.close.next(n)
+		s.stamp.next(n)
+		s.satTable(n)
+		warmed[i] = s
+	}
+	for _, s := range warmed {
+		scratchPool.Put(s)
+	}
+}

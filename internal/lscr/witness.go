@@ -38,11 +38,13 @@ func (w *Witness) Vertices(s graph.VertexID) []graph.VertexID {
 // concatenates two shortest label-constrained paths, s→vStar and
 // vStar→t. The second result is false only if the premise does not hold.
 func FindWitness(g *graph.Graph, s, t, vStar graph.VertexID, L labelset.Set) (*Witness, bool) {
-	first, ok := shortestPath(g, s, vStar, L)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	first, ok := shortestPath(g, s, vStar, L, sc)
 	if !ok {
 		return nil, false
 	}
-	second, ok := shortestPath(g, vStar, t, L)
+	second, ok := shortestPath(g, vStar, t, L, sc)
 	if !ok {
 		return nil, false
 	}
@@ -50,31 +52,32 @@ func FindWitness(g *graph.Graph, s, t, vStar graph.VertexID, L labelset.Set) (*W
 }
 
 // shortestPath returns the hops of a shortest path from s to t using
-// only labels in L (empty for s == t).
-func shortestPath(g *graph.Graph, s, t graph.VertexID, L labelset.Set) ([]Hop, bool) {
+// only labels in L (empty for s == t). The visited set, parent table
+// and BFS queue all live in the pooled scratch — only the returned hop
+// slice is allocated, so witness reconstruction stays allocation-free
+// per passed vertex even on multi-million-vertex graphs.
+func shortestPath(g *graph.Graph, s, t graph.VertexID, L labelset.Set, sc *scratch) ([]Hop, bool) {
 	if s == t {
 		return nil, true
 	}
-	type parent struct {
-		from  graph.VertexID
-		label graph.Label
-	}
-	par := make(map[graph.VertexID]parent, 64)
-	visited := make([]bool, g.NumVertices())
-	visited[s] = true
-	queue := []graph.VertexID{s}
+	n := g.NumVertices()
+	sc.vis.next(n)
+	par := sc.parTable(n)
+	sc.vis.visit(s)
+	queue := sc.queue[:0]
+	queue = append(queue, s)
+	defer func() { sc.queue = queue }()
 	found := false
-	for len(queue) > 0 && !found {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && !found; head++ {
+		u := queue[head]
 		it := g.OutLabeled(u, L)
 		for run, ok := it.Next(); ok && !found; run, ok = it.Next() {
 			for _, e := range run {
-				if visited[e.To] {
+				if sc.vis.visited(e.To) {
 					continue
 				}
-				visited[e.To] = true
-				par[e.To] = parent{from: u, label: e.Label}
+				sc.vis.visit(e.To)
+				par[e.To] = bfsParent{from: u, label: e.Label}
 				if e.To == t {
 					found = true
 					break

@@ -106,6 +106,23 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// edgesPerUniversity is the measured edge yield of one DefaultConfig
+// university (≈26457; ConfigForEdges rounds it down so the estimate
+// errs toward generating more edges than asked for, never fewer).
+const edgesPerUniversity = 26000
+
+// ConfigForEdges returns a DefaultConfig scaled so the generated graph
+// has at least edges edges — the sizing knob of the scale benchmark
+// tier and kggen's -edges flag. The university count is the unit of
+// granularity, so the result overshoots by up to one university's worth.
+func ConfigForEdges(edges int) Config {
+	n := (edges + edgesPerUniversity - 1) / edgesPerUniversity
+	if n < 1 {
+		n = 1
+	}
+	return DefaultConfig(n)
+}
+
 // Generate builds the knowledge graph.
 func Generate(cfg Config) *graph.Graph {
 	if cfg.Universities < 1 {

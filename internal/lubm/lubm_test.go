@@ -138,3 +138,16 @@ func TestTinyConfig(t *testing.T) {
 		t.Fatal("tiny config yields empty graph")
 	}
 }
+
+func TestConfigForEdges(t *testing.T) {
+	for _, target := range []int{1, 30000, 120000} {
+		cfg := ConfigForEdges(target)
+		if cfg.Universities < 1 {
+			t.Fatalf("ConfigForEdges(%d): %d universities", target, cfg.Universities)
+		}
+		g := Generate(cfg)
+		if g.NumEdges() < target {
+			t.Errorf("ConfigForEdges(%d) generated only %d edges", target, g.NumEdges())
+		}
+	}
+}

@@ -192,6 +192,24 @@ func (m *Matcher) MatchAll() []graph.VertexID {
 	return out
 }
 
+// MatchCapped is MatchAll with an early exit: it stops scanning as soon
+// as more than limit satisfying vertices are found and reports complete
+// = false. Workload sizing loops over multi-million-vertex graphs use
+// it to reject over-wide candidate constraints without enumerating the
+// full V(S, G); when complete is true the returned set is exactly
+// MatchAll's.
+func (m *Matcher) MatchCapped(limit int) (vs []graph.VertexID, complete bool) {
+	for _, v := range m.focusCandidates() {
+		if m.Check(v) {
+			vs = append(vs, v)
+			if len(vs) > limit {
+				return vs, false
+			}
+		}
+	}
+	return vs, true
+}
+
 // focusCandidates narrows the vertices worth checking, using the most
 // selective pattern that touches the focus variable. Falls back to all
 // vertices when no pattern pins the focus next to a constant.

@@ -1,0 +1,159 @@
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// TestShardPadding pins the layout contract the contention fix relies
+// on: shards are a multiple of two cache lines, so two shards' mutex
+// words can never land on the same 64-byte line (nor on the adjacent
+// line the hardware prefetcher pairs with it) regardless of where the
+// runtime places the backing array.
+func TestShardPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(shard{}); sz%(2*cacheLine) != 0 {
+		t.Fatalf("shard size = %d, want a multiple of %d", sz, 2*cacheLine)
+	}
+	c := New[int](1024)
+	if len(c.shards) < 2 {
+		t.Fatalf("expected multiple shards, got %d", len(c.shards))
+	}
+	a := uintptr(unsafe.Pointer(&c.shards[0].mu))
+	b := uintptr(unsafe.Pointer(&c.shards[1].mu))
+	if d := b - a; d < 2*cacheLine {
+		t.Fatalf("adjacent shard mutexes %d bytes apart, want >= %d", d, 2*cacheLine)
+	}
+}
+
+// legacyShard reproduces the pre-padding layout: ~48-byte shards packed
+// adjacently, so shard i's mutex shares a cache line with shard i-1's
+// hot hit/miss counters. Kept test-only as the "before" arm of the
+// contention benchmark.
+type legacyShard struct {
+	mu           sync.Mutex
+	capacity     int
+	order        *list.List
+	items        map[string]*list.Element
+	hits, misses int64
+}
+
+type legacyCache struct {
+	shards []legacyShard
+	mask   uint32
+}
+
+func newLegacy(capacity, shards int) *legacyCache {
+	c := &legacyCache{shards: make([]legacyShard, shards), mask: uint32(shards - 1)}
+	per := capacity / shards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = per
+		s.order = list.New()
+		s.items = make(map[string]*list.Element, per)
+	}
+	return c
+}
+
+func (c *legacyCache) get(key string) (int, bool) {
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.hits++
+		s.order.MoveToFront(el)
+		return el.Value.(*entry[int]).val, true
+	}
+	s.misses++
+	return 0, false
+}
+
+func (c *legacyCache) add(key string, val int) {
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		delete(s.items, oldest.Value.(*entry[int]).key)
+		s.order.Remove(oldest)
+	}
+	s.items[key] = s.order.PushFront(&entry[int]{key: key, val: val})
+}
+
+// contentionKeys builds one key set per worker slot, each slot's keys
+// hashing to a distinct shard, so concurrent Gets are logically
+// disjoint: any slowdown at -cpu > 1 relative to the padded layout is
+// false sharing, not lock contention.
+func contentionKeys(shards, perSlot int) [][]string {
+	out := make([][]string, shards)
+	next := 0
+	for len(out[0]) < perSlot {
+		key := fmt.Sprintf("k%d", next)
+		next++
+		slot := int(fnv1a(key) & uint32(shards-1))
+		if len(out[slot]) < perSlot {
+			out[slot] = append(out[slot], key)
+		}
+	}
+	// Top up the slots the greedy pass left short.
+	for slot := range out {
+		for len(out[slot]) < perSlot {
+			key := fmt.Sprintf("k%d", next)
+			next++
+			if int(fnv1a(key)&uint32(shards-1)) == slot {
+				out[slot] = append(out[slot], key)
+			}
+		}
+	}
+	return out
+}
+
+// Run with: go test ./internal/qcache -bench CacheGetContended -cpu 1,4
+// The padded/legacy pair is the before/after proof of the false-sharing
+// fix: legacy throughput collapses as -cpu grows while the padded real
+// cache scales with the hardware.
+func BenchmarkCacheGetContended(b *testing.B) {
+	const shards, perSlot = 16, 64
+	keys := contentionKeys(shards, perSlot)
+
+	b.Run("padded", func(b *testing.B) {
+		c := New[int](shards * perSlot)
+		for _, slot := range keys {
+			for i, k := range slot {
+				c.Add(k, i)
+			}
+		}
+		var slot atomic.Uint32
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			mine := keys[int(slot.Add(1)-1)%shards]
+			i := 0
+			for pb.Next() {
+				c.Get(mine[i%len(mine)])
+				i++
+			}
+		})
+	})
+
+	b.Run("legacy-unpadded", func(b *testing.B) {
+		c := newLegacy(shards*perSlot, shards)
+		for _, slot := range keys {
+			for i, k := range slot {
+				c.add(k, i)
+			}
+		}
+		var slot atomic.Uint32
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			mine := keys[int(slot.Add(1)-1)%shards]
+			i := 0
+			for pb.Next() {
+				c.get(mine[i%len(mine)])
+				i++
+			}
+		})
+	})
+}

@@ -36,11 +36,15 @@ func RandomConstraintSized(rng *rand.Rand, g *graph.Graph, m int) (*pattern.Cons
 			if err != nil {
 				break
 			}
-			vs := mt.MatchAll()
+			// The cap makes over-wide candidates cheap to reject: on big
+			// graphs an early constraint can match hundreds of thousands
+			// of vertices, and enumerating them all just to learn "too
+			// large" dominated sizing time.
+			vs, complete := mt.MatchCapped(hi)
 			switch {
-			case len(vs) >= lo && len(vs) <= hi:
+			case complete && len(vs) >= lo && len(vs) <= hi:
 				return c, vs, nil
-			case len(vs) < lo:
+			case complete && len(vs) < lo:
 				c = generalize(rng, g, c)
 			default:
 				c2 := specialize(rng, g, c, vs)

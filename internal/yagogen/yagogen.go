@@ -47,6 +47,22 @@ func DefaultConfig(entities int) Config {
 	}
 }
 
+// edgesPerEntity is the measured total edge yield per entity at
+// DefaultConfig (relation out-edges plus type/taxonomy edges ≈ 3.0;
+// rounded down so ConfigForEdges overshoots rather than undershoots).
+const edgesPerEntity = 2.8
+
+// ConfigForEdges returns a DefaultConfig scaled so the generated graph
+// has at least edges edges — the sizing knob of the scale benchmark
+// tier and kggen's -edges flag.
+func ConfigForEdges(edges int) Config {
+	entities := int(float64(edges)/edgesPerEntity) + 1
+	if entities < 2 {
+		entities = 2
+	}
+	return DefaultConfig(entities)
+}
+
 // Generate builds the knowledge graph.
 func Generate(cfg Config) *graph.Graph {
 	if cfg.Entities < 2 {

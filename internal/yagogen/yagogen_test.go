@@ -74,3 +74,13 @@ func TestZipfIndexBounds(t *testing.T) {
 		t.Fatal("empty")
 	}
 }
+
+func TestConfigForEdges(t *testing.T) {
+	for _, target := range []int{1, 30000, 120000} {
+		cfg := ConfigForEdges(target)
+		g := Generate(cfg)
+		if g.NumEdges() < target {
+			t.Errorf("ConfigForEdges(%d) generated only %d edges", target, g.NumEdges())
+		}
+	}
+}

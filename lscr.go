@@ -71,6 +71,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -313,7 +314,24 @@ func NewEngine(kg *KG, opts Options) *Engine {
 		idx = core.NewLocalIndex(kg.g, e.indexParams())
 	}
 	e.ep.Store(e.newEpoch(0, kg.g, idx, 0))
+	prewarmScratch(kg.g)
 	return e
+}
+
+// prewarmVertices is the graph size past which engine construction
+// primes the pooled per-query scratch: below it the per-query arrays
+// are small enough that first-query allocation is noise.
+const prewarmVertices = 1 << 18
+
+// prewarmScratch pre-sizes the pooled per-query scratch for g (one per
+// GOMAXPROCS worker) so the first queries on a freshly opened
+// multi-million-vertex engine don't each pay a tens-of-megabytes
+// close-map/stamp/sat allocation — the first-query latency cliff the
+// scale tier measures.
+func prewarmScratch(g *graph.Graph) {
+	if n := g.NumVertices(); n >= prewarmVertices {
+		core.PrewarmScratch(n, runtime.GOMAXPROCS(0))
+	}
 }
 
 // indexParams maps the engine options to index-build parameters; Apply's
@@ -811,6 +829,7 @@ func NewEngineFromIndex(kg *KG, r io.Reader, opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts}
 	e.ep.Store(e.newEpoch(0, kg.g, idx, 0))
+	prewarmScratch(kg.g)
 	return e, nil
 }
 

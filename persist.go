@@ -229,6 +229,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 		}
 	}
 	e.ep.Store(e.newEpoch(seg.BaseSeq, seg.Graph, idx, seg.BaseSeq))
+	prewarmScratch(seg.Graph)
 
 	wal, recs, err := segment.OpenWAL(segment.WALPath(dir))
 	if err != nil {
